@@ -1,0 +1,130 @@
+//! Criterion benchmarks of the analysis pipeline: the per-frame busy-time
+//! charge, the single-pass per-second analyzer, the utilization binning and
+//! the unrecorded-frame estimator.
+
+use congestion::{analyze, cbt_us, estimate_unrecorded, UtilizationBins};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::{Channel, Rate};
+use wifi_frames::record::FrameRecord;
+
+/// A synthetic but structurally-realistic trace: data/ACK exchanges with a
+/// sprinkling of beacons and RTS/CTS, in time order.
+fn synthetic_trace(n: usize) -> Vec<FrameRecord> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0u64;
+    let rates = [Rate::R1, Rate::R2, Rate::R5_5, Rate::R11];
+    let mut i = 0usize;
+    while out.len() < n {
+        let rate = rates[i % 4];
+        let payload = [64u32, 400, 900, 1472][(i / 4) % 4];
+        let src = 1 + (i % 40) as u32;
+        t += 800;
+        out.push(FrameRecord {
+            timestamp_us: t,
+            kind: FrameKind::Data,
+            rate,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(99),
+            src: Some(MacAddr::from_id(src)),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: i % 7 == 0,
+            seq: Some((i % 4096) as u16),
+            mac_bytes: payload + 28,
+            payload_bytes: payload,
+            signal_dbm: -60,
+            duration_us: 314,
+        });
+        t += 314;
+        out.push(FrameRecord {
+            timestamp_us: t,
+            kind: FrameKind::Ack,
+            rate: Rate::R1,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(src),
+            src: None,
+            bssid: None,
+            retry: false,
+            seq: None,
+            mac_bytes: 14,
+            payload_bytes: 0,
+            signal_dbm: -60,
+            duration_us: 0,
+        });
+        if i % 25 == 0 {
+            t += 400;
+            out.push(FrameRecord {
+                timestamp_us: t,
+                kind: FrameKind::Beacon,
+                rate: Rate::R1,
+                channel: Channel::new(1).unwrap(),
+                dst: MacAddr::BROADCAST,
+                src: Some(MacAddr::from_id(200)),
+                bssid: Some(MacAddr::from_id(200)),
+                retry: false,
+                seq: Some(0),
+                mac_bytes: 57,
+                payload_bytes: 0,
+                signal_dbm: -50,
+                duration_us: 0,
+            });
+        }
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_cbt(c: &mut Criterion) {
+    let trace = synthetic_trace(10_000);
+    let mut g = c.benchmark_group("cbt");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("cbt_us_10k_frames", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for r in &trace {
+                total += cbt_us(black_box(r));
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut g = c.benchmark_group("analyze");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("analyze_100k_frames", |b| {
+        b.iter(|| black_box(analyze(black_box(&trace))))
+    });
+    g.finish();
+}
+
+fn bench_bins(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let stats = analyze(&trace);
+    c.bench_function("utilization_bins", |b| {
+        b.iter(|| black_box(UtilizationBins::build(black_box(&stats))))
+    });
+}
+
+fn bench_unrecorded(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut g = c.benchmark_group("unrecorded");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("estimate_100k_frames", |b| {
+        b.iter(|| black_box(estimate_unrecorded(black_box(&trace))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cbt,
+    bench_analyze,
+    bench_bins,
+    bench_unrecorded
+);
+criterion_main!(benches);

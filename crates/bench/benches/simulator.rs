@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the DCF simulator: events per wall-second for a
+//! saturated single cell and for an IETF-style multi-AP channel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ietf_workloads::load_ramp;
+use wifi_frames::phy::Rate;
+use wifi_sim::geometry::Pos;
+use wifi_sim::rate::RateAdaptation;
+use wifi_sim::sniffer::SnifferConfig;
+use wifi_sim::station::RtsPolicy;
+use wifi_sim::traffic::TrafficProfile;
+use wifi_sim::{ClientConfig, SimConfig, Simulator};
+
+fn saturated_cell(seed: u64, clients: usize) -> Simulator {
+    let mut sim = Simulator::new(SimConfig {
+        seed,
+        record_ground_truth: false,
+        ..SimConfig::default()
+    });
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    for i in 0..clients {
+        let angle = i as f64;
+        sim.add_client(ClientConfig {
+            pos: Pos::new(10.0 * angle.cos(), 10.0 * angle.sin()),
+            channel_idx: 0,
+            rts_policy: RtsPolicy::Never,
+            adaptation: RateAdaptation::Arf(Rate::R11),
+            traffic: TrafficProfile::symmetric(50.0),
+            join_at_us: 0,
+            leave_at_us: None,
+            power_save_interval_us: None,
+            frag_threshold: None,
+        });
+    }
+    sim.add_sniffer(SnifferConfig::default());
+    sim
+}
+
+fn bench_saturated_second(c: &mut Criterion) {
+    c.bench_function("sim_saturated_cell_20sta_1s", |b| {
+        b.iter(|| {
+            let mut sim = saturated_cell(7, 20);
+            sim.run_until(1_000_000);
+            black_box(sim.sniffers()[0].trace.len())
+        })
+    });
+}
+
+fn bench_ietf_ramp_10s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("ietf_ramp_100users_10s", |b| {
+        b.iter(|| {
+            let scenario = load_ramp(9, 100, 10, 2.0);
+            let result = scenario.run();
+            black_box(result.traces[0].len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_saturated_second, bench_ietf_ramp_10s);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Ablation A6: dynamic channel assignment.
+//!
+//! The venue's Airespace controller switched AP channels to balance load
+//! (Section 4.1 of the paper; details proprietary). This ablation builds a
+//! deliberately imbalanced network — every AP and user piled onto channel 1
+//! — and compares static assignment against the published-heuristic stand-in
+//! (periodic least-loaded-channel switching with hysteresis).
+
+use congestion::analyze;
+use congestion_bench::{print_series, scaled};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wifi_frames::phy::Rate;
+use wifi_sim::config::ChannelMgmt;
+use wifi_sim::geometry::Pos;
+use wifi_sim::rate::RateAdaptation;
+use wifi_sim::sniffer::SnifferConfig;
+use wifi_sim::station::RtsPolicy;
+use wifi_sim::traffic::{FlowConfig, SizeDist, TrafficProfile};
+use wifi_sim::{ClientConfig, SimConfig, Simulator};
+
+fn run(mgmt: Option<ChannelMgmt>, users: usize, duration_s: u64) -> (Vec<usize>, Vec<f64>, u64) {
+    let mut rng = SmallRng::seed_from_u64(0xA6);
+    let mut sim = Simulator::new(SimConfig {
+        seed: 0xA6,
+        channel_mgmt: mgmt,
+        radio: ietf_workloads::ietf_radio(0xA6),
+        ..SimConfig::ietf_three_channels(0xA6)
+    });
+    // Three APs, all initially crowded onto channel index 0.
+    sim.add_ap(Pos::new(16.0, 18.0), 0, 6);
+    sim.add_ap(Pos::new(32.0, 18.0), 0, 6);
+    sim.add_ap(Pos::new(48.0, 18.0), 0, 6);
+    for _ in 0..users {
+        let pos = Pos::new(rng.gen_range(0.0..64.0), rng.gen_range(0.0..36.0));
+        sim.add_client(ClientConfig {
+            pos,
+            channel_idx: 0,
+            rts_policy: RtsPolicy::Never,
+            adaptation: RateAdaptation::Arf(Rate::R11),
+            traffic: TrafficProfile {
+                uplink: FlowConfig::bursty(0.4, SizeDist::ietf_mix(), 20.0),
+                downlink: FlowConfig::bursty(4.0, SizeDist::ietf_mix(), 25.0),
+            },
+            join_at_us: rng.gen_range(0..5_000_000),
+            leave_at_us: None,
+            power_save_interval_us: None,
+            frag_threshold: None,
+        });
+    }
+    for ch in 0..3 {
+        sim.add_sniffer(SnifferConfig {
+            pos: Pos::new(30.0, 17.0),
+            channel_idx: ch,
+            ..SnifferConfig::default()
+        });
+    }
+    sim.run_until(duration_s * 1_000_000);
+    let ap_channels: Vec<usize> = sim
+        .stations()
+        .iter()
+        .filter(|s| s.is_ap())
+        .map(|s| s.channel_idx)
+        .collect();
+    let goodputs: Vec<f64> = (0..3)
+        .map(|ch| {
+            let stats = analyze(&sim.sniffers()[ch].trace);
+            let n = stats.len().max(1) as f64;
+            stats.iter().map(|s| s.goodput_mbps()).sum::<f64>() / n
+        })
+        .collect();
+    let delivered: u64 = sim.stations().iter().map(|s| s.stats.delivered).sum();
+    (ap_channels, goodputs, delivered)
+}
+
+fn main() {
+    let users = scaled(120, 30) as usize;
+    let duration = scaled(240, 30);
+    let mut rows = Vec::new();
+    for (name, mgmt) in [
+        ("static", None),
+        (
+            "dynamic",
+            Some(ChannelMgmt {
+                eval_interval_us: 10_000_000,
+                switch_ratio: 1.5,
+                follow_delay_max_us: 500_000,
+            }),
+        ),
+    ] {
+        let (channels, goodputs, delivered) = run(mgmt, users, duration);
+        rows.push(vec![
+            name.to_string(),
+            format!("{channels:?}"),
+            format!("{:.2}", goodputs[0]),
+            format!("{:.2}", goodputs[1]),
+            format!("{:.2}", goodputs[2]),
+            format!("{:.2}", goodputs.iter().sum::<f64>()),
+            delivered.to_string(),
+        ]);
+    }
+    print_series(
+        "A6: dynamic channel assignment on a ch1-pile-up network",
+        &[
+            "assignment",
+            "final AP channels",
+            "ch1 Mbps",
+            "ch6 Mbps",
+            "ch11 Mbps",
+            "total Mbps",
+            "delivered",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: the dynamic controller spreads APs over the three orthogonal \
+         channels, multiplying usable capacity — the behaviour the paper observed \
+         (\"trafc was fairly well distributed between the three orthogonal channels\")."
+    );
+}

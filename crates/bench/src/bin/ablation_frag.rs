@@ -1,0 +1,103 @@
+//! Ablation A7: fragmentation threshold under error-prone channels.
+//!
+//! The paper's related work (Modiano \[16\], Torrent-Moreno et al. \[20\])
+//! optimizes frame sizes for high-bit-error environments. With the MAC's
+//! own fragmentation implemented, this ablation sweeps the threshold on a
+//! strongly-fading channel and on a clean one: fragmentation should help
+//! when bit errors kill long frames, and only add overhead when they don't.
+
+use congestion_bench::{print_series, scaled};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wifi_frames::phy::Rate;
+use wifi_sim::geometry::Pos;
+use wifi_sim::radio::{Fading, RadioConfig};
+use wifi_sim::rate::RateAdaptation;
+use wifi_sim::station::RtsPolicy;
+use wifi_sim::traffic::{FlowConfig, SizeDist, TrafficProfile};
+use wifi_sim::{ClientConfig, SimConfig, Simulator};
+
+fn run(fading: Fading, frag: Option<u32>, duration_s: u64) -> (u64, u64, f64) {
+    let mut rng = SmallRng::seed_from_u64(0xA7);
+    let mut sim = Simulator::new(SimConfig {
+        seed: 0xA7,
+        radio: RadioConfig {
+            tx_power_dbm: 13.0,
+            pathloss_exp: 3.5,
+            fading,
+            ..RadioConfig::default()
+        },
+        ..SimConfig::default()
+    });
+    sim.add_ap(Pos::new(32.0, 18.0), 0, 6);
+    for _ in 0..20 {
+        let pos = Pos::new(rng.gen_range(10.0..54.0), rng.gen_range(6.0..30.0));
+        sim.add_client(ClientConfig {
+            pos,
+            channel_idx: 0,
+            rts_policy: RtsPolicy::Never,
+            adaptation: RateAdaptation::Fixed(Rate::R11),
+            traffic: TrafficProfile {
+                uplink: FlowConfig::poisson(8.0, SizeDist::fixed(1472)),
+                downlink: FlowConfig::off(),
+            },
+            join_at_us: 0,
+            leave_at_us: None,
+            power_save_interval_us: None,
+            frag_threshold: frag,
+        });
+    }
+    sim.run_until(duration_s * 1_000_000);
+    let delivered: u64 = sim
+        .stations()
+        .iter()
+        .filter(|s| !s.is_ap())
+        .map(|s| s.stats.delivered.saturating_sub(1)) // minus the assoc MSDU
+        .sum();
+    let drops: u64 = sim.stations().iter().map(|s| s.stats.retry_drops).sum();
+    let goodput_mbps = delivered as f64 * 1472.0 * 8.0 / (duration_s as f64 * 1e6);
+    (delivered, drops, goodput_mbps)
+}
+
+fn main() {
+    let duration = scaled(120, 20);
+    let mut rows = Vec::new();
+    for (env, fading) in [
+        ("clean", Fading::NONE),
+        (
+            "fading σ=10dB",
+            Fading {
+                sigma_db: 10.0,
+                coherence_us: 2_000_000,
+                seed: 7,
+            },
+        ),
+    ] {
+        for frag in [None, Some(750), Some(400)] {
+            let (delivered, drops, goodput) = run(fading, frag, duration);
+            rows.push(vec![
+                env.to_string(),
+                frag.map(|t| t.to_string()).unwrap_or_else(|| "off".into()),
+                delivered.to_string(),
+                drops.to_string(),
+                format!("{goodput:.2}"),
+            ]);
+        }
+    }
+    print_series(
+        "A7: fragmentation threshold × channel quality (20 stations, 1472 B MSDUs)",
+        &[
+            "channel",
+            "frag threshold",
+            "MSDUs delivered",
+            "retry drops",
+            "goodput Mbps",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: on the clean channel fragmentation only spends air time on \
+         extra headers and ACKs; under deep fading, smaller fragments survive \
+         error bursts that destroy full-MTU frames (the Modiano effect)."
+    );
+}

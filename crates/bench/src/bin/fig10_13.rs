@@ -1,0 +1,65 @@
+//! Figures 10–13: average data frames transmitted per second by size class
+//! and rate, versus channel utilization (Section 6.3).
+//!
+//! * Fig 10 — small frames at each rate (S-11 dominates);
+//! * Fig 11 — extra-large frames at each rate (XL-11 dominates);
+//! * Fig 12 — 1 Mbps frames of each size class (S-1 above XL-1, both rising
+//!   under congestion);
+//! * Fig 13 — 11 Mbps frames of each size class.
+
+use congestion::SizeClass;
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+
+fn main() {
+    let seconds = figure_dataset();
+    let bins = bins_of(&seconds);
+    let us = occupied_bins(&bins);
+
+    // Figs 10 & 11: one size class across rates.
+    for (fig, size, label) in [
+        ("Fig 10", SizeClass::Small, "small (S)"),
+        ("Fig 11", SizeClass::ExtraLarge, "extra-large (XL)"),
+    ] {
+        let si = size.index();
+        let rows: Vec<Vec<String>> = us
+            .iter()
+            .map(|&u| {
+                let b = bins.bin(u);
+                vec![
+                    u.to_string(),
+                    format!("{:.1}", b.mean_tx_per_sec(si, 0)),
+                    format!("{:.1}", b.mean_tx_per_sec(si, 1)),
+                    format!("{:.1}", b.mean_tx_per_sec(si, 2)),
+                    format!("{:.1}", b.mean_tx_per_sec(si, 3)),
+                ]
+            })
+            .collect();
+        print_series(
+            &format!("{fig}: {label} data frames per second at each rate"),
+            &["utilization %", "-1", "-2", "-5.5", "-11"],
+            &rows,
+        );
+    }
+
+    // Figs 12 & 13: one rate across size classes.
+    for (fig, rate_idx, label) in [("Fig 12", 0usize, "1 Mbps"), ("Fig 13", 3, "11 Mbps")] {
+        let rows: Vec<Vec<String>> = us
+            .iter()
+            .map(|&u| {
+                let b = bins.bin(u);
+                vec![
+                    u.to_string(),
+                    format!("{:.1}", b.mean_tx_per_sec(0, rate_idx)),
+                    format!("{:.1}", b.mean_tx_per_sec(1, rate_idx)),
+                    format!("{:.1}", b.mean_tx_per_sec(2, rate_idx)),
+                    format!("{:.1}", b.mean_tx_per_sec(3, rate_idx)),
+                ]
+            })
+            .collect();
+        print_series(
+            &format!("{fig}: {label} data frames per second in each size class"),
+            &["utilization %", "S", "M", "L", "XL"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 14: average data frames successfully acknowledged per second at
+//! their first transmission attempt, by rate, versus channel utilization
+//! (Section 6.4). The paper sees 11 Mbps dip across 80–84% (contention)
+//! then recover under high congestion.
+
+use congestion::persec::SecondStats;
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+
+fn main() {
+    let seconds = figure_dataset();
+    let bins = bins_of(&seconds);
+    let rows: Vec<Vec<String>> = occupied_bins(&bins)
+        .into_iter()
+        .map(|u| {
+            let f = bins.bin(u).mean_first_ack_by_rate();
+            vec![
+                u.to_string(),
+                format!("{:.1}", f[0]),
+                format!("{:.1}", f[1]),
+                format!("{:.1}", f[2]),
+                format!("{:.1}", f[3]),
+            ]
+        })
+        .collect();
+    print_series(
+        "Fig 14: data frames acknowledged at first attempt per second, by rate",
+        &["utilization %", "1 Mbps", "2 Mbps", "5.5 Mbps", "11 Mbps"],
+        &rows,
+    );
+
+    // Companion series (extension): the retransmission rate the paper
+    // attributes the Figs 12–13 growth to, measured directly.
+    let mut per_bin: Vec<(u64, u64)> = vec![(0, 0); 101];
+    let clamp = |s: &SecondStats| s.utilization_pct().round().clamp(0.0, 100.0) as usize;
+    for s in &seconds {
+        let u = clamp(s);
+        per_bin[u].0 += s.retries;
+        per_bin[u].1 += 1;
+    }
+    let rows: Vec<Vec<String>> = occupied_bins(&bins)
+        .into_iter()
+        .map(|u| {
+            let (r, n) = per_bin[u];
+            vec![u.to_string(), format!("{:.1}", r as f64 / n.max(1) as f64)]
+        })
+        .collect();
+    print_series(
+        "Extension: data-frame retransmissions per second vs utilization",
+        &["utilization %", "retries/s"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 15: acceptance delay (seconds) for S-1, XL-1, S-11 and XL-11
+//! frames versus channel utilization (Section 6.5). The paper's key
+//! observation: 1 Mbps frames suffer larger acceptance delays than 11 Mbps
+//! frames *regardless of size* — S-1 is slower than XL-11.
+
+use congestion::SizeClass;
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+
+fn main() {
+    let seconds = figure_dataset();
+    let bins = bins_of(&seconds);
+    let cats = [
+        ("S-1", SizeClass::Small.index(), 0usize),
+        ("XL-1", SizeClass::ExtraLarge.index(), 0),
+        ("S-11", SizeClass::Small.index(), 3),
+        ("XL-11", SizeClass::ExtraLarge.index(), 3),
+    ];
+    let rows: Vec<Vec<String>> = occupied_bins(&bins)
+        .into_iter()
+        .map(|u| {
+            let b = bins.bin(u);
+            let mut row = vec![u.to_string()];
+            for &(_, si, ri) in &cats {
+                row.push(
+                    b.mean_acceptance_delay_s(si, ri)
+                        .map(|d| format!("{d:.4}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    print_series(
+        "Fig 15: acceptance delay (s) vs utilization (paper: S-1 and XL-1 >> S-11, XL-11; S-1 > XL-11)",
+        &["utilization %", "S-1", "XL-1", "S-11", "XL-11"],
+        &rows,
+    );
+
+    // The headline inequality over high-congestion bins.
+    let mut agg = [congestion::DelayAgg::default(); 4];
+    for u in occupied_bins(&bins).into_iter().filter(|&u| u >= 80) {
+        let b = bins.bin(u);
+        for (i, &(_, si, ri)) in cats.iter().enumerate() {
+            agg[i].merge(&b.acc_delay[si][ri]);
+        }
+    }
+    println!();
+    for (i, &(name, _, _)) in cats.iter().enumerate() {
+        if let Some(d) = agg[i].mean_seconds() {
+            println!(
+                "mean acceptance delay at ≥80% utilization, {name}: {d:.4} s ({} samples)",
+                agg[i].count
+            );
+        }
+    }
+}

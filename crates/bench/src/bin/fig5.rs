@@ -1,0 +1,52 @@
+//! Figure 5: (a, b) per-channel utilization time series for the day and
+//! plenary sessions, (c) the frequency distribution of utilization values.
+
+use congestion::analyze;
+use congestion::bins::UtilizationBins;
+use congestion_bench::{print_series, session_results};
+use ietf_workloads::ScenarioResult;
+
+fn report(result: &ScenarioResult) -> UtilizationBins {
+    let name = &result.name;
+    let mut all_seconds = Vec::new();
+    for (ch, trace) in result.traces.iter().enumerate() {
+        let stats = analyze(trace);
+        // Time series, decimated to every 10 s for terminal readability.
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .step_by(10)
+            .map(|s| vec![s.second.to_string(), format!("{:.1}", s.utilization_pct())])
+            .collect();
+        print_series(
+            &format!(
+                "Fig 5({}) [{name} ch{ch}]: utilization time series (every 10th second)",
+                if name == "day" { "a" } else { "b" }
+            ),
+            &["second", "utilization %"],
+            &rows,
+        );
+        all_seconds.extend(stats);
+    }
+    UtilizationBins::build(&all_seconds)
+}
+
+fn main() {
+    let (day, plenary) = session_results();
+    let day_bins = report(&day);
+    let plenary_bins = report(&plenary);
+
+    for (name, bins, paper_mode) in [("day", &day_bins, 55), ("plenary", &plenary_bins, 86)] {
+        let rows: Vec<Vec<String>> = bins
+            .histogram()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(u, n)| vec![u.to_string(), n.to_string()])
+            .collect();
+        print_series(
+            &format!("Fig 5(c) [{name}]: seconds per utilization percentage"),
+            &["utilization %", "seconds"],
+            &rows,
+        );
+        println!("mode: {:?} (paper: ≈{paper_mode}%)", bins.mode());
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 1: the two sets of IETF wireless network data.
+
+use congestion_bench::print_series;
+use ietf_workloads::table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.date.to_string(),
+                r.channel.to_string(),
+                r.time.to_string(),
+            ]
+        })
+        .collect();
+    print_series(
+        "Table 1: The two sets of IETF wireless network data",
+        &["Data set", "Day", "Ch", "Time"],
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Table 2: delay components in microseconds, as implemented by
+//! `wifi_frames::timing` — printed from the code so the table can never
+//! drift from the implementation.
+
+use congestion_bench::print_series;
+use wifi_frames::phy::Rate;
+use wifi_frames::timing::{data_airtime_us, delay};
+
+fn main() {
+    let rows = vec![
+        vec!["DIFS".into(), delay::DIFS.to_string()],
+        vec!["SIFS".into(), delay::SIFS.to_string()],
+        vec!["RTS".into(), delay::RTS.to_string()],
+        vec!["CTS".into(), delay::CTS.to_string()],
+        vec!["ACK".into(), delay::ACK.to_string()],
+        vec!["BEACON".into(), delay::BEACON.to_string()],
+        vec!["BO".into(), delay::BO.to_string()],
+        vec!["PLCP".into(), delay::PLCP.to_string()],
+        vec!["DATA(size)(rate)".into(), "PLCP + 8*(34+size)/rate".into()],
+    ];
+    print_series(
+        "Table 2: Delay components (microseconds)",
+        &["Component", "Delay (µs)"],
+        &rows,
+    );
+
+    // Spot checks of the DATA formula at the class boundaries.
+    let mut rows = Vec::new();
+    for size in [64u64, 400, 800, 1200, 1472] {
+        let mut row = vec![size.to_string()];
+        for rate in Rate::ALL {
+            row.push(data_airtime_us(size, rate).to_string());
+        }
+        rows.push(row);
+    }
+    print_series(
+        "D_DATA(size)(rate) examples (µs)",
+        &["payload B", "1 Mbps", "2 Mbps", "5.5 Mbps", "11 Mbps"],
+        &rows,
+    );
+}

@@ -1,0 +1,132 @@
+//! # congestion-bench
+//!
+//! The figure-regeneration harness: one binary per table/figure of the
+//! paper, plus ablation studies, all built on a shared dataset pipeline.
+//!
+//! Run any target with
+//! `cargo run -p congestion-bench --release --bin <target>`:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — the two data sets |
+//! | `table2` | Table 2 — delay components |
+//! | `fig4` | Fig 4(a) per-AP frames, 4(b) users, 4(c) unrecorded % |
+//! | `fig5` | Fig 5(a,b) utilization time series, 5(c) histogram |
+//! | `fig6` | Fig 6 — throughput & goodput vs utilization |
+//! | `fig7` | Fig 7 — RTS/CTS frames per second vs utilization |
+//! | `fig8_9` | Figs 8–9 — per-rate busy time and bytes vs utilization |
+//! | `fig10_13` | Figs 10–13 — frame counts by size × rate vs utilization |
+//! | `fig14` | Fig 14 — first-attempt acknowledgments vs utilization |
+//! | `fig15` | Fig 15 — acceptance delay vs utilization |
+//! | `ablation_rate` | A1 — rate-adaptation algorithms under congestion |
+//! | `ablation_rtscts` | A2 — RTS/CTS adoption and fairness |
+//! | `ablation_knee` | A3 — knee stability across workloads/seeds |
+//! | `ablation_unrecorded` | A4 — estimator accuracy vs ground truth |
+//! | `ablation_beacon` | A5 — beacon-reliability metric vs busy-time |
+//!
+//! Set `CONG_QUICK=1` to shrink runs for smoke-testing.
+
+#![warn(missing_docs)]
+
+use congestion::persec::SecondStats;
+use congestion::{analyze, UtilizationBins};
+use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, ScenarioResult, SessionScale};
+
+/// True when the `CONG_QUICK` environment variable asks for smoke-scale
+/// runs.
+pub fn quick() -> bool {
+    std::env::var("CONG_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// Scales a count down in quick mode.
+pub fn scaled(full: u64, quick_value: u64) -> u64 {
+    if quick() {
+        quick_value
+    } else {
+        full
+    }
+}
+
+/// The pooled per-second dataset behind Figures 6–15: load-ramp sweeps (to
+/// populate every utilization bin) plus the day and plenary sessions —
+/// mirroring the paper's pooling of both sessions.
+pub fn figure_dataset() -> Vec<SecondStats> {
+    let mut seconds = Vec::new();
+    let ramp_users = scaled(320, 60) as usize;
+    let ramp_dur = scaled(700, 60);
+    for seed in [11u64, 12, 13] {
+        let result = load_ramp(seed, ramp_users, ramp_dur, 1.7).run();
+        seconds.extend(analyze(&result.traces[0]));
+        if quick() {
+            break;
+        }
+    }
+    let mut day = SessionScale::day_default(21);
+    let mut plenary = SessionScale::plenary_default(22);
+    if quick() {
+        day.users = 40;
+        day.duration_s = 20;
+        plenary.users = 40;
+        plenary.duration_s = 20;
+    }
+    for result in [ietf_day(day).run(), ietf_plenary(plenary).run()] {
+        for trace in &result.traces {
+            seconds.extend(analyze(trace));
+        }
+    }
+    seconds
+}
+
+/// Runs the two sessions and returns their results (Figure 4 / 5 inputs).
+pub fn session_results() -> (ScenarioResult, ScenarioResult) {
+    let mut day = SessionScale::day_default(21);
+    let mut plenary = SessionScale::plenary_default(22);
+    if quick() {
+        day.users = 40;
+        day.duration_s = 20;
+        plenary.users = 40;
+        plenary.duration_s = 20;
+    }
+    (ietf_day(day).run(), ietf_plenary(plenary).run())
+}
+
+/// Builds utilization bins over a pooled dataset.
+pub fn bins_of(seconds: &[SecondStats]) -> UtilizationBins {
+    UtilizationBins::build(seconds)
+}
+
+/// Prints a table header followed by rows, aligning on tabs for easy
+/// copy-paste into plotting tools.
+pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// The utilization bins the paper's figures plot (30–99 %), restricted to
+/// bins with enough seconds to average meaningfully.
+pub fn occupied_bins(bins: &UtilizationBins) -> Vec<usize> {
+    bins.occupied()
+        .filter(|&(u, b)| (30..=99).contains(&u) && b.seconds >= 2)
+        .map(|(u, _)| u)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_env_parsing() {
+        // Not set in the test environment unless the harness set it.
+        let _ = quick();
+        assert_eq!(scaled(100, 5), if quick() { 5 } else { 100 });
+    }
+
+    #[test]
+    fn print_series_smoke() {
+        print_series("test", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-AP traffic accounting — Figures 4(a) and 4(c) of the paper.
+//!
+//! APs are identified from the trace itself (the BSSID of beacon frames),
+//! exactly as an offline analysis of an anonymous capture must do. Each AP
+//! is then credited with every data and control frame it sent or received.
+
+use crate::unrecorded::UnrecordedEstimate;
+use std::collections::{HashMap, HashSet};
+use wifi_frames::mac::MacAddr;
+use wifi_frames::record::FrameRecord;
+
+/// Identifies access points: any station whose MAC appears as the BSSID of
+/// a captured beacon.
+pub fn infer_aps(records: &[FrameRecord]) -> HashSet<MacAddr> {
+    records
+        .iter()
+        .filter(|r| r.kind == wifi_frames::fc::FrameKind::Beacon)
+        .filter_map(|r| r.bssid)
+        .collect()
+}
+
+/// One AP's activity summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApActivity {
+    /// The AP's MAC.
+    pub mac: MacAddr,
+    /// Frames sent or received by the AP (data + control + management).
+    pub frames: u64,
+}
+
+/// Frames sent and received per AP, ranked most-active first (Fig 4a).
+pub fn rank_aps(records: &[FrameRecord], aps: &HashSet<MacAddr>) -> Vec<ApActivity> {
+    let mut counts: HashMap<MacAddr, u64> = aps.iter().map(|&m| (m, 0)).collect();
+    for r in records {
+        if let Some(src) = r.src {
+            if let Some(c) = counts.get_mut(&src) {
+                *c += 1;
+            }
+        }
+        if let Some(c) = counts.get_mut(&r.dst) {
+            *c += 1;
+        }
+    }
+    let mut out: Vec<ApActivity> = counts
+        .into_iter()
+        .map(|(mac, frames)| ApActivity { mac, frames })
+        .collect();
+    // Most active first; MAC as a deterministic tiebreak.
+    out.sort_by(|a, b| b.frames.cmp(&a.frames).then(a.mac.cmp(&b.mac)));
+    out
+}
+
+/// The share of all AP-attributed frames carried by the `k` most active APs
+/// (the paper: top 15 carried 90.33 % during the day, 95.37 % during the
+/// plenary).
+pub fn top_k_share(ranked: &[ApActivity], k: usize) -> f64 {
+    let total: u64 = ranked.iter().map(|a| a.frames).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let top: u64 = ranked.iter().take(k).map(|a| a.frames).sum();
+    top as f64 / total as f64 * 100.0
+}
+
+/// Fig 4(c): unrecorded percentage for each ranked AP, in rank order.
+pub fn unrecorded_by_rank(
+    ranked: &[ApActivity],
+    estimate: &UnrecordedEstimate,
+) -> Vec<(MacAddr, f64)> {
+    ranked
+        .iter()
+        .map(|a| {
+            let pct = estimate
+                .per_node
+                .get(&a.mac)
+                .map(|n| n.unrecorded_pct())
+                .unwrap_or(0.0);
+            (a.mac, pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::fc::FrameKind;
+    use wifi_frames::phy::{Channel, Rate};
+    use wifi_frames::timing::Micros;
+
+    fn rec(
+        kind: FrameKind,
+        ts: Micros,
+        src: Option<u32>,
+        dst: u32,
+        bssid: Option<u32>,
+    ) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts,
+            kind,
+            rate: Rate::R1,
+            channel: Channel::new(1).unwrap(),
+            dst: if dst == 0xffff {
+                MacAddr::BROADCAST
+            } else {
+                MacAddr::from_id(dst)
+            },
+            src: src.map(MacAddr::from_id),
+            bssid: bssid.map(MacAddr::from_id),
+            retry: false,
+            seq: Some(0),
+            mac_bytes: 100,
+            payload_bytes: 72,
+            signal_dbm: -60,
+            duration_us: 0,
+        }
+    }
+
+    fn beacon(ap: u32, ts: Micros) -> FrameRecord {
+        rec(FrameKind::Beacon, ts, Some(ap), 0xffff, Some(ap))
+    }
+
+    #[test]
+    fn aps_inferred_from_beacons() {
+        let recs = vec![
+            beacon(10, 0),
+            beacon(11, 100),
+            beacon(10, 200),
+            rec(FrameKind::Data, 300, Some(1), 10, Some(10)),
+        ];
+        let aps = infer_aps(&recs);
+        assert_eq!(aps.len(), 2);
+        assert!(aps.contains(&MacAddr::from_id(10)));
+        assert!(aps.contains(&MacAddr::from_id(11)));
+        assert!(!aps.contains(&MacAddr::from_id(1)));
+    }
+
+    #[test]
+    fn ranking_counts_sent_and_received() {
+        let recs = vec![
+            beacon(10, 0),                                    // ap10 sends
+            beacon(11, 100),                                  // ap11 sends
+            rec(FrameKind::Data, 200, Some(1), 10, Some(10)), // to ap10
+            rec(FrameKind::Data, 300, Some(10), 1, Some(10)), // from ap10
+            rec(FrameKind::Ack, 400, None, 10, None),         // ack to ap10
+        ];
+        let aps = infer_aps(&recs);
+        let ranked = rank_aps(&recs, &aps);
+        assert_eq!(ranked[0].mac, MacAddr::from_id(10));
+        assert_eq!(ranked[0].frames, 4); // beacon + rx data + tx data + ack
+        assert_eq!(ranked[1].frames, 1); // just its beacon
+    }
+
+    #[test]
+    fn top_k_share_math() {
+        let ranked = vec![
+            ApActivity {
+                mac: MacAddr::from_id(1),
+                frames: 90,
+            },
+            ApActivity {
+                mac: MacAddr::from_id(2),
+                frames: 10,
+            },
+        ];
+        assert!((top_k_share(&ranked, 1) - 90.0).abs() < 1e-9);
+        assert!((top_k_share(&ranked, 2) - 100.0).abs() < 1e-9);
+        assert_eq!(top_k_share(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let recs = vec![beacon(20, 0), beacon(21, 100)];
+        let aps = infer_aps(&recs);
+        let a = rank_aps(&recs, &aps);
+        let b = rank_aps(&recs, &aps);
+        assert_eq!(a, b);
+        assert_eq!(a[0].mac, MacAddr::from_id(20), "tie broken by MAC");
+    }
+}

@@ -1,0 +1,140 @@
+//! The beacon-reliability congestion metric from the authors' prior work
+//! (reference \[10\] of the paper) — implemented as a comparison baseline for
+//! the busy-time metric (ablation A5 in DESIGN.md).
+//!
+//! Idea: APs beacon at a fixed cadence (every 102.4 ms ⇒ ~9.77 per second),
+//! so the fraction of expected beacons that actually arrive at a sniffer is
+//! a passive congestion signal: collisions and deferral suppress or delay
+//! beacons as the channel saturates.
+
+use std::collections::{HashMap, HashSet};
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::SECOND;
+
+/// Expected beacons per AP per second at the standard 100 TU interval.
+pub const EXPECTED_BEACONS_PER_SEC: f64 = 1e6 / 102_400.0;
+
+/// Per-second beacon reliability: received beacons over expected beacons,
+/// clamped to 1.0. `aps` is the set of AP MACs expected to beacon.
+///
+/// Returns `(second, reliability)` for every second in the observed span.
+pub fn reliability_per_second(records: &[FrameRecord], aps: &HashSet<MacAddr>) -> Vec<(u64, f64)> {
+    if records.is_empty() || aps.is_empty() {
+        return Vec::new();
+    }
+    let first = records.first().expect("nonempty").timestamp_us / SECOND;
+    let last = records.last().expect("nonempty").timestamp_us / SECOND;
+    let mut per_sec: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        if r.kind == FrameKind::Beacon {
+            if let Some(bssid) = r.bssid {
+                if aps.contains(&bssid) {
+                    *per_sec.entry(r.timestamp_us / SECOND).or_default() += 1;
+                }
+            }
+        }
+    }
+    let expected = EXPECTED_BEACONS_PER_SEC * aps.len() as f64;
+    (first..=last)
+        .map(|s| {
+            let got = *per_sec.get(&s).unwrap_or(&0) as f64;
+            (s, (got / expected).min(1.0))
+        })
+        .collect()
+}
+
+/// Pearson correlation between two equal-length series; `None` when either
+/// side is degenerate (fewer than two points or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::phy::{Channel, Rate};
+
+    fn beacon(ts_us: u64, ap: u32) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts_us,
+            kind: FrameKind::Beacon,
+            rate: Rate::R1,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::BROADCAST,
+            src: Some(MacAddr::from_id(ap)),
+            bssid: Some(MacAddr::from_id(ap)),
+            retry: false,
+            seq: Some(0),
+            mac_bytes: 57,
+            payload_bytes: 0,
+            signal_dbm: -50,
+            duration_us: 0,
+        }
+    }
+
+    #[test]
+    fn full_cadence_is_reliability_one() {
+        let aps = HashSet::from([MacAddr::from_id(1)]);
+        // 10 beacons in one second ≥ expected 9.77.
+        let recs: Vec<FrameRecord> = (0..10).map(|i| beacon(i * 100_000, 1)).collect();
+        let rel = reliability_per_second(&recs, &aps);
+        assert_eq!(rel.len(), 1);
+        assert!((rel[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_beacons_lower_reliability() {
+        let aps = HashSet::from([MacAddr::from_id(1)]);
+        // Only 5 of ~9.77 expected.
+        let recs: Vec<FrameRecord> = (0..5).map(|i| beacon(i * 100_000, 1)).collect();
+        let rel = reliability_per_second(&recs, &aps);
+        assert!((rel[0].1 - 5.0 / EXPECTED_BEACONS_PER_SEC).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_beacons_ignored() {
+        let aps = HashSet::from([MacAddr::from_id(1)]);
+        let recs: Vec<FrameRecord> = (0..10).map(|i| beacon(i * 100_000, 2)).collect();
+        let rel = reliability_per_second(&recs, &aps);
+        assert_eq!(rel[0].1, 0.0);
+    }
+
+    #[test]
+    fn span_covers_quiet_seconds() {
+        let aps = HashSet::from([MacAddr::from_id(1)]);
+        let recs = vec![beacon(0, 1), beacon(3_000_000, 1)];
+        let rel = reliability_per_second(&recs, &aps);
+        assert_eq!(rel.len(), 4);
+        assert_eq!(rel[1].1, 0.0);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+    }
+}

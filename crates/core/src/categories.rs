@@ -1,0 +1,199 @@
+//! The paper's 16 frame categories: four size classes × four data rates
+//! (Section 6).
+//!
+//! Size classes are defined over the *frame* size: small 0–400 B, medium
+//! 401–800 B, large 801–1200 B, extra-large > 1200 B. Category names follow
+//! the paper's `size-rate` convention, e.g. `S-11` and `XL-1`.
+
+use core::fmt;
+use wifi_frames::phy::Rate;
+use wifi_frames::record::FrameRecord;
+
+/// The four frame-size classes of Section 6.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum SizeClass {
+    /// 0–400 bytes: control frames, voice/audio data.
+    Small,
+    /// 401–800 bytes.
+    Medium,
+    /// 801–1200 bytes.
+    Large,
+    /// Over 1200 bytes: file transfer, HTTP, video.
+    ExtraLarge,
+}
+
+impl SizeClass {
+    /// All classes, smallest first.
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::ExtraLarge,
+    ];
+
+    /// Classifies a frame size in bytes.
+    pub const fn of(bytes: u32) -> SizeClass {
+        if bytes <= 400 {
+            SizeClass::Small
+        } else if bytes <= 800 {
+            SizeClass::Medium
+        } else if bytes <= 1200 {
+            SizeClass::Large
+        } else {
+            SizeClass::ExtraLarge
+        }
+    }
+
+    /// Index 0..=3 into [`SizeClass::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            SizeClass::Small => 0,
+            SizeClass::Medium => 1,
+            SizeClass::Large => 2,
+            SizeClass::ExtraLarge => 3,
+        }
+    }
+
+    /// The paper's abbreviation.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            SizeClass::Small => "S",
+            SizeClass::Medium => "M",
+            SizeClass::Large => "L",
+            SizeClass::ExtraLarge => "XL",
+        }
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// One of the paper's 16 size × rate categories.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Category {
+    /// The size class.
+    pub size: SizeClass,
+    /// The data rate.
+    pub rate: Rate,
+}
+
+impl Category {
+    /// The category of a data frame record (uses the full MAC frame size,
+    /// matching the paper's "frame sizes").
+    pub fn of(record: &FrameRecord) -> Category {
+        Category {
+            size: SizeClass::of(record.mac_bytes),
+            rate: record.rate,
+        }
+    }
+
+    /// All 16 categories, size-major then rate order.
+    pub fn all() -> impl Iterator<Item = Category> {
+        SizeClass::ALL.into_iter().flat_map(|size| {
+            Rate::ALL
+                .into_iter()
+                .map(move |rate| Category { size, rate })
+        })
+    }
+
+    /// `(size index, rate index)` for 4×4 count tables.
+    pub fn indices(self) -> (usize, usize) {
+        (self.size.index(), self.rate.index())
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rate = match self.rate {
+            Rate::R1 => "1",
+            Rate::R2 => "2",
+            Rate::R5_5 => "5.5",
+            Rate::R11 => "11",
+        };
+        write!(f, "{}-{}", self.size.abbrev(), rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::fc::FrameKind;
+    use wifi_frames::mac::MacAddr;
+    use wifi_frames::phy::Channel;
+
+    #[test]
+    fn boundaries_match_paper() {
+        assert_eq!(SizeClass::of(0), SizeClass::Small);
+        assert_eq!(SizeClass::of(400), SizeClass::Small);
+        assert_eq!(SizeClass::of(401), SizeClass::Medium);
+        assert_eq!(SizeClass::of(800), SizeClass::Medium);
+        assert_eq!(SizeClass::of(801), SizeClass::Large);
+        assert_eq!(SizeClass::of(1200), SizeClass::Large);
+        assert_eq!(SizeClass::of(1201), SizeClass::ExtraLarge);
+        assert_eq!(SizeClass::of(u32::MAX), SizeClass::ExtraLarge);
+    }
+
+    #[test]
+    fn sixteen_distinct_categories() {
+        let all: Vec<Category> = Category::all().collect();
+        assert_eq!(all.len(), 16);
+        let mut names: Vec<String> = all.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn naming_follows_paper() {
+        let c = Category {
+            size: SizeClass::Small,
+            rate: Rate::R11,
+        };
+        assert_eq!(c.to_string(), "S-11");
+        let c = Category {
+            size: SizeClass::ExtraLarge,
+            rate: Rate::R1,
+        };
+        assert_eq!(c.to_string(), "XL-1");
+        let c = Category {
+            size: SizeClass::Medium,
+            rate: Rate::R5_5,
+        };
+        assert_eq!(c.to_string(), "M-5.5");
+    }
+
+    #[test]
+    fn category_of_record_uses_mac_bytes() {
+        let r = FrameRecord {
+            timestamp_us: 0,
+            kind: FrameKind::Data,
+            rate: Rate::R11,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(1),
+            src: Some(MacAddr::from_id(2)),
+            bssid: None,
+            retry: false,
+            seq: Some(0),
+            mac_bytes: 1500,
+            payload_bytes: 1472,
+            signal_dbm: -50,
+            duration_us: 0,
+        };
+        let c = Category::of(&r);
+        assert_eq!(c.size, SizeClass::ExtraLarge);
+        assert_eq!(c.rate, Rate::R11);
+    }
+
+    #[test]
+    fn indices_cover_4x4() {
+        let mut seen = [[false; 4]; 4];
+        for c in Category::all() {
+            let (s, r) = c.indices();
+            seen[s][r] = true;
+        }
+        assert!(seen.iter().flatten().all(|&b| b));
+    }
+}

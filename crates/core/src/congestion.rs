@@ -1,0 +1,211 @@
+//! Congestion classification — Section 5.3 of the paper.
+//!
+//! The paper defines three congestion classes from the throughput/goodput
+//! saturation behaviour: *uncongested* below 30 % utilization, *moderately
+//! congested* between 30 % and the throughput knee, and *highly congested*
+//! above the knee (84 % at the IETF). [`find_knee`] recovers the knee from
+//! a measured throughput-vs-utilization curve the same way the paper did:
+//! the utilization at which smoothed throughput peaks before collapsing.
+
+use crate::bins::UtilizationBins;
+use serde::{Deserialize, Serialize};
+
+/// The three congestion classes of Section 5.3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CongestionLevel {
+    /// Below the low threshold (30 % at the IETF).
+    Uncongested,
+    /// Between the thresholds.
+    Moderate,
+    /// Above the knee (84 % at the IETF).
+    High,
+}
+
+/// A congestion classifier: two utilization thresholds in percent.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CongestionClassifier {
+    /// Uncongested below this utilization (percent).
+    pub low_pct: f64,
+    /// Highly congested above this utilization (percent).
+    pub high_pct: f64,
+}
+
+impl CongestionClassifier {
+    /// The paper's IETF thresholds: 30 % and 84 %.
+    pub const fn ietf() -> CongestionClassifier {
+        CongestionClassifier {
+            low_pct: 30.0,
+            high_pct: 84.0,
+        }
+    }
+
+    /// Builds a classifier with the paper's 30 % floor and a knee estimated
+    /// from the measured throughput curve. Falls back to the IETF 84 % when
+    /// the curve is too sparse to carry a knee.
+    pub fn from_measurements(bins: &UtilizationBins) -> CongestionClassifier {
+        CongestionClassifier {
+            low_pct: 30.0,
+            high_pct: find_knee(bins).unwrap_or(84.0),
+        }
+    }
+
+    /// Classifies one second's utilization percentage.
+    pub fn classify(&self, utilization_pct: f64) -> CongestionLevel {
+        if utilization_pct < self.low_pct {
+            CongestionLevel::Uncongested
+        } else if utilization_pct <= self.high_pct {
+            CongestionLevel::Moderate
+        } else {
+            CongestionLevel::High
+        }
+    }
+}
+
+impl Default for CongestionClassifier {
+    fn default() -> Self {
+        CongestionClassifier::ietf()
+    }
+}
+
+/// Estimates the congestion knee: the utilization percentage at which the
+/// (smoothed) mean throughput peaks, provided the curve afterwards falls
+/// noticeably — i.e. saturation followed by collapse, the signature of
+/// Fig 6. Returns `None` when there is no post-peak decline (an uncongested
+/// trace has no knee).
+pub fn find_knee(bins: &UtilizationBins) -> Option<f64> {
+    // Collect the occupied part of the curve above the uncongested floor.
+    let curve: Vec<(usize, f64)> = bins
+        .occupied()
+        .filter(|(u, b)| *u >= 30 && b.seconds >= 2)
+        .map(|(u, b)| (u, b.mean_throughput_mbps()))
+        .collect();
+    if curve.len() < 5 {
+        return None;
+    }
+    // Moving-average smoothing over a 5-point window.
+    let smoothed: Vec<(usize, f64)> = curve
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, _))| {
+            let lo = i.saturating_sub(2);
+            let hi = (i + 3).min(curve.len());
+            let window = &curve[lo..hi];
+            let mean = window.iter().map(|(_, t)| t).sum::<f64>() / window.len() as f64;
+            (u, mean)
+        })
+        .collect();
+    let (peak_idx, &(peak_u, peak_t)) = smoothed
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))?;
+    // Require a real collapse after the peak: the tail must dip below 85 %
+    // of the peak throughput.
+    let collapses = smoothed[peak_idx..].iter().any(|&(_, t)| t < 0.85 * peak_t);
+    if collapses {
+        Some(peak_u as f64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persec::{DelayAgg, SecondStats};
+
+    fn sec_with(second: u64, util_pct: f64, mbps: f64) -> SecondStats {
+        SecondStats {
+            second,
+            busy_us: (util_pct * 10_000.0) as u64,
+            frames: 1,
+            rts: 0,
+            cts: 0,
+            ack: 0,
+            beacon: 0,
+            data: 1,
+            retries: 0,
+            mgmt: 0,
+            throughput_bits: (mbps * 1e6) as u64,
+            goodput_bits: 0,
+            busy_by_rate_us: [0; 4],
+            bytes_by_rate: [0; 4],
+            tx_by_cat: [[0; 4]; 4],
+            first_ack_by_rate: [0; 4],
+            acked_data: 0,
+            acc_delay: [[DelayAgg::default(); 4]; 4],
+        }
+    }
+
+    #[test]
+    fn ietf_thresholds() {
+        let c = CongestionClassifier::ietf();
+        assert_eq!(c.classify(0.0), CongestionLevel::Uncongested);
+        assert_eq!(c.classify(29.9), CongestionLevel::Uncongested);
+        assert_eq!(c.classify(30.0), CongestionLevel::Moderate);
+        assert_eq!(c.classify(84.0), CongestionLevel::Moderate);
+        assert_eq!(c.classify(84.1), CongestionLevel::High);
+        assert_eq!(c.classify(100.0), CongestionLevel::High);
+    }
+
+    /// A synthetic Fig-6-shaped curve: throughput grows to a peak at 84 %
+    /// then collapses.
+    fn saturating_curve() -> Vec<SecondStats> {
+        let mut stats = Vec::new();
+        let mut second = 0;
+        for u in 30..=98usize {
+            let mbps = if u <= 84 {
+                1.0 + (u - 30) as f64 * (3.9 / 54.0) // rises to 4.9
+            } else {
+                4.9 - (u - 84) as f64 * (2.1 / 14.0) // falls to 2.8
+            };
+            for _ in 0..3 {
+                stats.push(sec_with(second, u as f64, mbps));
+                second += 1;
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn knee_found_on_saturating_curve() {
+        let bins = UtilizationBins::build(&saturating_curve());
+        let knee = find_knee(&bins).expect("knee must exist");
+        assert!(
+            (78.0..=90.0).contains(&knee),
+            "knee {knee} should sit near 84"
+        );
+    }
+
+    #[test]
+    fn no_knee_on_monotone_curve() {
+        let mut stats = Vec::new();
+        let mut second = 0;
+        for u in 30..=80usize {
+            for _ in 0..3 {
+                stats.push(sec_with(second, u as f64, u as f64 / 20.0));
+                second += 1;
+            }
+        }
+        let bins = UtilizationBins::build(&stats);
+        assert_eq!(find_knee(&bins), None);
+    }
+
+    #[test]
+    fn sparse_curve_has_no_knee() {
+        let stats = vec![sec_with(0, 50.0, 3.0), sec_with(1, 60.0, 3.5)];
+        let bins = UtilizationBins::build(&stats);
+        assert_eq!(find_knee(&bins), None);
+    }
+
+    #[test]
+    fn classifier_from_measurements_uses_knee() {
+        let bins = UtilizationBins::build(&saturating_curve());
+        let c = CongestionClassifier::from_measurements(&bins);
+        assert_eq!(c.low_pct, 30.0);
+        assert!((78.0..=90.0).contains(&c.high_pct));
+        // And falls back on sparse data.
+        let sparse = UtilizationBins::build(&[]);
+        let c = CongestionClassifier::from_measurements(&sparse);
+        assert_eq!(c.high_pct, 84.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Merging captures from multiple sniffers.
+//!
+//! During the day session the study ran three sniffers in one room; captures
+//! of the *same channel* from different vantage points overlap heavily but
+//! not perfectly (each sniffer misses different frames). Merging them yields
+//! a trace with better coverage than any single sniffer — provided duplicate
+//! captures of the same transmission are collapsed.
+//!
+//! A duplicate is a record from another sniffer with the same transmitter,
+//! sequence number, retry flag, frame kind and size whose timestamp falls
+//! within a small window (sniffer clocks are aligned here; the window covers
+//! capture-timestamp jitter). Control frames carry no sequence number, so
+//! they deduplicate on `(kind, dst, timestamp window)`.
+
+use std::collections::VecDeque;
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::Micros;
+
+/// Maximum timestamp skew between two sniffers' captures of one
+/// transmission.
+pub const DEDUP_WINDOW_US: Micros = 120;
+
+/// Merges per-sniffer traces of the same channel into one time-ordered,
+/// de-duplicated trace. Input traces must each be time-ordered (as captures
+/// are).
+pub fn merge_traces(traces: &[&[FrameRecord]]) -> Vec<FrameRecord> {
+    let mut all: Vec<FrameRecord> = traces.iter().flat_map(|t| t.iter().copied()).collect();
+    all.sort_by_key(|r| r.timestamp_us);
+    dedup_in_place(all)
+}
+
+fn is_duplicate(a: &FrameRecord, b: &FrameRecord) -> bool {
+    if a.kind != b.kind
+        || a.dst != b.dst
+        || a.src != b.src
+        || a.mac_bytes != b.mac_bytes
+        || a.retry != b.retry
+        || a.seq != b.seq
+    {
+        return false;
+    }
+    b.timestamp_us.saturating_sub(a.timestamp_us) <= DEDUP_WINDOW_US
+}
+
+fn dedup_in_place(sorted: Vec<FrameRecord>) -> Vec<FrameRecord> {
+    let mut out: Vec<FrameRecord> = Vec::with_capacity(sorted.len());
+    // Sliding window of recently emitted records still inside the dedup
+    // horizon.
+    let mut window: VecDeque<usize> = VecDeque::new();
+    for r in sorted {
+        while let Some(&front) = window.front() {
+            if r.timestamp_us.saturating_sub(out[front].timestamp_us) > DEDUP_WINDOW_US {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        let dup = window.iter().any(|&i| is_duplicate(&out[i], &r));
+        if !dup {
+            window.push_back(out.len());
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Coverage gained by merging: `(merged_len, max_single_len)`. A merged
+/// trace can only add frames.
+pub fn coverage_gain(traces: &[&[FrameRecord]]) -> (usize, usize) {
+    let merged = merge_traces(traces).len();
+    let best = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    (merged, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::fc::FrameKind;
+    use wifi_frames::mac::MacAddr;
+    use wifi_frames::phy::{Channel, Rate};
+
+    fn rec(ts: Micros, src: u32, seq: u16) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts,
+            kind: FrameKind::Data,
+            rate: Rate::R11,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(99),
+            src: Some(MacAddr::from_id(src)),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: false,
+            seq: Some(seq),
+            mac_bytes: 128,
+            payload_bytes: 100,
+            signal_dbm: -60,
+            duration_us: 314,
+        }
+    }
+
+    #[test]
+    fn identical_traces_collapse_to_one() {
+        let t: Vec<FrameRecord> = (0..50).map(|i| rec(i * 1000, 1, i as u16)).collect();
+        let merged = merge_traces(&[&t, &t, &t]);
+        assert_eq!(merged.len(), t.len());
+        assert_eq!(merged, t);
+    }
+
+    #[test]
+    fn complementary_losses_are_recovered() {
+        let full: Vec<FrameRecord> = (0..100).map(|i| rec(i * 1000, 1, i as u16)).collect();
+        // Sniffer A misses odd frames, sniffer B misses even frames.
+        let a: Vec<FrameRecord> = full.iter().copied().step_by(2).collect();
+        let b: Vec<FrameRecord> = full.iter().copied().skip(1).step_by(2).collect();
+        let merged = merge_traces(&[&a, &b]);
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged, full);
+        let (m, best) = coverage_gain(&[&a, &b]);
+        assert_eq!(m, 100);
+        assert_eq!(best, 50);
+    }
+
+    #[test]
+    fn timestamp_jitter_still_deduplicates() {
+        let a = vec![rec(1000, 1, 7)];
+        let mut shifted = rec(1000 + 80, 1, 7); // 80 µs skew
+        shifted.signal_dbm = -70; // different vantage, different RSSI
+        let b = vec![shifted];
+        let merged = merge_traces(&[&a, &b]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].timestamp_us, 1000, "earliest capture wins");
+    }
+
+    #[test]
+    fn beyond_window_is_not_a_duplicate() {
+        let a = vec![rec(1000, 1, 7)];
+        let b = vec![rec(1000 + DEDUP_WINDOW_US + 1, 1, 7)];
+        assert_eq!(merge_traces(&[&a, &b]).len(), 2);
+    }
+
+    #[test]
+    fn retransmission_with_same_seq_is_kept() {
+        // Same (src, seq) but retry=true and later: a genuine retransmission.
+        let first = rec(1000, 1, 7);
+        let mut retry = rec(1090, 1, 7);
+        retry.retry = true;
+        let merged = merge_traces(&[&[first][..], &[retry][..]]);
+        assert_eq!(merged.len(), 2, "retry flag distinguishes retransmissions");
+    }
+
+    #[test]
+    fn distinct_stations_same_seq_are_kept() {
+        let a = vec![rec(1000, 1, 7)];
+        let b = vec![rec(1010, 2, 7)];
+        assert_eq!(merge_traces(&[&a, &b]).len(), 2);
+    }
+
+    #[test]
+    fn control_frames_dedup_without_seq() {
+        let mk = |ts: Micros| -> FrameRecord {
+            let mut r = rec(ts, 1, 0);
+            r.kind = FrameKind::Ack;
+            r.src = None;
+            r.seq = None;
+            r.mac_bytes = 14;
+            r.payload_bytes = 0;
+            r
+        };
+        let a = vec![mk(500)];
+        let b = vec![mk(540)];
+        assert_eq!(merge_traces(&[&a, &b]).len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_traces(&[]).is_empty());
+        let empty: &[FrameRecord] = &[];
+        assert!(merge_traces(&[empty, empty]).is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! The unrecorded-frame estimator — Section 4.4 of the paper.
+//!
+//! Vicinity sniffers miss frames (bit errors, hardware drops, hidden
+//! terminals). The DCF's frame-arrival atomicity lets a trace bound its own
+//! losses:
+//!
+//! * **DATA→ACK**: an ACK implies an immediately-preceding DATA frame whose
+//!   transmitter is the ACK's receiver. ACK without matching DATA ⇒ one
+//!   unrecorded DATA frame.
+//! * **RTS→CTS**: a CTS implies an immediately-preceding RTS whose
+//!   transmitter is the CTS's receiver. CTS without matching RTS ⇒ one
+//!   unrecorded RTS.
+//! * **RTS→CTS→DATA**: an RTS followed by its protected DATA implies the
+//!   CTS in between. RTS then DATA without CTS ⇒ one unrecorded CTS.
+//!
+//! The *unrecorded percentage* is Equation 1:
+//! `unrec / (unrec + captured)`.
+
+use crate::persec::ACK_MATCH_WINDOW_US;
+use std::collections::HashMap;
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::{delay, Micros};
+
+/// Window inside which a CTS must follow its RTS (SIFS + CTS air + guard).
+const CTS_MATCH_WINDOW_US: Micros = delay::SIFS + delay::CTS + 150;
+/// Guard slack on the RTS→DATA window for the missing-CTS inference. The
+/// full window is `SIFS + CTS + SIFS + data air time + guard` — capture
+/// timestamps mark frame *ends*, so the protected data frame's own air time
+/// (computable from its size and rate) is part of the gap.
+const RTS_DATA_GUARD_US: Micros = 150;
+
+/// Counts of inferred unrecorded frames, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnrecordedCounts {
+    /// DATA frames inferred from orphan ACKs.
+    pub data: u64,
+    /// RTS frames inferred from orphan CTSs.
+    pub rts: u64,
+    /// CTS frames inferred from RTS→DATA pairs.
+    pub cts: u64,
+}
+
+impl UnrecordedCounts {
+    /// Total inferred unrecorded frames.
+    pub fn total(&self) -> u64 {
+        self.data + self.rts + self.cts
+    }
+}
+
+/// Per-station capture accounting (for the per-AP Fig 4c view).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeCapture {
+    /// Frames captured with this station as transmitter or receiver.
+    pub captured: u64,
+    /// Unrecorded frames attributed to this station.
+    pub unrecorded: u64,
+}
+
+impl NodeCapture {
+    /// Equation 1 for this station, in percent.
+    pub fn unrecorded_pct(&self) -> f64 {
+        let denom = self.unrecorded + self.captured;
+        if denom == 0 {
+            0.0
+        } else {
+            self.unrecorded as f64 / denom as f64 * 100.0
+        }
+    }
+}
+
+/// The estimator's full output.
+#[derive(Clone, Debug, Default)]
+pub struct UnrecordedEstimate {
+    /// Network-wide inferred losses.
+    pub counts: UnrecordedCounts,
+    /// Frames captured in total.
+    pub captured: u64,
+    /// Per-station accounting, keyed by MAC.
+    pub per_node: HashMap<MacAddr, NodeCapture>,
+}
+
+impl UnrecordedEstimate {
+    /// Network-wide Equation 1, in percent.
+    pub fn unrecorded_pct(&self) -> f64 {
+        let denom = self.counts.total() + self.captured;
+        if denom == 0 {
+            0.0
+        } else {
+            self.counts.total() as f64 / denom as f64 * 100.0
+        }
+    }
+}
+
+/// Runs the estimator over a time-ordered trace.
+pub fn estimate(records: &[FrameRecord]) -> UnrecordedEstimate {
+    let mut est = UnrecordedEstimate {
+        captured: records.len() as u64,
+        ..Default::default()
+    };
+    // Station attribution for captured frames: transmitter and receiver.
+    for r in records {
+        if let Some(src) = r.src {
+            est.per_node.entry(src).or_default().captured += 1;
+        }
+        if r.dst.is_unicast() {
+            est.per_node.entry(r.dst).or_default().captured += 1;
+        }
+    }
+
+    let attribute_missing = |est: &mut UnrecordedEstimate, station: MacAddr| {
+        est.per_node.entry(station).or_default().unrecorded += 1;
+    };
+
+    for (i, r) in records.iter().enumerate() {
+        match r.kind {
+            FrameKind::Ack => {
+                // Expect the previous frame to be the acknowledged DATA (or
+                // management) frame, transmitted by the ACK's receiver.
+                let matched = i > 0 && {
+                    let p = &records[i - 1];
+                    matches!(
+                        p.kind,
+                        FrameKind::Data
+                            | FrameKind::NullData
+                            | FrameKind::AssocRequest
+                            | FrameKind::AssocResponse
+                            | FrameKind::ProbeResponse
+                            | FrameKind::Auth
+                            | FrameKind::Deauth
+                            | FrameKind::Disassoc
+                    ) && p.src == Some(r.dst)
+                        && r.timestamp_us.saturating_sub(p.timestamp_us) <= ACK_MATCH_WINDOW_US
+                };
+                if !matched {
+                    est.counts.data += 1;
+                    attribute_missing(&mut est, r.dst);
+                }
+            }
+            FrameKind::Cts => {
+                // Expect the previous frame to be the RTS from the CTS's
+                // receiver.
+                let matched = i > 0 && {
+                    let p = &records[i - 1];
+                    p.kind == FrameKind::Rts
+                        && p.src == Some(r.dst)
+                        && r.timestamp_us.saturating_sub(p.timestamp_us) <= CTS_MATCH_WINDOW_US
+                };
+                if !matched {
+                    est.counts.rts += 1;
+                    attribute_missing(&mut est, r.dst);
+                }
+            }
+            FrameKind::Rts => {
+                // If the next captured frame is this RTS's protected DATA
+                // (same transmitter, inside the CTS window), the CTS between
+                // them went unrecorded.
+                if let Some(n) = records.get(i + 1) {
+                    let window = 2 * delay::SIFS
+                        + delay::CTS
+                        + wifi_frames::timing::frame_airtime_us(
+                            n.mac_bytes as u64,
+                            n.rate,
+                            wifi_frames::phy::Preamble::Long,
+                        )
+                        + RTS_DATA_GUARD_US;
+                    let data_follows = matches!(n.kind, FrameKind::Data | FrameKind::NullData)
+                        && n.src == r.src
+                        && n.timestamp_us.saturating_sub(r.timestamp_us) <= window;
+                    if data_follows {
+                        est.counts.cts += 1;
+                        // The missing CTS was sent by the RTS's receiver.
+                        attribute_missing(&mut est, r.dst);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::phy::{Channel, Rate};
+
+    fn rec(kind: FrameKind, ts: Micros, src: Option<u32>, dst: u32) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts,
+            kind,
+            rate: Rate::R11,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(dst),
+            src: src.map(MacAddr::from_id),
+            bssid: None,
+            retry: false,
+            seq: Some(0),
+            mac_bytes: 100,
+            payload_bytes: 72,
+            signal_dbm: -60,
+            duration_us: 0,
+        }
+    }
+
+    #[test]
+    fn complete_exchange_has_no_losses() {
+        let recs = vec![
+            rec(FrameKind::Rts, 0, Some(1), 2),
+            rec(FrameKind::Cts, 362, None, 1),
+            rec(FrameKind::Data, 700, Some(1), 2),
+            rec(FrameKind::Ack, 1100, None, 1),
+        ];
+        let est = estimate(&recs);
+        assert_eq!(est.counts, UnrecordedCounts::default());
+        assert_eq!(est.unrecorded_pct(), 0.0);
+    }
+
+    #[test]
+    fn orphan_ack_implies_missing_data() {
+        let recs = vec![
+            rec(FrameKind::Beacon, 0, Some(9), 0xffff),
+            rec(FrameKind::Ack, 500, None, 1),
+        ];
+        let est = estimate(&recs);
+        assert_eq!(est.counts.data, 1);
+        assert_eq!(est.counts.total(), 1);
+        // Attributed to the missing frame's transmitter (station 1).
+        assert_eq!(est.per_node[&MacAddr::from_id(1)].unrecorded, 1);
+        // 1 unrecorded over 1 + 2 captured.
+        assert!((est.unrecorded_pct() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ack_to_wrong_station_is_orphan() {
+        let recs = vec![
+            rec(FrameKind::Data, 0, Some(3), 2),
+            rec(FrameKind::Ack, 400, None, 1), // data came from 3, ack to 1
+        ];
+        assert_eq!(estimate(&recs).counts.data, 1);
+    }
+
+    #[test]
+    fn late_ack_is_orphan() {
+        let recs = vec![
+            rec(FrameKind::Data, 0, Some(1), 2),
+            rec(FrameKind::Ack, 10_000, None, 1),
+        ];
+        assert_eq!(estimate(&recs).counts.data, 1);
+    }
+
+    #[test]
+    fn orphan_cts_implies_missing_rts() {
+        let recs = vec![rec(FrameKind::Cts, 100, None, 7)];
+        let est = estimate(&recs);
+        assert_eq!(est.counts.rts, 1);
+        assert_eq!(est.per_node[&MacAddr::from_id(7)].unrecorded, 1);
+    }
+
+    #[test]
+    fn rts_then_data_implies_missing_cts() {
+        let recs = vec![
+            rec(FrameKind::Rts, 0, Some(1), 2),
+            rec(FrameKind::Data, 340, Some(1), 2),
+            rec(FrameKind::Ack, 800, None, 1),
+        ];
+        let est = estimate(&recs);
+        assert_eq!(est.counts.cts, 1);
+        assert_eq!(est.counts.data, 0, "the ACK matched its data");
+        // Missing CTS attributed to the RTS's receiver.
+        assert_eq!(est.per_node[&MacAddr::from_id(2)].unrecorded, 1);
+    }
+
+    #[test]
+    fn rts_then_unrelated_data_is_not_missing_cts() {
+        let recs = vec![
+            rec(FrameKind::Rts, 0, Some(1), 2),
+            rec(FrameKind::Data, 340, Some(5), 6), // different transmitter
+        ];
+        assert_eq!(estimate(&recs).counts.cts, 0);
+    }
+
+    #[test]
+    fn mgmt_ack_matches() {
+        let recs = vec![
+            rec(FrameKind::AssocRequest, 0, Some(4), 9),
+            rec(FrameKind::Ack, 300, None, 4),
+        ];
+        assert_eq!(estimate(&recs).counts.data, 0);
+    }
+
+    #[test]
+    fn per_node_percentages() {
+        // Station 1: captured twice (data + as ack receiver... ack dst=1),
+        // one unrecorded.
+        let recs = vec![
+            rec(FrameKind::Data, 0, Some(1), 2),
+            rec(FrameKind::Ack, 400, None, 1),
+            rec(FrameKind::Ack, 50_000, None, 1), // orphan
+        ];
+        let est = estimate(&recs);
+        let n1 = est.per_node[&MacAddr::from_id(1)];
+        assert_eq!(n1.unrecorded, 1);
+        assert_eq!(n1.captured, 3); // data src + 2 ack dst
+        assert!((n1.unrecorded_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let est = estimate(&[]);
+        assert_eq!(est.unrecorded_pct(), 0.0);
+        assert_eq!(est.captured, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! User-population estimation — Figure 4(b) of the paper.
+//!
+//! The paper plots the number of users associated with the network over
+//! time, averaged in 30-second windows. From a passive trace, a user is
+//! "present" in a window when its MAC transmits any non-AP frame there.
+
+use std::collections::HashSet;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::SECOND;
+
+/// Default window of Fig 4(b): 30 seconds.
+pub const DEFAULT_WINDOW_S: u64 = 30;
+
+/// Distinct non-AP transmitters per window.
+///
+/// Returns `(window_start_second, user_count)` pairs in time order; empty
+/// windows inside the observed span are included with zero users.
+pub fn users_per_window(
+    records: &[FrameRecord],
+    aps: &HashSet<MacAddr>,
+    window_s: u64,
+) -> Vec<(u64, usize)> {
+    assert!(window_s > 0, "window must be positive");
+    let Some(first) = records.first() else {
+        return Vec::new();
+    };
+    let last = records.last().expect("nonempty");
+    let start = first.timestamp_us / SECOND / window_s * window_s;
+    let end = last.timestamp_us / SECOND;
+    let n_windows = ((end - start) / window_s + 1) as usize;
+    let mut sets: Vec<HashSet<MacAddr>> = vec![HashSet::new(); n_windows];
+    for r in records {
+        let Some(src) = r.src else { continue };
+        if aps.contains(&src) {
+            continue;
+        }
+        let w = ((r.timestamp_us / SECOND - start) / window_s) as usize;
+        sets[w].insert(src);
+    }
+    sets.into_iter()
+        .enumerate()
+        .map(|(i, set)| (start + i as u64 * window_s, set.len()))
+        .collect()
+}
+
+/// The maximum simultaneous user count over all windows (the paper quotes
+/// 523 for the day session and 325 for the plenary).
+pub fn peak_users(windows: &[(u64, usize)]) -> usize {
+    windows.iter().map(|&(_, n)| n).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::fc::FrameKind;
+    use wifi_frames::phy::{Channel, Rate};
+
+    fn data(ts_s: u64, src: u32) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts_s * SECOND,
+            kind: FrameKind::Data,
+            rate: Rate::R11,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(1000),
+            src: Some(MacAddr::from_id(src)),
+            bssid: Some(MacAddr::from_id(1000)),
+            retry: false,
+            seq: Some(0),
+            mac_bytes: 100,
+            payload_bytes: 72,
+            signal_dbm: -60,
+            duration_us: 0,
+        }
+    }
+
+    #[test]
+    fn counts_distinct_users_per_window() {
+        let aps = HashSet::from([MacAddr::from_id(1000)]);
+        let recs = vec![
+            data(0, 1),
+            data(5, 2),
+            data(10, 1), // repeat in same window
+            data(31, 3), // second window
+            data(95, 4), // fourth window (window 2 empty)
+        ];
+        let w = users_per_window(&recs, &aps, 30);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], (0, 2));
+        assert_eq!(w[1], (30, 1));
+        assert_eq!(w[2], (60, 0));
+        assert_eq!(w[3], (90, 1));
+        assert_eq!(peak_users(&w), 2);
+    }
+
+    #[test]
+    fn ap_transmissions_do_not_count_as_users() {
+        let aps = HashSet::from([MacAddr::from_id(1000)]);
+        let mut r = data(0, 1000);
+        r.kind = FrameKind::Beacon;
+        let w = users_per_window(&[r], &aps, 30);
+        assert_eq!(w[0].1, 0);
+    }
+
+    #[test]
+    fn window_start_is_aligned() {
+        let aps = HashSet::new();
+        let recs = vec![data(47, 1)];
+        let w = users_per_window(&recs, &aps, 30);
+        assert_eq!(w[0].0, 30, "window aligned to multiples of 30 s");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let w = users_per_window(&[], &HashSet::new(), 30);
+        assert!(w.is_empty());
+        assert_eq!(peak_users(&w), 0);
+    }
+}

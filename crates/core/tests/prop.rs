@@ -1,0 +1,261 @@
+//! Property-based tests for the congestion-analysis crate: conservation
+//! laws of the single-pass analyzer, the busy-time metric, binning, and the
+//! unrecorded-frame estimator against synthetic traces with known losses.
+
+use congestion::{analyze, cbt_us, estimate_unrecorded, SizeClass, UtilizationBins};
+use proptest::prelude::*;
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::{Channel, Rate};
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::Micros;
+
+fn rec(
+    kind: FrameKind,
+    ts: Micros,
+    src: Option<u32>,
+    dst: u32,
+    payload: u32,
+    rate: Rate,
+) -> FrameRecord {
+    FrameRecord {
+        timestamp_us: ts,
+        kind,
+        rate,
+        channel: Channel::new(1).unwrap(),
+        dst: MacAddr::from_id(dst),
+        src: src.map(MacAddr::from_id),
+        bssid: None,
+        retry: false,
+        seq: Some((ts % 4096) as u16),
+        mac_bytes: payload + 28,
+        payload_bytes: payload,
+        signal_dbm: -60,
+        duration_us: 0,
+    }
+}
+
+fn arb_rate() -> impl Strategy<Value = Rate> {
+    prop_oneof![
+        Just(Rate::R1),
+        Just(Rate::R2),
+        Just(Rate::R5_5),
+        Just(Rate::R11)
+    ]
+}
+
+/// One atomic exchange in a synthetic trace.
+#[derive(Debug, Clone)]
+enum Exchange {
+    /// DATA then ACK (`acked`), or lone DATA.
+    Data {
+        src: u32,
+        payload: u32,
+        rate: Rate,
+        acked: bool,
+    },
+    /// Full RTS/CTS/DATA/ACK.
+    Protected { src: u32, payload: u32, rate: Rate },
+    /// Beacon.
+    Beacon { ap: u32 },
+}
+
+fn arb_exchange() -> impl Strategy<Value = Exchange> {
+    prop_oneof![
+        (1u32..20, 0u32..2276, arb_rate(), any::<bool>()).prop_map(
+            |(src, payload, rate, acked)| Exchange::Data {
+                src,
+                payload,
+                rate,
+                acked
+            }
+        ),
+        (1u32..20, 0u32..2276, arb_rate()).prop_map(|(src, payload, rate)| Exchange::Protected {
+            src,
+            payload,
+            rate
+        }),
+        (100u32..105).prop_map(|ap| Exchange::Beacon { ap }),
+    ]
+}
+
+/// Materializes exchanges into a time-ordered trace with DCF-plausible gaps.
+fn build_trace(exchanges: &[Exchange]) -> Vec<FrameRecord> {
+    let mut t: Micros = 0;
+    let mut out = Vec::new();
+    for e in exchanges {
+        t += 300; // inter-exchange gap
+        match *e {
+            Exchange::Data {
+                src,
+                payload,
+                rate,
+                acked,
+            } => {
+                out.push(rec(FrameKind::Data, t, Some(src), 99, payload, rate));
+                if acked {
+                    t += 314;
+                    out.push(rec(FrameKind::Ack, t, None, src, 0, Rate::R1));
+                    let last = out.last_mut().unwrap();
+                    last.mac_bytes = 14;
+                    last.payload_bytes = 0;
+                }
+            }
+            Exchange::Protected { src, payload, rate } => {
+                out.push(rec(FrameKind::Rts, t, Some(src), 99, 0, Rate::R1));
+                out.last_mut().unwrap().mac_bytes = 20;
+                t += 314;
+                out.push(rec(FrameKind::Cts, t, None, src, 0, Rate::R1));
+                out.last_mut().unwrap().mac_bytes = 14;
+                // Data frame ends SIFS + its own air time after the CTS.
+                t += 10
+                    + wifi_frames::timing::frame_airtime_us(
+                        (payload + 28) as u64,
+                        rate,
+                        wifi_frames::phy::Preamble::Long,
+                    );
+                out.push(rec(FrameKind::Data, t, Some(src), 99, payload, rate));
+                t += 314;
+                out.push(rec(FrameKind::Ack, t, None, src, 0, Rate::R1));
+                out.last_mut().unwrap().mac_bytes = 14;
+            }
+            Exchange::Beacon { ap } => {
+                out.push(rec(FrameKind::Beacon, t, Some(ap), 0xffffff, 0, Rate::R1));
+                let b = out.last_mut().unwrap();
+                b.dst = MacAddr::BROADCAST;
+                b.bssid = Some(MacAddr::from_id(ap));
+                b.mac_bytes = 57;
+            }
+        }
+        t += 200;
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn analyzer_conserves_frame_counts(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let stats = analyze(&trace);
+        let total_frames: u64 = stats.iter().map(|s| s.frames).sum();
+        prop_assert_eq!(total_frames, trace.len() as u64);
+        let by_kind: u64 = stats
+            .iter()
+            .map(|s| s.rts + s.cts + s.ack + s.beacon + s.data + s.mgmt)
+            .sum();
+        prop_assert_eq!(by_kind, total_frames, "every frame lands in exactly one kind");
+    }
+
+    #[test]
+    fn busy_time_equals_sum_of_charges(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let stats = analyze(&trace);
+        let from_stats: u64 = stats.iter().map(|s| s.busy_us).sum();
+        let direct: u64 = trace.iter().map(cbt_us).sum();
+        prop_assert_eq!(from_stats, direct);
+    }
+
+    #[test]
+    fn category_table_partitions_data_frames(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        for s in analyze(&trace) {
+            let cat_total: u64 = s.tx_by_cat.iter().flatten().sum();
+            prop_assert_eq!(cat_total, s.data);
+            let rate_bytes: u64 = s.bytes_by_rate.iter().sum();
+            let data_bytes: u64 = trace
+                .iter()
+                .filter(|r| r.second() == s.second && matches!(r.kind, FrameKind::Data | FrameKind::NullData))
+                .map(|r| r.mac_bytes as u64)
+                .sum();
+            prop_assert_eq!(rate_bytes, data_bytes);
+        }
+    }
+
+    #[test]
+    fn goodput_never_exceeds_throughput(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        for s in analyze(&trace) {
+            prop_assert!(s.goodput_bits <= s.throughput_bits);
+            prop_assert!(s.acked_data <= s.data);
+            let first_acks: u64 = s.first_ack_by_rate.iter().sum();
+            prop_assert!(first_acks <= s.acked_data);
+        }
+    }
+
+    #[test]
+    fn acked_count_matches_constructed_acks(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let stats = analyze(&trace);
+        let expected: u64 = exchanges
+            .iter()
+            .filter(|e| matches!(e, Exchange::Data { acked: true, .. } | Exchange::Protected { .. }))
+            .count() as u64;
+        let got: u64 = stats.iter().map(|s| s.acked_data).sum();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bins_conserve_seconds(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let stats = analyze(&trace);
+        let bins = UtilizationBins::build(&stats);
+        let binned: u64 = bins.histogram().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(binned, stats.len() as u64);
+    }
+
+    #[test]
+    fn complete_traces_report_zero_unrecorded(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let est = estimate_unrecorded(&trace);
+        prop_assert_eq!(est.counts.total(), 0, "atomic traces have no inferred losses");
+    }
+
+    #[test]
+    fn dropping_data_frames_is_detected_exactly(
+        exchanges in proptest::collection::vec(arb_exchange(), 1..80),
+        drop_mask in proptest::collection::vec(any::<bool>(), 80),
+    ) {
+        let trace = build_trace(&exchanges);
+        // Drop some acknowledged data frames (keep their ACKs): each drop
+        // must be inferred as exactly one unrecorded DATA frame.
+        let mut dropped = 0usize;
+        let mut lossy = Vec::new();
+        let mut mask = drop_mask.iter().cycle();
+        for (i, r) in trace.iter().enumerate() {
+            let is_acked_data = matches!(r.kind, FrameKind::Data)
+                && trace.get(i + 1).is_some_and(|n| n.kind == FrameKind::Ack && Some(n.dst) == r.src);
+            if is_acked_data && *mask.next().unwrap() {
+                dropped += 1;
+                continue;
+            }
+            lossy.push(*r);
+        }
+        let est = estimate_unrecorded(&lossy);
+        prop_assert_eq!(est.counts.data as usize, dropped);
+        prop_assert_eq!(est.counts.rts, 0);
+    }
+
+    #[test]
+    fn dropping_cts_frames_is_detected(
+        count in 1usize..30,
+    ) {
+        // Protected exchanges with every CTS removed.
+        let exchanges: Vec<Exchange> = (0..count)
+            .map(|i| Exchange::Protected { src: 1 + (i as u32 % 5), payload: 500, rate: Rate::R11 })
+            .collect();
+        let trace = build_trace(&exchanges);
+        let lossy: Vec<FrameRecord> = trace
+            .iter()
+            .filter(|r| r.kind != FrameKind::Cts)
+            .copied()
+            .collect();
+        let est = estimate_unrecorded(&lossy);
+        prop_assert_eq!(est.counts.cts as usize, count);
+    }
+
+    #[test]
+    fn size_class_total_order(bytes_a in 0u32..3000, bytes_b in 0u32..3000) {
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(SizeClass::of(lo) <= SizeClass::of(hi));
+    }
+}

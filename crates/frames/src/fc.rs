@@ -1,0 +1,414 @@
+//! The 16-bit Frame Control field: frame class/subtype and the flag byte.
+
+use core::fmt;
+
+/// The three 802.11 frame classes (the two-bit Type field).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameClass {
+    /// Beacons, probes, (de)association, (de)authentication.
+    Management,
+    /// RTS, CTS, ACK, PS-Poll, CF-End.
+    Control,
+    /// Data and Null-function frames.
+    Data,
+}
+
+impl FrameClass {
+    /// The two-bit wire encoding.
+    pub const fn bits(self) -> u8 {
+        match self {
+            FrameClass::Management => 0b00,
+            FrameClass::Control => 0b01,
+            FrameClass::Data => 0b10,
+        }
+    }
+
+    /// Decodes the two-bit Type field; `None` for the reserved value 0b11.
+    pub const fn from_bits(bits: u8) -> Option<FrameClass> {
+        match bits & 0b11 {
+            0b00 => Some(FrameClass::Management),
+            0b01 => Some(FrameClass::Control),
+            0b10 => Some(FrameClass::Data),
+            _ => None,
+        }
+    }
+}
+
+/// Frame kind: the (type, subtype) pairs this library models explicitly.
+///
+/// The 802.11b subtypes that matter to the congestion study are first-class
+/// variants; anything else decodes to [`FrameKind::Other`] so that foreign
+/// traces never fail to parse merely for containing, say, a PS-Poll.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameKind {
+    /// Control / Request-to-Send.
+    Rts,
+    /// Control / Clear-to-Send.
+    Cts,
+    /// Control / Acknowledgment.
+    Ack,
+    /// Management / Beacon.
+    Beacon,
+    /// Management / Probe Request.
+    ProbeRequest,
+    /// Management / Probe Response.
+    ProbeResponse,
+    /// Management / Association Request.
+    AssocRequest,
+    /// Management / Association Response.
+    AssocResponse,
+    /// Management / Disassociation.
+    Disassoc,
+    /// Management / Authentication.
+    Auth,
+    /// Management / Deauthentication.
+    Deauth,
+    /// Data / Data (the only data subtype carrying a payload in 802.11b).
+    Data,
+    /// Data / Null function (no payload; used for power-save signalling).
+    NullData,
+    /// Any other valid (class, subtype) combination.
+    Other {
+        /// The frame class.
+        class: FrameClass,
+        /// The four-bit subtype.
+        subtype: u8,
+    },
+}
+
+impl FrameKind {
+    /// The frame's class.
+    pub const fn class(self) -> FrameClass {
+        match self {
+            FrameKind::Rts | FrameKind::Cts | FrameKind::Ack => FrameClass::Control,
+            FrameKind::Beacon
+            | FrameKind::ProbeRequest
+            | FrameKind::ProbeResponse
+            | FrameKind::AssocRequest
+            | FrameKind::AssocResponse
+            | FrameKind::Disassoc
+            | FrameKind::Auth
+            | FrameKind::Deauth => FrameClass::Management,
+            FrameKind::Data | FrameKind::NullData => FrameClass::Data,
+            FrameKind::Other { class, .. } => class,
+        }
+    }
+
+    /// The four-bit subtype wire encoding.
+    pub const fn subtype_bits(self) -> u8 {
+        match self {
+            FrameKind::AssocRequest => 0b0000,
+            FrameKind::AssocResponse => 0b0001,
+            FrameKind::ProbeRequest => 0b0100,
+            FrameKind::ProbeResponse => 0b0101,
+            FrameKind::Beacon => 0b1000,
+            FrameKind::Disassoc => 0b1010,
+            FrameKind::Auth => 0b1011,
+            FrameKind::Deauth => 0b1100,
+            FrameKind::Rts => 0b1011,
+            FrameKind::Cts => 0b1100,
+            FrameKind::Ack => 0b1101,
+            FrameKind::Data => 0b0000,
+            FrameKind::NullData => 0b0100,
+            FrameKind::Other { subtype, .. } => subtype & 0b1111,
+        }
+    }
+
+    /// Decodes a (class, subtype) pair.
+    pub const fn from_bits(class: FrameClass, subtype: u8) -> FrameKind {
+        let subtype = subtype & 0b1111;
+        match (class, subtype) {
+            (FrameClass::Control, 0b1011) => FrameKind::Rts,
+            (FrameClass::Control, 0b1100) => FrameKind::Cts,
+            (FrameClass::Control, 0b1101) => FrameKind::Ack,
+            (FrameClass::Management, 0b0000) => FrameKind::AssocRequest,
+            (FrameClass::Management, 0b0001) => FrameKind::AssocResponse,
+            (FrameClass::Management, 0b0100) => FrameKind::ProbeRequest,
+            (FrameClass::Management, 0b0101) => FrameKind::ProbeResponse,
+            (FrameClass::Management, 0b1000) => FrameKind::Beacon,
+            (FrameClass::Management, 0b1010) => FrameKind::Disassoc,
+            (FrameClass::Management, 0b1011) => FrameKind::Auth,
+            (FrameClass::Management, 0b1100) => FrameKind::Deauth,
+            (FrameClass::Data, 0b0000) => FrameKind::Data,
+            (FrameClass::Data, 0b0100) => FrameKind::NullData,
+            _ => FrameKind::Other { class, subtype },
+        }
+    }
+
+    /// True for the control frames whose reception the DCF protects with
+    /// atomic SIFS spacing (CTS and ACK).
+    pub const fn is_sifs_response(self) -> bool {
+        matches!(self, FrameKind::Cts | FrameKind::Ack)
+    }
+
+    /// True for frames that carry a data payload relevant to goodput.
+    pub const fn carries_data(self) -> bool {
+        matches!(self, FrameKind::Data)
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FrameKind::Rts => "RTS",
+            FrameKind::Cts => "CTS",
+            FrameKind::Ack => "ACK",
+            FrameKind::Beacon => "Beacon",
+            FrameKind::ProbeRequest => "ProbeReq",
+            FrameKind::ProbeResponse => "ProbeResp",
+            FrameKind::AssocRequest => "AssocReq",
+            FrameKind::AssocResponse => "AssocResp",
+            FrameKind::Disassoc => "Disassoc",
+            FrameKind::Auth => "Auth",
+            FrameKind::Deauth => "Deauth",
+            FrameKind::Data => "Data",
+            FrameKind::NullData => "Null",
+            FrameKind::Other { class, subtype } => {
+                return write!(f, "Other({class:?}/{subtype:#06b})")
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// The flag byte of the Frame Control field (bits 8–15).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FcFlags {
+    /// Frame is bound for the distribution system (station → AP).
+    pub to_ds: bool,
+    /// Frame comes from the distribution system (AP → station).
+    pub from_ds: bool,
+    /// More fragments of this MSDU follow.
+    pub more_frag: bool,
+    /// This frame is a retransmission.
+    pub retry: bool,
+    /// Sender is in power-save mode.
+    pub pwr_mgmt: bool,
+    /// AP has more frames buffered for a dozing station.
+    pub more_data: bool,
+    /// Frame body is encrypted (WEP in the 802.11b era).
+    pub protected: bool,
+    /// Strictly-ordered service class.
+    pub order: bool,
+}
+
+impl FcFlags {
+    /// Encodes to the high byte of the Frame Control field.
+    pub const fn bits(self) -> u8 {
+        (self.to_ds as u8)
+            | (self.from_ds as u8) << 1
+            | (self.more_frag as u8) << 2
+            | (self.retry as u8) << 3
+            | (self.pwr_mgmt as u8) << 4
+            | (self.more_data as u8) << 5
+            | (self.protected as u8) << 6
+            | (self.order as u8) << 7
+    }
+
+    /// Decodes from the high byte of the Frame Control field.
+    pub const fn from_bits(bits: u8) -> FcFlags {
+        FcFlags {
+            to_ds: bits & 0x01 != 0,
+            from_ds: bits & 0x02 != 0,
+            more_frag: bits & 0x04 != 0,
+            retry: bits & 0x08 != 0,
+            pwr_mgmt: bits & 0x10 != 0,
+            more_data: bits & 0x20 != 0,
+            protected: bits & 0x40 != 0,
+            order: bits & 0x80 != 0,
+        }
+    }
+
+    /// Flags with only `retry` set — the common retransmission marking.
+    pub const fn retry_only() -> FcFlags {
+        FcFlags {
+            retry: true,
+            to_ds: false,
+            from_ds: false,
+            more_frag: false,
+            pwr_mgmt: false,
+            more_data: false,
+            protected: false,
+            order: false,
+        }
+    }
+}
+
+/// The full 16-bit Frame Control field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrameControl {
+    /// Protocol version; always 0 for every deployed 802.11 revision.
+    pub version: u8,
+    /// Frame kind (type + subtype).
+    pub kind: FrameKind,
+    /// Flag byte.
+    pub flags: FcFlags,
+}
+
+/// Error produced when a Frame Control field cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcError {
+    /// Protocol version bits were non-zero.
+    BadVersion(u8),
+    /// The reserved type value 0b11 (extension frames post-date 802.11b).
+    ReservedType,
+}
+
+impl fmt::Display for FcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FcError::BadVersion(v) => write!(f, "unsupported 802.11 protocol version {v}"),
+            FcError::ReservedType => write!(f, "reserved frame type 0b11"),
+        }
+    }
+}
+
+impl std::error::Error for FcError {}
+
+impl FrameControl {
+    /// Builds a Frame Control with version 0 and no flags.
+    pub const fn new(kind: FrameKind) -> FrameControl {
+        FrameControl {
+            version: 0,
+            kind,
+            flags: FcFlags::from_bits(0),
+        }
+    }
+
+    /// Encodes to the two little-endian wire bytes.
+    pub const fn to_le_bytes(self) -> [u8; 2] {
+        let b0 =
+            (self.version & 0b11) | self.kind.class().bits() << 2 | self.kind.subtype_bits() << 4;
+        [b0, self.flags.bits()]
+    }
+
+    /// Decodes from the two little-endian wire bytes.
+    pub const fn from_le_bytes(bytes: [u8; 2]) -> Result<FrameControl, FcError> {
+        let version = bytes[0] & 0b11;
+        if version != 0 {
+            return Err(FcError::BadVersion(version));
+        }
+        let class = match FrameClass::from_bits(bytes[0] >> 2) {
+            Some(c) => c,
+            None => return Err(FcError::ReservedType),
+        };
+        Ok(FrameControl {
+            version,
+            kind: FrameKind::from_bits(class, bytes[0] >> 4),
+            flags: FcFlags::from_bits(bytes[1]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPLICIT_KINDS: [FrameKind; 13] = [
+        FrameKind::Rts,
+        FrameKind::Cts,
+        FrameKind::Ack,
+        FrameKind::Beacon,
+        FrameKind::ProbeRequest,
+        FrameKind::ProbeResponse,
+        FrameKind::AssocRequest,
+        FrameKind::AssocResponse,
+        FrameKind::Disassoc,
+        FrameKind::Auth,
+        FrameKind::Deauth,
+        FrameKind::Data,
+        FrameKind::NullData,
+    ];
+
+    #[test]
+    fn kind_bits_roundtrip() {
+        for kind in EXPLICIT_KINDS {
+            let decoded = FrameKind::from_bits(kind.class(), kind.subtype_bits());
+            assert_eq!(decoded, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_subtypes_become_other() {
+        let k = FrameKind::from_bits(FrameClass::Control, 0b1010); // PS-Poll
+        assert_eq!(
+            k,
+            FrameKind::Other {
+                class: FrameClass::Control,
+                subtype: 0b1010
+            }
+        );
+        assert_eq!(k.class(), FrameClass::Control);
+        assert_eq!(k.subtype_bits(), 0b1010);
+    }
+
+    #[test]
+    fn rts_is_known_wire_value() {
+        // RTS: type control (01), subtype 1011 -> byte0 = 1011_01_00 = 0xB4.
+        let fc = FrameControl::new(FrameKind::Rts);
+        assert_eq!(fc.to_le_bytes(), [0xB4, 0x00]);
+        // CTS = 0xC4, ACK = 0xD4, Beacon = 0x80, Data = 0x08.
+        assert_eq!(FrameControl::new(FrameKind::Cts).to_le_bytes()[0], 0xC4);
+        assert_eq!(FrameControl::new(FrameKind::Ack).to_le_bytes()[0], 0xD4);
+        assert_eq!(FrameControl::new(FrameKind::Beacon).to_le_bytes()[0], 0x80);
+        assert_eq!(FrameControl::new(FrameKind::Data).to_le_bytes()[0], 0x08);
+    }
+
+    #[test]
+    fn fc_bytes_roundtrip_all_kinds_and_flags() {
+        for kind in EXPLICIT_KINDS {
+            for flag_bits in [0x00u8, 0x08, 0xff, 0x55, 0xaa] {
+                let fc = FrameControl {
+                    version: 0,
+                    kind,
+                    flags: FcFlags::from_bits(flag_bits),
+                };
+                let back = FrameControl::from_le_bytes(fc.to_le_bytes()).unwrap();
+                assert_eq!(back, fc);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert_eq!(
+            FrameControl::from_le_bytes([0x01, 0x00]),
+            Err(FcError::BadVersion(1))
+        );
+        assert_eq!(
+            FrameControl::from_le_bytes([0x03, 0x00]),
+            Err(FcError::BadVersion(3))
+        );
+    }
+
+    #[test]
+    fn reserved_type_rejected() {
+        // Type bits 0b11 at positions 2..4 -> 0x0C.
+        assert_eq!(
+            FrameControl::from_le_bytes([0x0C, 0x00]),
+            Err(FcError::ReservedType)
+        );
+    }
+
+    #[test]
+    fn flags_bits_roundtrip_exhaustive() {
+        for bits in 0..=255u8 {
+            assert_eq!(FcFlags::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn retry_only_flag() {
+        let f = FcFlags::retry_only();
+        assert!(f.retry);
+        assert_eq!(f.bits(), 0x08);
+    }
+
+    #[test]
+    fn sifs_response_classification() {
+        assert!(FrameKind::Cts.is_sifs_response());
+        assert!(FrameKind::Ack.is_sifs_response());
+        assert!(!FrameKind::Rts.is_sifs_response());
+        assert!(!FrameKind::Data.is_sifs_response());
+    }
+}

@@ -1,0 +1,591 @@
+//! On-air byte layout: serialization and parsing of 802.11 frames.
+//!
+//! [`encode`] produces the exact transmitted octets including the FCS.
+//! [`parse`] inverts it for complete frames, and [`parse_header`] recovers the
+//! MAC header from snaplen-truncated captures (the study's sniffers captured
+//! only the first 250 bytes of every frame).
+
+use crate::fc::{FcError, FrameClass, FrameControl, FrameKind};
+use crate::fcs;
+use crate::frame::{Ack, Beacon, Cts, Data, Frame, Mgmt, Rts, SeqCtl};
+use crate::mac::MacAddr;
+use crate::phy::{Channel, Rate};
+use core::fmt;
+
+/// Information element ids used in beacon bodies.
+mod ie {
+    pub const SSID: u8 = 0;
+    pub const SUPPORTED_RATES: u8 = 1;
+    pub const DS_PARAMS: u8 = 3;
+}
+
+/// Errors produced while parsing frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bytes than the smallest frame of the indicated kind.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Frame Control field was undecodable.
+    FrameControl(FcError),
+    /// The FCS did not match the frame contents.
+    BadFcs,
+    /// A beacon information element was malformed.
+    BadInformationElement,
+    /// Beacon advertised a channel outside 1–14.
+    BadChannel(u8),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "frame truncated: needed {needed} bytes, got {got}")
+            }
+            ParseError::FrameControl(e) => write!(f, "bad frame control: {e}"),
+            ParseError::BadFcs => write!(f, "frame check sequence mismatch"),
+            ParseError::BadInformationElement => write!(f, "malformed information element"),
+            ParseError::BadChannel(c) => write!(f, "invalid channel number {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<FcError> for ParseError {
+    fn from(e: FcError) -> Self {
+        ParseError::FrameControl(e)
+    }
+}
+
+/// Serializes a frame to its on-air octets, FCS included.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.size_bytes());
+    let fc = frame.frame_control();
+    out.extend_from_slice(&fc.to_le_bytes());
+    out.extend_from_slice(&frame.duration().to_le_bytes());
+    match frame {
+        Frame::Rts(f) => {
+            out.extend_from_slice(&f.receiver.octets());
+            out.extend_from_slice(&f.transmitter.octets());
+        }
+        Frame::Cts(f) => out.extend_from_slice(&f.receiver.octets()),
+        Frame::Ack(f) => out.extend_from_slice(&f.receiver.octets()),
+        Frame::Data(f) => {
+            out.extend_from_slice(&f.addr1.octets());
+            out.extend_from_slice(&f.addr2.octets());
+            out.extend_from_slice(&f.addr3.octets());
+            out.extend_from_slice(&f.seq.to_raw().to_le_bytes());
+            if !f.null {
+                out.extend_from_slice(&f.payload);
+            }
+        }
+        Frame::Beacon(f) => {
+            out.extend_from_slice(&f.dest.octets());
+            out.extend_from_slice(&f.source.octets());
+            out.extend_from_slice(&f.bssid.octets());
+            out.extend_from_slice(&f.seq.to_raw().to_le_bytes());
+            out.extend_from_slice(&f.timestamp.to_le_bytes());
+            out.extend_from_slice(&f.interval_tu.to_le_bytes());
+            out.extend_from_slice(&f.capability.to_le_bytes());
+            // SSID IE.
+            out.push(ie::SSID);
+            out.push(f.ssid.len() as u8);
+            out.extend_from_slice(f.ssid.as_bytes());
+            // Supported Rates IE: the four 802.11b rates, 1 & 2 basic.
+            out.push(ie::SUPPORTED_RATES);
+            out.push(4);
+            out.push(Rate::R1.units_500kbps() | 0x80);
+            out.push(Rate::R2.units_500kbps() | 0x80);
+            out.push(Rate::R5_5.units_500kbps());
+            out.push(Rate::R11.units_500kbps());
+            // DS Parameter Set IE.
+            out.push(ie::DS_PARAMS);
+            out.push(1);
+            out.push(f.channel.number());
+        }
+        Frame::Mgmt(f) => {
+            out.extend_from_slice(&f.addr1.octets());
+            out.extend_from_slice(&f.addr2.octets());
+            out.extend_from_slice(&f.addr3.octets());
+            out.extend_from_slice(&f.seq.to_raw().to_le_bytes());
+            out.extend_from_slice(&f.body);
+        }
+    }
+    fcs::append_fcs(&mut out);
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ParseError::Truncated {
+                needed: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, ParseError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, ParseError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    fn mac(&mut self) -> Result<MacAddr, ParseError> {
+        let b = self.take(6)?;
+        Ok(MacAddr(b.try_into().expect("len checked")))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+/// Parses a complete on-air frame (FCS verified and consumed).
+pub fn parse(bytes: &[u8]) -> Result<Frame, ParseError> {
+    if bytes.len() < 4 {
+        return Err(ParseError::Truncated {
+            needed: 4,
+            got: bytes.len(),
+        });
+    }
+    if !fcs::verify_fcs(bytes) {
+        return Err(ParseError::BadFcs);
+    }
+    parse_body(&bytes[..bytes.len() - 4])
+}
+
+/// Parses the frame contents without an FCS (already stripped or never
+/// captured). Used internally and by tests.
+pub fn parse_body(bytes: &[u8]) -> Result<Frame, ParseError> {
+    let mut c = Cursor::new(bytes);
+    let fc_bytes = c.take(2)?;
+    let fc = FrameControl::from_le_bytes([fc_bytes[0], fc_bytes[1]])?;
+    let duration = c.u16_le()?;
+    match fc.kind {
+        FrameKind::Rts => Ok(Frame::Rts(Rts {
+            duration,
+            receiver: c.mac()?,
+            transmitter: c.mac()?,
+        })),
+        FrameKind::Cts => Ok(Frame::Cts(Cts {
+            duration,
+            receiver: c.mac()?,
+        })),
+        FrameKind::Ack => Ok(Frame::Ack(Ack {
+            duration,
+            receiver: c.mac()?,
+        })),
+        FrameKind::Data | FrameKind::NullData => {
+            let addr1 = c.mac()?;
+            let addr2 = c.mac()?;
+            let addr3 = c.mac()?;
+            let seq = SeqCtl::from_raw(c.u16_le()?);
+            let null = fc.kind == FrameKind::NullData;
+            let payload = if null { Vec::new() } else { c.rest().to_vec() };
+            Ok(Frame::Data(Data {
+                flags: fc.flags,
+                duration,
+                addr1,
+                addr2,
+                addr3,
+                seq,
+                payload,
+                null,
+            }))
+        }
+        FrameKind::Beacon => {
+            let dest = c.mac()?;
+            let source = c.mac()?;
+            let bssid = c.mac()?;
+            let seq = SeqCtl::from_raw(c.u16_le()?);
+            let timestamp = c.u64_le()?;
+            let interval_tu = c.u16_le()?;
+            let capability = c.u16_le()?;
+            let mut ssid = String::new();
+            let mut channel = None;
+            while c.pos < c.buf.len() {
+                let id = c.u8()?;
+                let len = c.u8()? as usize;
+                let body = c.take(len).map_err(|_| ParseError::BadInformationElement)?;
+                match id {
+                    ie::SSID => {
+                        ssid = String::from_utf8_lossy(body).into_owned();
+                    }
+                    ie::DS_PARAMS => {
+                        if len != 1 {
+                            return Err(ParseError::BadInformationElement);
+                        }
+                        channel =
+                            Some(Channel::new(body[0]).ok_or(ParseError::BadChannel(body[0]))?);
+                    }
+                    _ => {}
+                }
+            }
+            let channel = channel.ok_or(ParseError::BadInformationElement)?;
+            Ok(Frame::Beacon(Beacon {
+                duration,
+                dest,
+                source,
+                bssid,
+                seq,
+                timestamp,
+                interval_tu,
+                capability,
+                ssid,
+                channel,
+            }))
+        }
+        kind if kind.class() == FrameClass::Management => {
+            let addr1 = c.mac()?;
+            let addr2 = c.mac()?;
+            let addr3 = c.mac()?;
+            let seq = SeqCtl::from_raw(c.u16_le()?);
+            Ok(Frame::Mgmt(Mgmt {
+                kind,
+                flags: fc.flags,
+                duration,
+                addr1,
+                addr2,
+                addr3,
+                seq,
+                body: c.rest().to_vec(),
+            }))
+        }
+        kind => {
+            // Unmodelled control/data subtypes: surface as opaque management-
+            // style frames so traces containing them remain analyzable.
+            Ok(Frame::Mgmt(Mgmt {
+                kind,
+                flags: fc.flags,
+                duration,
+                addr1: c.mac()?,
+                addr2: c.mac().unwrap_or(MacAddr::ZERO),
+                addr3: c.mac().unwrap_or(MacAddr::ZERO),
+                seq: SeqCtl::default(),
+                body: c.rest().to_vec(),
+            }))
+        }
+    }
+}
+
+/// The MAC header fields recoverable from a truncated capture.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeaderInfo {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Frame Control.
+    pub fc: FrameControl,
+    /// NAV duration.
+    pub duration: u16,
+    /// Receiver (addr1).
+    pub receiver: MacAddr,
+    /// Transmitter (addr2), absent for CTS/ACK.
+    pub transmitter: Option<MacAddr>,
+    /// Addr3 (BSSID for mgmt; DS-dependent for data), when present.
+    pub addr3: Option<MacAddr>,
+    /// Sequence control, when present.
+    pub seq: Option<SeqCtl>,
+}
+
+/// Parses only the MAC header, tolerating a body truncated by the capture
+/// snap length. The FCS is not checked (it is usually not captured).
+pub fn parse_header(bytes: &[u8]) -> Result<HeaderInfo, ParseError> {
+    let mut c = Cursor::new(bytes);
+    let fc_bytes = c.take(2)?;
+    let fc = FrameControl::from_le_bytes([fc_bytes[0], fc_bytes[1]])?;
+    let duration = c.u16_le()?;
+    let receiver = c.mac()?;
+    match fc.kind {
+        FrameKind::Cts | FrameKind::Ack => Ok(HeaderInfo {
+            kind: fc.kind,
+            fc,
+            duration,
+            receiver,
+            transmitter: None,
+            addr3: None,
+            seq: None,
+        }),
+        FrameKind::Rts => Ok(HeaderInfo {
+            kind: fc.kind,
+            fc,
+            duration,
+            receiver,
+            transmitter: Some(c.mac()?),
+            addr3: None,
+            seq: None,
+        }),
+        _ => {
+            let transmitter = c.mac()?;
+            let addr3 = c.mac()?;
+            let seq = SeqCtl::from_raw(c.u16_le()?);
+            Ok(HeaderInfo {
+                kind: fc.kind,
+                fc,
+                duration,
+                receiver,
+                transmitter: Some(transmitter),
+                addr3: Some(addr3),
+                seq: Some(seq),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fc::FcFlags;
+
+    fn sta(i: u32) -> MacAddr {
+        MacAddr::from_id(i)
+    }
+
+    fn sample_data(payload: usize) -> Frame {
+        Frame::Data(Data {
+            flags: FcFlags {
+                to_ds: true,
+                retry: true,
+                ..FcFlags::default()
+            },
+            duration: 314,
+            addr1: sta(1),
+            addr2: sta(2),
+            addr3: sta(3),
+            seq: SeqCtl::new(777, 0),
+            payload: (0..payload).map(|i| i as u8).collect(),
+            null: false,
+        })
+    }
+
+    fn sample_beacon() -> Frame {
+        Frame::Beacon(Beacon {
+            duration: 0,
+            dest: MacAddr::BROADCAST,
+            source: sta(100),
+            bssid: sta(100),
+            seq: SeqCtl::new(9, 0),
+            timestamp: 0x0102_0304_0506_0708,
+            interval_tu: 100,
+            capability: 0x0401,
+            ssid: "ietf62".into(),
+            channel: Channel::new(11).unwrap(),
+        })
+    }
+
+    #[test]
+    fn encode_lengths_match_size_bytes() {
+        let frames = [
+            Frame::Rts(Rts {
+                duration: 1,
+                receiver: sta(1),
+                transmitter: sta(2),
+            }),
+            Frame::Cts(Cts {
+                duration: 2,
+                receiver: sta(1),
+            }),
+            Frame::Ack(Ack {
+                duration: 0,
+                receiver: sta(1),
+            }),
+            sample_data(0),
+            sample_data(1472),
+            sample_beacon(),
+        ];
+        for f in frames {
+            assert_eq!(encode(&f).len(), f.size_bytes(), "{:?}", f.kind());
+        }
+    }
+
+    #[test]
+    fn roundtrip_control_frames() {
+        for f in [
+            Frame::Rts(Rts {
+                duration: 12_464,
+                receiver: sta(4),
+                transmitter: sta(5),
+            }),
+            Frame::Cts(Cts {
+                duration: 10_000,
+                receiver: sta(5),
+            }),
+            Frame::Ack(Ack {
+                duration: 0,
+                receiver: sta(5),
+            }),
+        ] {
+            assert_eq!(parse(&encode(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn roundtrip_data_frame() {
+        let f = sample_data(700);
+        assert_eq!(parse(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_null_data() {
+        let f = Frame::Data(Data {
+            flags: FcFlags {
+                pwr_mgmt: true,
+                to_ds: true,
+                ..FcFlags::default()
+            },
+            duration: 0,
+            addr1: sta(1),
+            addr2: sta(2),
+            addr3: sta(1),
+            seq: SeqCtl::new(55, 0),
+            payload: vec![],
+            null: true,
+        });
+        assert_eq!(parse(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_beacon() {
+        let f = sample_beacon();
+        assert_eq!(parse(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_generic_mgmt() {
+        let f = Frame::Mgmt(Mgmt {
+            kind: FrameKind::ProbeRequest,
+            flags: FcFlags::default(),
+            duration: 0,
+            addr1: MacAddr::BROADCAST,
+            addr2: sta(8),
+            addr3: MacAddr::BROADCAST,
+            seq: SeqCtl::new(2, 0),
+            body: vec![0, 6, b'i', b'e', b't', b'f', b'6', b'2'],
+        });
+        assert_eq!(parse(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn corrupted_fcs_rejected() {
+        let mut bytes = encode(&sample_data(64));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(parse(&bytes), Err(ParseError::BadFcs));
+    }
+
+    #[test]
+    fn corrupted_body_rejected() {
+        let mut bytes = encode(&sample_beacon());
+        bytes[10] ^= 0x80;
+        assert_eq!(parse(&bytes), Err(ParseError::BadFcs));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(matches!(parse(&[]), Err(ParseError::Truncated { .. })));
+        let bytes = encode(&sample_data(64));
+        assert!(matches!(
+            parse_body(&bytes[..10]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_header_from_truncated_data_frame() {
+        let f = sample_data(1472);
+        let bytes = encode(&f);
+        // Emulate the study's 250-byte snap length.
+        let h = parse_header(&bytes[..250]).unwrap();
+        assert_eq!(h.kind, FrameKind::Data);
+        assert_eq!(h.receiver, sta(1));
+        assert_eq!(h.transmitter, Some(sta(2)));
+        assert_eq!(h.addr3, Some(sta(3)));
+        assert_eq!(h.seq, Some(SeqCtl::new(777, 0)));
+        assert!(h.fc.flags.retry);
+        assert_eq!(h.duration, 314);
+    }
+
+    #[test]
+    fn parse_header_control_frames() {
+        let bytes = encode(&Frame::Ack(Ack {
+            duration: 0,
+            receiver: sta(3),
+        }));
+        let h = parse_header(&bytes).unwrap();
+        assert_eq!(h.kind, FrameKind::Ack);
+        assert_eq!(h.transmitter, None);
+        assert_eq!(h.seq, None);
+        let bytes = encode(&Frame::Rts(Rts {
+            duration: 42,
+            receiver: sta(3),
+            transmitter: sta(4),
+        }));
+        let h = parse_header(&bytes).unwrap();
+        assert_eq!(h.kind, FrameKind::Rts);
+        assert_eq!(h.transmitter, Some(sta(4)));
+    }
+
+    #[test]
+    fn beacon_missing_ds_ie_rejected() {
+        // Hand-build a beacon body without the DS Parameter Set IE.
+        let b = sample_beacon();
+        let mut bytes = encode(&b);
+        bytes.truncate(bytes.len() - 4); // drop FCS
+        bytes.truncate(bytes.len() - 3); // drop DS IE (3 bytes)
+        assert_eq!(parse_body(&bytes), Err(ParseError::BadInformationElement));
+    }
+
+    #[test]
+    fn beacon_bad_channel_rejected() {
+        let b = sample_beacon();
+        let mut bytes = encode(&b);
+        bytes.truncate(bytes.len() - 4);
+        let last = bytes.len() - 1;
+        bytes[last] = 99; // channel 99
+        assert_eq!(parse_body(&bytes), Err(ParseError::BadChannel(99)));
+    }
+
+    #[test]
+    fn ps_poll_parses_as_other() {
+        // PS-Poll: control subtype 0b1010, fc byte0 = 1010_01_00 = 0xA4,
+        // then AID(2) + BSSID(6) + TA(6).
+        let mut bytes = vec![0xA4, 0x00, 0x01, 0xC0];
+        bytes.extend_from_slice(&sta(1).octets());
+        bytes.extend_from_slice(&sta(2).octets());
+        crate::fcs::append_fcs(&mut bytes);
+        let f = parse(&bytes).unwrap();
+        assert!(matches!(
+            f.kind(),
+            FrameKind::Other {
+                class: FrameClass::Control,
+                subtype: 0b1010
+            }
+        ));
+    }
+}

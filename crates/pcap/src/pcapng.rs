@@ -1,0 +1,547 @@
+//! pcapng (pcap-next-generation) support — the block-structured capture
+//! format modern tools (Wireshark, tcpdump ≥ 4.1) write by default.
+//!
+//! Implemented from the specification, supporting what a trace-analysis
+//! pipeline needs:
+//!
+//! * Section Header Blocks in either byte order, including mid-stream new
+//!   sections (each resets the interface list and may change endianness);
+//! * Interface Description Blocks with the `if_tsresol` option (decimal and
+//!   binary resolutions), per-interface link type and snap length;
+//! * Enhanced Packet Blocks and Simple Packet Blocks;
+//! * unknown block types and options are skipped by length, as required.
+//!
+//! Timestamps are normalized to microseconds on read, matching the classic
+//! reader.
+
+use crate::format::{LinkType, PcapError, PcapPacket, MAX_SANE_CAPLEN};
+use std::io::Read;
+
+/// Block type: Section Header Block.
+pub const BT_SHB: u32 = 0x0A0D_0D0A;
+/// Block type: Interface Description Block.
+pub const BT_IDB: u32 = 0x0000_0001;
+/// Block type: Enhanced Packet Block.
+pub const BT_EPB: u32 = 0x0000_0006;
+/// Block type: Simple Packet Block.
+pub const BT_SPB: u32 = 0x0000_0003;
+/// The byte-order magic inside an SHB.
+pub const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+
+#[derive(Clone, Copy, Debug)]
+struct Interface {
+    link: LinkType,
+    snaplen: u32,
+    /// Timestamp units per second.
+    ticks_per_sec: u64,
+}
+
+/// A packet read from a pcapng stream, tagged with its interface's link
+/// type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NgPacket {
+    /// The interface's data-link type.
+    pub link: LinkType,
+    /// The packet record (timestamp in microseconds).
+    pub packet: PcapPacket,
+}
+
+/// A streaming pcapng reader.
+pub struct PcapNgReader<R> {
+    inner: R,
+    big_endian: bool,
+    interfaces: Vec<Interface>,
+    started: bool,
+}
+
+impl<R: Read> PcapNgReader<R> {
+    /// Wraps a byte stream. The first block must be a Section Header Block;
+    /// it is validated lazily on the first packet read.
+    pub fn new(inner: R) -> PcapNgReader<R> {
+        PcapNgReader {
+            inner,
+            big_endian: false,
+            interfaces: Vec::new(),
+            started: false,
+        }
+    }
+
+    fn u16_of(&self, b: [u8; 2]) -> u16 {
+        if self.big_endian {
+            u16::from_be_bytes(b)
+        } else {
+            u16::from_le_bytes(b)
+        }
+    }
+
+    fn u32_of(&self, b: [u8; 4]) -> u32 {
+        if self.big_endian {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    }
+
+    fn u32_at(&self, buf: &[u8], off: usize) -> u32 {
+        self.u32_of([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+    }
+
+    fn u16_at(&self, buf: &[u8], off: usize) -> u16 {
+        self.u16_of([buf[off], buf[off + 1]])
+    }
+
+    /// Reads the next packet; `Ok(None)` at clean end of stream.
+    pub fn next_packet(&mut self) -> Result<Option<NgPacket>, PcapError> {
+        loop {
+            // Block header: type (4) + total length (4).
+            let mut head = [0u8; 8];
+            match read_fully(&mut self.inner, &mut head)? {
+                ReadOutcome::Eof => return Ok(None),
+                ReadOutcome::Partial => return Err(PcapError::TruncatedFile),
+                ReadOutcome::Full => {}
+            }
+            // The SHB's type bytes are palindromic, so readable before the
+            // byte order is known.
+            let raw_type = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+            if raw_type == BT_SHB {
+                self.read_shb(&head)?;
+                continue;
+            }
+            if !self.started {
+                return Err(PcapError::BadMagic(raw_type));
+            }
+            let block_type = self.u32_of([head[0], head[1], head[2], head[3]]);
+            let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
+            if total_len < 12 || total_len % 4 != 0 || total_len as u32 > MAX_SANE_CAPLEN * 2 {
+                return Err(PcapError::OversizedRecord(total_len as u32));
+            }
+            let body_len = total_len - 12; // minus header and trailing length
+            let mut body = vec![0u8; body_len + 4];
+            match read_fully(&mut self.inner, &mut body)? {
+                ReadOutcome::Full => {}
+                _ => return Err(PcapError::TruncatedFile),
+            }
+            let trailing = self.u32_of(body[body_len..].try_into().expect("4 bytes")) as usize;
+            if trailing != total_len {
+                return Err(PcapError::TruncatedFile);
+            }
+            body.truncate(body_len);
+            match block_type {
+                BT_IDB => self.read_idb(&body)?,
+                BT_EPB => {
+                    if let Some(pkt) = self.read_epb(&body)? {
+                        return Ok(Some(pkt));
+                    }
+                }
+                BT_SPB => {
+                    if let Some(pkt) = self.read_spb(&body)? {
+                        return Ok(Some(pkt));
+                    }
+                }
+                _ => {} // unknown block: skipped by length
+            }
+        }
+    }
+
+    fn read_shb(&mut self, head: &[u8; 8]) -> Result<(), PcapError> {
+        // Read enough of the body to find the byte-order magic.
+        let mut rest = [0u8; 4]; // byte-order magic
+        if !matches!(read_fully(&mut self.inner, &mut rest)?, ReadOutcome::Full) {
+            return Err(PcapError::TruncatedFile);
+        }
+        let magic_le = u32::from_le_bytes(rest);
+        self.big_endian = match magic_le {
+            BYTE_ORDER_MAGIC => false,
+            m if m == BYTE_ORDER_MAGIC.swap_bytes() => true,
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
+        if total_len < 28 || total_len % 4 != 0 {
+            return Err(PcapError::TruncatedFile);
+        }
+        // Consume the remaining body (version, section length, options) and
+        // the trailing length.
+        let mut remaining = vec![0u8; total_len - 12 - 4 + 4];
+        if !matches!(
+            read_fully(&mut self.inner, &mut remaining)?,
+            ReadOutcome::Full
+        ) {
+            return Err(PcapError::TruncatedFile);
+        }
+        let major = self.u16_of([remaining[0], remaining[1]]);
+        if major != 1 {
+            let minor = self.u16_of([remaining[2], remaining[3]]);
+            return Err(PcapError::UnsupportedVersion(major, minor));
+        }
+        // A new section resets the interface list.
+        self.interfaces.clear();
+        self.started = true;
+        Ok(())
+    }
+
+    fn read_idb(&mut self, body: &[u8]) -> Result<(), PcapError> {
+        if body.len() < 8 {
+            return Err(PcapError::TruncatedFile);
+        }
+        let link = LinkType::from_code(self.u16_at(body, 0) as u32);
+        let snaplen = self.u32_at(body, 4);
+        // Default resolution: microseconds; overridden by if_tsresol (9).
+        let mut ticks_per_sec: u64 = 1_000_000;
+        let mut off = 8;
+        while off + 4 <= body.len() {
+            let code = self.u16_at(body, off);
+            let len = self.u16_at(body, off + 2) as usize;
+            let val_off = off + 4;
+            if code == 0 {
+                break; // opt_endofopt
+            }
+            if val_off + len > body.len() {
+                return Err(PcapError::TruncatedFile);
+            }
+            if code == 9 && len >= 1 {
+                let raw = body[val_off];
+                ticks_per_sec = if raw & 0x80 == 0 {
+                    10u64.saturating_pow((raw & 0x7f) as u32)
+                } else {
+                    1u64 << (raw & 0x7f).min(63)
+                };
+                if ticks_per_sec == 0 {
+                    ticks_per_sec = 1_000_000;
+                }
+            }
+            off = val_off + len.div_ceil(4) * 4;
+        }
+        self.interfaces.push(Interface {
+            link,
+            snaplen,
+            ticks_per_sec,
+        });
+        Ok(())
+    }
+
+    fn read_epb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
+        if body.len() < 20 {
+            return Err(PcapError::TruncatedFile);
+        }
+        let iface_id = self.u32_at(body, 0) as usize;
+        let ts_high = self.u32_at(body, 4) as u64;
+        let ts_low = self.u32_at(body, 8) as u64;
+        let caplen = self.u32_at(body, 12);
+        let orig_len = self.u32_at(body, 16);
+        if caplen > MAX_SANE_CAPLEN {
+            return Err(PcapError::OversizedRecord(caplen));
+        }
+        if caplen > orig_len {
+            return Err(PcapError::InconsistentLengths { caplen, orig_len });
+        }
+        let iface = *self
+            .interfaces
+            .get(iface_id)
+            .ok_or(PcapError::TruncatedFile)?;
+        if 20 + caplen as usize > body.len() {
+            return Err(PcapError::TruncatedFile);
+        }
+        let data = body[20..20 + caplen as usize].to_vec();
+        let ticks = (ts_high << 32) | ts_low;
+        let timestamp_us = ticks.saturating_mul(1_000_000) / iface.ticks_per_sec;
+        Ok(Some(NgPacket {
+            link: iface.link,
+            packet: PcapPacket {
+                timestamp_us,
+                orig_len,
+                data,
+            },
+        }))
+    }
+
+    fn read_spb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
+        if body.len() < 4 {
+            return Err(PcapError::TruncatedFile);
+        }
+        let orig_len = self.u32_at(body, 0);
+        // SPBs always belong to interface 0.
+        let iface = *self.interfaces.first().ok_or(PcapError::TruncatedFile)?;
+        let caplen = orig_len.min(iface.snaplen.max(1)) as usize;
+        if 4 + caplen > body.len() {
+            return Err(PcapError::TruncatedFile);
+        }
+        Ok(Some(NgPacket {
+            link: iface.link,
+            packet: PcapPacket {
+                timestamp_us: 0, // SPBs carry no timestamp
+                orig_len,
+                data: body[4..4 + caplen].to_vec(),
+            },
+        }))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, PcapError> {
+    let mut read = 0;
+    while read < buf.len() {
+        match r.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Ok(if read == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(PcapError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// A minimal pcapng writer: one section, one interface, Enhanced Packet
+/// Blocks with microsecond timestamps.
+pub struct PcapNgWriter<W: std::io::Write> {
+    inner: W,
+    snaplen: u32,
+}
+
+impl<W: std::io::Write> PcapNgWriter<W> {
+    /// Writes the SHB and one IDB. `snaplen` 0 means unlimited.
+    pub fn new(mut inner: W, link: LinkType, snaplen: u32) -> Result<Self, PcapError> {
+        // SHB: 28 bytes, no options.
+        inner.write_all(&BT_SHB.to_le_bytes())?;
+        inner.write_all(&28u32.to_le_bytes())?;
+        inner.write_all(&BYTE_ORDER_MAGIC.to_le_bytes())?;
+        inner.write_all(&1u16.to_le_bytes())?; // major
+        inner.write_all(&0u16.to_le_bytes())?; // minor
+        inner.write_all(&u64::MAX.to_le_bytes())?; // section length unknown
+        inner.write_all(&28u32.to_le_bytes())?;
+        // IDB: 20 bytes, no options (default µs resolution).
+        inner.write_all(&BT_IDB.to_le_bytes())?;
+        inner.write_all(&20u32.to_le_bytes())?;
+        inner.write_all(&(link.code() as u16).to_le_bytes())?;
+        inner.write_all(&0u16.to_le_bytes())?;
+        inner.write_all(&snaplen.to_le_bytes())?;
+        inner.write_all(&20u32.to_le_bytes())?;
+        Ok(PcapNgWriter { inner, snaplen })
+    }
+
+    /// Writes one packet as an EPB, truncating to the snap length.
+    pub fn write_packet(&mut self, timestamp_us: u64, data: &[u8]) -> Result<(), PcapError> {
+        let caplen = if self.snaplen == 0 {
+            data.len()
+        } else {
+            data.len().min(self.snaplen as usize)
+        };
+        let padded = caplen.div_ceil(4) * 4;
+        let total = (32 + padded) as u32;
+        self.inner.write_all(&BT_EPB.to_le_bytes())?;
+        self.inner.write_all(&total.to_le_bytes())?;
+        self.inner.write_all(&0u32.to_le_bytes())?; // interface 0
+        self.inner
+            .write_all(&((timestamp_us >> 32) as u32).to_le_bytes())?;
+        self.inner.write_all(&(timestamp_us as u32).to_le_bytes())?;
+        self.inner.write_all(&(caplen as u32).to_le_bytes())?;
+        self.inner.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&data[..caplen])?;
+        self.inner.write_all(&vec![0u8; padded - caplen])?;
+        self.inner.write_all(&total.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> Result<(), PcapError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(packets: &[(u64, Vec<u8>)], snaplen: u32) -> Vec<NgPacket> {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Radiotap, snaplen).unwrap();
+            for (ts, data) in packets {
+                w.write_packet(*ts, data).unwrap();
+            }
+        }
+        let mut r = PcapNgReader::new(&buf[..]);
+        let mut out = Vec::new();
+        while let Some(p) = r.next_packet().unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let packets = vec![
+            (1_000_000u64, vec![1, 2, 3, 4, 5]),
+            (2_500_001, vec![9; 100]),
+            (u32::MAX as u64 + 17, vec![0xAB; 7]), // exercises ts_high
+        ];
+        let got = roundtrip(&packets, 0);
+        assert_eq!(got.len(), 3);
+        for (g, (ts, data)) in got.iter().zip(&packets) {
+            assert_eq!(g.link, LinkType::Radiotap);
+            assert_eq!(g.packet.timestamp_us, *ts);
+            assert_eq!(&g.packet.data, data);
+            assert_eq!(g.packet.orig_len as usize, data.len());
+        }
+    }
+
+    #[test]
+    fn snaplen_truncates_epb() {
+        let got = roundtrip(&[(0, vec![7u8; 500])], 250);
+        assert_eq!(got[0].packet.data.len(), 250);
+        assert_eq!(got[0].packet.orig_len, 500);
+        assert!(got[0].packet.is_truncated());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut r = PcapNgReader::new(&[0xDEu8, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0][..]);
+        assert!(matches!(r.next_packet(), Err(PcapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r = PcapNgReader::new(&[][..]);
+        assert!(r.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_block_errors() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Radiotap, 0).unwrap();
+            w.write_packet(5, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        }
+        let cut = buf.len() - 5;
+        let mut r = PcapNgReader::new(&buf[..cut]);
+        assert!(matches!(r.next_packet(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Ieee80211, 0).unwrap();
+            w.write_packet(1, &[0xAA]).unwrap();
+        }
+        // Splice a custom block (type 0x0BAD) between IDB and EPB.
+        let idb_end = 28 + 20;
+        let mut custom = Vec::new();
+        custom.extend_from_slice(&0x0BADu32.to_le_bytes());
+        custom.extend_from_slice(&16u32.to_le_bytes());
+        custom.extend_from_slice(&[0xFF; 4]);
+        custom.extend_from_slice(&16u32.to_le_bytes());
+        let mut spliced = buf[..idb_end].to_vec();
+        spliced.extend_from_slice(&custom);
+        spliced.extend_from_slice(&buf[idb_end..]);
+        let mut r = PcapNgReader::new(&spliced[..]);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.packet.data, vec![0xAA]);
+        assert_eq!(p.link, LinkType::Ieee80211);
+    }
+
+    #[test]
+    fn big_endian_section() {
+        // Hand-build a big-endian SHB + IDB + EPB.
+        let mut buf = Vec::new();
+        // SHB (type bytes are palindromic; lengths big-endian).
+        buf.extend_from_slice(&BT_SHB.to_be_bytes());
+        buf.extend_from_slice(&28u32.to_be_bytes());
+        buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&u64::MAX.to_be_bytes());
+        buf.extend_from_slice(&28u32.to_be_bytes());
+        // IDB.
+        buf.extend_from_slice(&BT_IDB.to_be_bytes());
+        buf.extend_from_slice(&20u32.to_be_bytes());
+        buf.extend_from_slice(&127u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&20u32.to_be_bytes());
+        // EPB with 2 bytes of data.
+        buf.extend_from_slice(&BT_EPB.to_be_bytes());
+        buf.extend_from_slice(&36u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes()); // ts hi
+        buf.extend_from_slice(&42u32.to_be_bytes()); // ts lo
+        buf.extend_from_slice(&2u32.to_be_bytes()); // caplen
+        buf.extend_from_slice(&2u32.to_be_bytes()); // origlen
+        buf.extend_from_slice(&[0xCA, 0xFE, 0, 0]); // padded
+        buf.extend_from_slice(&36u32.to_be_bytes());
+        let mut r = PcapNgReader::new(&buf[..]);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.link, LinkType::Radiotap);
+        assert_eq!(p.packet.timestamp_us, 42);
+        assert_eq!(p.packet.data, vec![0xCA, 0xFE]);
+    }
+
+    #[test]
+    fn tsresol_option_nanoseconds() {
+        // IDB with if_tsresol = 9 (nanoseconds); EPB timestamp in ns.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BT_SHB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        // IDB with one option: code 9, len 1, value 9 (10^-9), padded.
+        buf.extend_from_slice(&BT_IDB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&127u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u16.to_le_bytes()); // if_tsresol
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&[9, 0, 0, 0]); // value + pad
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        // EPB at 5_000_000 ns = 5_000 µs.
+        buf.extend_from_slice(&BT_EPB.to_le_bytes());
+        buf.extend_from_slice(&36u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&5_000_000u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&[0x55, 0, 0, 0]);
+        buf.extend_from_slice(&36u32.to_le_bytes());
+        let mut r = PcapNgReader::new(&buf[..]);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.packet.timestamp_us, 5_000);
+    }
+
+    #[test]
+    fn second_section_resets_interfaces() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Ethernet, 0).unwrap();
+            w.write_packet(1, &[1]).unwrap();
+        }
+        // Append a whole second section with a different link type.
+        {
+            let mut second = Vec::new();
+            let mut w = PcapNgWriter::new(&mut second, LinkType::Radiotap, 0).unwrap();
+            w.write_packet(2, &[2]).unwrap();
+            buf.extend_from_slice(&second);
+        }
+        let mut r = PcapNgReader::new(&buf[..]);
+        let a = r.next_packet().unwrap().unwrap();
+        let b = r.next_packet().unwrap().unwrap();
+        assert_eq!(a.link, LinkType::Ethernet);
+        assert_eq!(b.link, LinkType::Radiotap);
+        assert!(r.next_packet().unwrap().is_none());
+    }
+}

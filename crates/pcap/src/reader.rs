@@ -1,0 +1,319 @@
+//! Streaming pcap reader.
+
+use crate::format::{
+    LinkType, PcapError, PcapPacket, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
+    MAGIC_NS_LE, MAX_SANE_CAPLEN, RECORD_HEADER_LEN,
+};
+use std::io::Read;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Endian {
+    Little,
+    Big,
+}
+
+/// A streaming reader over a classic pcap file.
+///
+/// Handles both byte orders and both timestamp resolutions; timestamps are
+/// normalized to microseconds.
+pub struct PcapReader<R> {
+    inner: R,
+    endian: Endian,
+    nanos: bool,
+    link: LinkType,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
+        let mut header = [0u8; GLOBAL_HEADER_LEN];
+        read_exact_or(&mut inner, &mut header, PcapError::TruncatedFile)?;
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let (endian, nanos) = match magic {
+            MAGIC_LE => (Endian::Little, false),
+            MAGIC_NS_LE => (Endian::Little, true),
+            MAGIC_BE => (Endian::Big, false),
+            MAGIC_NS_BE => (Endian::Big, true),
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        let u16_at = |i: usize| -> u16 {
+            let b = [header[i], header[i + 1]];
+            match endian {
+                Endian::Little => u16::from_le_bytes(b),
+                Endian::Big => u16::from_be_bytes(b),
+            }
+        };
+        let u32_at = |i: usize| -> u32 {
+            let b = [header[i], header[i + 1], header[i + 2], header[i + 3]];
+            match endian {
+                Endian::Little => u32::from_le_bytes(b),
+                Endian::Big => u32::from_be_bytes(b),
+            }
+        };
+        let (major, minor) = (u16_at(4), u16_at(6));
+        if major != 2 {
+            return Err(PcapError::UnsupportedVersion(major, minor));
+        }
+        let snaplen = u32_at(16);
+        let link = LinkType::from_code(u32_at(20));
+        Ok(PcapReader {
+            inner,
+            endian,
+            nanos,
+            link,
+            snaplen,
+        })
+    }
+
+    /// The file's data-link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link
+    }
+
+    /// The snap length declared in the global header.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// True if the file stores nanosecond-resolution timestamps.
+    pub fn is_nanosecond(&self) -> bool {
+        self.nanos
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of file.
+    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>, PcapError> {
+        let mut header = [0u8; RECORD_HEADER_LEN];
+        match self.inner.read(&mut header[..1])? {
+            0 => return Ok(None), // clean EOF
+            _ => read_exact_or(&mut self.inner, &mut header[1..], PcapError::TruncatedFile)?,
+        }
+        let u32_at = |i: usize| -> u32 {
+            let b = [header[i], header[i + 1], header[i + 2], header[i + 3]];
+            match self.endian {
+                Endian::Little => u32::from_le_bytes(b),
+                Endian::Big => u32::from_be_bytes(b),
+            }
+        };
+        let ts_sec = u32_at(0) as u64;
+        let ts_frac = u32_at(4) as u64;
+        let caplen = u32_at(8);
+        let orig_len = u32_at(12);
+        if caplen > MAX_SANE_CAPLEN {
+            return Err(PcapError::OversizedRecord(caplen));
+        }
+        if caplen > orig_len {
+            return Err(PcapError::InconsistentLengths { caplen, orig_len });
+        }
+        let mut data = vec![0u8; caplen as usize];
+        read_exact_or(&mut self.inner, &mut data, PcapError::TruncatedFile)?;
+        let micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
+        Ok(Some(PcapPacket {
+            timestamp_us: ts_sec * 1_000_000 + micros,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Consumes the reader, returning an iterator over records. Errors
+    /// terminate the iteration after being yielded once.
+    pub fn packets(self) -> Packets<R> {
+        Packets {
+            reader: self,
+            done: false,
+        }
+    }
+}
+
+/// Iterator adapter returned by [`PcapReader::packets`].
+pub struct Packets<R> {
+    reader: PcapReader<R>,
+    done: bool,
+}
+
+impl<R: Read> Iterator for Packets<R> {
+    type Item = Result<PcapPacket, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.reader.next_packet() {
+            Ok(Some(pkt)) => Some(Ok(pkt)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], on_eof: PcapError) -> Result<(), PcapError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(on_eof),
+        Err(e) => Err(PcapError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::PcapWriter;
+
+    fn sample_file() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, LinkType::Radiotap, 250).unwrap();
+        w.write_packet(1_500_000, &[1, 2, 3]).unwrap();
+        w.write_packet(2_750_001, &[4; 10]).unwrap();
+        buf
+    }
+
+    #[test]
+    fn reads_what_writer_wrote() {
+        let buf = sample_file();
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::Radiotap);
+        assert_eq!(r.snaplen(), 250);
+        assert!(!r.is_nanosecond());
+        let p1 = r.next_packet().unwrap().unwrap();
+        assert_eq!(p1.timestamp_us, 1_500_000);
+        assert_eq!(p1.data, vec![1, 2, 3]);
+        assert_eq!(p1.orig_len, 3);
+        let p2 = r.next_packet().unwrap().unwrap();
+        assert_eq!(p2.timestamp_us, 2_750_001);
+        assert!(r.next_packet().unwrap().is_none());
+        // EOF is sticky.
+        assert!(r.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn iterator_yields_all_then_ends() {
+        let buf = sample_file();
+        let r = PcapReader::new(&buf[..]).unwrap();
+        let pkts: Result<Vec<_>, _> = r.packets().collect();
+        assert_eq!(pkts.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_magic() {
+        let buf = vec![
+            0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        ];
+        assert!(matches!(
+            PcapReader::new(&buf[..]),
+            Err(PcapError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_short_global_header() {
+        let buf = sample_file();
+        assert!(matches!(
+            PcapReader::new(&buf[..10]),
+            Err(PcapError::TruncatedFile)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_record_header() {
+        let buf = sample_file();
+        // Cut in the middle of the second record header.
+        let cut = GLOBAL_HEADER_LEN + RECORD_HEADER_LEN + 3 + 4;
+        let mut r = PcapReader::new(&buf[..cut]).unwrap();
+        r.next_packet().unwrap().unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn rejects_truncated_record_body() {
+        let buf = sample_file();
+        let cut = buf.len() - 2;
+        let mut r = PcapReader::new(&buf[..cut]).unwrap();
+        r.next_packet().unwrap().unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn reads_big_endian_files() {
+        // Hand-build a big-endian µs file with one 2-byte packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_be_bytes()); // sigfigs
+        buf.extend_from_slice(&65535u32.to_be_bytes()); // snaplen
+        buf.extend_from_slice(&127u32.to_be_bytes()); // linktype
+        buf.extend_from_slice(&3u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&14u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&2u32.to_be_bytes()); // caplen
+        buf.extend_from_slice(&2u32.to_be_bytes()); // orig_len
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::Radiotap);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.timestamp_us, 3_000_014);
+        assert_eq!(p.data, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn reads_nanosecond_files() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NS_LE.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&105u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&999_999_000u32.to_le_bytes()); // ts_nsec
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0x42);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(r.is_nanosecond());
+        assert_eq!(r.link_type(), LinkType::Ieee80211);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.timestamp_us, 1_999_999);
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut buf = sample_file();
+        buf[4] = 9; // version major
+        assert!(matches!(
+            PcapReader::new(&buf[..]),
+            Err(PcapError::UnsupportedVersion(9, 4))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_record() {
+        let mut buf = sample_file();
+        // Patch the first record's caplen to something absurd.
+        let off = GLOBAL_HEADER_LEN + 8;
+        buf[off..off + 4].copy_from_slice(&(MAX_SANE_CAPLEN + 1).to_le_bytes());
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::OversizedRecord(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_caplen_exceeding_origlen() {
+        let mut buf = sample_file();
+        let off = GLOBAL_HEADER_LEN + 12;
+        buf[off..off + 4].copy_from_slice(&1u32.to_le_bytes()); // orig_len = 1 < caplen = 3
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::InconsistentLengths { .. })
+        ));
+    }
+}

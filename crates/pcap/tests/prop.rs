@@ -1,0 +1,93 @@
+//! Property-based tests: pcap write→read is the identity (modulo snaplen
+//! truncation, which is itself exactly characterized).
+
+use proptest::prelude::*;
+use wifi_pcap::{LinkType, PcapPacket, PcapReader, PcapWriter};
+
+fn arb_packets() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            0u64..4_000_000_000_000u64,
+            proptest::collection::vec(any::<u8>(), 0..600),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_unlimited_snaplen(packets in arb_packets()) {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LinkType::Radiotap, 65535).unwrap();
+            for (ts, data) in &packets {
+                w.write_packet(*ts, data).unwrap();
+            }
+        }
+        let r = PcapReader::new(&buf[..]).unwrap();
+        let read: Vec<PcapPacket> = r.packets().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(read.len(), packets.len());
+        for (got, (ts, data)) in read.iter().zip(&packets) {
+            prop_assert_eq!(got.timestamp_us, *ts);
+            prop_assert_eq!(&got.data, data);
+            prop_assert_eq!(got.orig_len as usize, data.len());
+            prop_assert!(!got.is_truncated());
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_snaplen(packets in arb_packets(), snaplen in 1u32..400) {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LinkType::Radiotap, snaplen).unwrap();
+            for (ts, data) in &packets {
+                w.write_packet(*ts, data).unwrap();
+            }
+        }
+        let r = PcapReader::new(&buf[..]).unwrap();
+        let read: Vec<PcapPacket> = r.packets().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(read.len(), packets.len());
+        for (got, (ts, data)) in read.iter().zip(&packets) {
+            prop_assert_eq!(got.timestamp_us, *ts);
+            let expect_cap = data.len().min(snaplen as usize);
+            prop_assert_eq!(&got.data[..], &data[..expect_cap]);
+            prop_assert_eq!(got.orig_len as usize, data.len());
+            prop_assert_eq!(got.is_truncated(), data.len() > expect_cap);
+        }
+    }
+
+    #[test]
+    fn arbitrary_prefix_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Any byte soup must produce a clean error or packets, never a panic.
+        if let Ok(r) = PcapReader::new(&bytes[..]) {
+            for pkt in r.packets() {
+                let _ = pkt;
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_valid_file_errors_cleanly(
+        packets in arb_packets().prop_filter("nonempty", |p| !p.is_empty()),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LinkType::Radiotap, 65535).unwrap();
+            for (ts, data) in &packets {
+                w.write_packet(*ts, data).unwrap();
+            }
+        }
+        let cut = 24 + ((buf.len() - 24) as f64 * cut_frac) as usize;
+        let r = PcapReader::new(&buf[..cut]).unwrap();
+        // Either all records up to the cut parse, or the last yields an error.
+        let mut count = 0usize;
+        for item in r.packets() {
+            match item {
+                Ok(_) => count += 1,
+                Err(_) => break,
+            }
+        }
+        prop_assert!(count <= packets.len());
+    }
+}

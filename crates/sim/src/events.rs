@@ -1,0 +1,206 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events at equal timestamps pop in insertion order (a monotone sequence
+//! number breaks ties), so a simulation is a pure function of its
+//! configuration and seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wifi_frames::timing::Micros;
+
+/// Identifies a node (station, AP, or sniffer) inside one simulation.
+pub type NodeId = usize;
+
+/// Timer kinds a station can arm. Stale timers are ignored via the
+/// generation counter carried alongside.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// DIFS (or EIFS) wait finished; begin or resume backoff countdown.
+    DeferDone,
+    /// Backoff countdown reached zero; transmit.
+    BackoffDone,
+    /// The SIFS before an owed CTS/ACK response elapsed.
+    SifsResponse,
+    /// CTS did not arrive in time.
+    CtsTimeout,
+    /// ACK did not arrive in time.
+    AckTimeout,
+    /// NAV expired.
+    NavExpired,
+}
+
+/// A simulation event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A transmission that started earlier finishes on `channel`.
+    TxEnd {
+        /// Index into the simulator's channel list.
+        channel: usize,
+        /// The transmission id handed out by the medium.
+        tx_id: u64,
+    },
+    /// Carrier sense of a transmission becomes detectable at listeners —
+    /// one detection delay after the transmission began. Stations whose
+    /// backoff expires inside that window transmit concurrently; this is the
+    /// collision vulnerability window of CSMA.
+    CsBusy {
+        /// Index into the simulator's channel list.
+        channel: usize,
+        /// The transmission whose energy becomes detectable.
+        tx_id: u64,
+    },
+    /// A station timer fires. `gen` must match the station's current timer
+    /// generation or the event is stale and dropped.
+    Timer {
+        /// The station.
+        node: NodeId,
+        /// Generation stamp at arming time.
+        gen: u64,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// A traffic source emits its next MSDU.
+    TrafficArrival {
+        /// The station whose flow fires.
+        node: NodeId,
+        /// Flow index within the station.
+        flow: usize,
+    },
+    /// A scheduled beacon target time (TBTT).
+    BeaconDue {
+        /// The AP.
+        node: NodeId,
+    },
+    /// An AP evaluates per-channel load and may switch channels (the
+    /// Airespace-style dynamic channel assignment of the paper's venue).
+    ChannelEval {
+        /// The AP.
+        node: NodeId,
+    },
+    /// A client follows its AP to a new channel and re-associates.
+    FollowAp {
+        /// The client.
+        node: NodeId,
+        /// Destination channel index.
+        channel_idx: usize,
+    },
+    /// A power-saving client emits its next Null-function frame.
+    PowerSaveTick {
+        /// The client.
+        node: NodeId,
+    },
+    /// A user powers on and begins associating.
+    UserJoin {
+        /// The client.
+        node: NodeId,
+    },
+    /// A user leaves the venue.
+    UserLeave {
+        /// The client.
+        node: NodeId,
+    },
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    at: Micros,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: Micros, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Micros, Event)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::BeaconDue { node: 3 });
+        q.push(10, Event::BeaconDue { node: 1 });
+        q.push(20, Event::BeaconDue { node: 2 });
+        let order: Vec<Micros> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for node in 0..100 {
+            q.push(5, Event::UserJoin { node });
+        }
+        let mut nodes = Vec::new();
+        while let Some((t, Event::UserJoin { node })) = q.pop() {
+            assert_eq!(t, 5);
+            nodes.push(node);
+        }
+        assert_eq!(nodes, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, Event::BeaconDue { node: 0 });
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! The simulator's lightweight frame descriptor.
+//!
+//! Full byte-level [`wifi_frames::Frame`]s are only materialized when a trace
+//! is exported to pcap; on the hot path the simulator moves [`SimFrame`]
+//! descriptors, which carry exactly the fields the MAC rules and the
+//! analysis need.
+
+use wifi_frames::fc::{FcFlags, FrameKind};
+use wifi_frames::frame::{self, Ack, Beacon, Cts, Data, Frame, Rts, SeqCtl};
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::{Channel, Rate};
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::Micros;
+
+/// A frame in flight inside the simulator.
+#[derive(Clone, Debug)]
+pub struct SimFrame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Transmitter address (absent for CTS/ACK, as on air).
+    pub src: Option<MacAddr>,
+    /// Receiver address.
+    pub dst: MacAddr,
+    /// BSSID, when the frame carries one.
+    pub bssid: Option<MacAddr>,
+    /// Retry flag.
+    pub retry: bool,
+    /// Sequence number, for data/management frames.
+    pub seq: Option<u16>,
+    /// NAV duration field, microseconds.
+    pub duration_us: u16,
+    /// Data payload bytes (zero except for data frames).
+    pub payload_bytes: u32,
+    /// Total MAC frame bytes on air, FCS included.
+    pub mac_bytes: u32,
+    /// True for to-DS (client→AP) data frames; false for from-DS.
+    pub to_ds: bool,
+    /// More fragments of this MSDU follow (fragment bursts).
+    pub more_frag: bool,
+    /// Fragment number within the MSDU.
+    pub frag: u8,
+}
+
+impl SimFrame {
+    /// A data frame descriptor.
+    pub fn data(
+        src: MacAddr,
+        dst: MacAddr,
+        bssid: MacAddr,
+        seq: u16,
+        payload_bytes: u32,
+        retry: bool,
+        duration_us: u16,
+        to_ds: bool,
+    ) -> SimFrame {
+        SimFrame {
+            kind: FrameKind::Data,
+            src: Some(src),
+            dst,
+            bssid: Some(bssid),
+            retry,
+            seq: Some(seq),
+            duration_us,
+            payload_bytes,
+            mac_bytes: frame::DATA_OVERHEAD_BYTES as u32 + payload_bytes,
+            to_ds,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// A data-fragment descriptor: one fragment of a larger MSDU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data_fragment(
+        src: MacAddr,
+        dst: MacAddr,
+        bssid: MacAddr,
+        seq: u16,
+        frag: u8,
+        payload_bytes: u32,
+        retry: bool,
+        duration_us: u16,
+        to_ds: bool,
+        more_frag: bool,
+    ) -> SimFrame {
+        let mut f = SimFrame::data(
+            src,
+            dst,
+            bssid,
+            seq,
+            payload_bytes,
+            retry,
+            duration_us,
+            to_ds,
+        );
+        f.frag = frag;
+        f.more_frag = more_frag;
+        f
+    }
+
+    /// An RTS descriptor.
+    pub fn rts(src: MacAddr, dst: MacAddr, duration_us: u16) -> SimFrame {
+        SimFrame {
+            kind: FrameKind::Rts,
+            src: Some(src),
+            dst,
+            bssid: None,
+            retry: false,
+            seq: None,
+            duration_us,
+            payload_bytes: 0,
+            mac_bytes: frame::RTS_BYTES as u32,
+            to_ds: false,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// A CTS descriptor.
+    pub fn cts(dst: MacAddr, duration_us: u16) -> SimFrame {
+        SimFrame {
+            kind: FrameKind::Cts,
+            src: None,
+            dst,
+            bssid: None,
+            retry: false,
+            seq: None,
+            duration_us,
+            payload_bytes: 0,
+            mac_bytes: frame::CTS_BYTES as u32,
+            to_ds: false,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// An ACK descriptor.
+    pub fn ack(dst: MacAddr) -> SimFrame {
+        SimFrame {
+            kind: FrameKind::Ack,
+            src: None,
+            dst,
+            bssid: None,
+            retry: false,
+            seq: None,
+            duration_us: 0,
+            payload_bytes: 0,
+            mac_bytes: frame::ACK_BYTES as u32,
+            to_ds: false,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// A beacon descriptor. `body_bytes` is the management body size, which
+    /// depends on the SSID length.
+    pub fn beacon(ap: MacAddr, seq: u16, body_bytes: u32) -> SimFrame {
+        SimFrame {
+            kind: FrameKind::Beacon,
+            src: Some(ap),
+            dst: MacAddr::BROADCAST,
+            bssid: Some(ap),
+            retry: false,
+            seq: Some(seq),
+            duration_us: 0,
+            payload_bytes: 0,
+            mac_bytes: frame::MGMT_OVERHEAD_BYTES as u32 + body_bytes,
+            to_ds: false,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// A management frame descriptor (association handshake, etc.).
+    pub fn mgmt(
+        kind: FrameKind,
+        src: MacAddr,
+        dst: MacAddr,
+        bssid: MacAddr,
+        seq: u16,
+        body_bytes: u32,
+        retry: bool,
+        duration_us: u16,
+    ) -> SimFrame {
+        SimFrame {
+            kind,
+            src: Some(src),
+            dst,
+            bssid: Some(bssid),
+            retry,
+            seq: Some(seq),
+            duration_us,
+            payload_bytes: 0,
+            mac_bytes: frame::MGMT_OVERHEAD_BYTES as u32 + body_bytes,
+            to_ds: false,
+            more_frag: false,
+            frag: 0,
+        }
+    }
+
+    /// True when no ACK is expected (group-addressed).
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.is_multicast()
+    }
+
+    /// Converts to the analysis record given capture context.
+    pub fn to_record(
+        &self,
+        timestamp_us: Micros,
+        rate: Rate,
+        channel: Channel,
+        signal_dbm: i8,
+    ) -> FrameRecord {
+        FrameRecord {
+            timestamp_us,
+            kind: self.kind,
+            rate,
+            channel,
+            dst: self.dst,
+            src: self.src,
+            bssid: self.bssid,
+            retry: self.retry,
+            seq: self.seq,
+            mac_bytes: self.mac_bytes,
+            payload_bytes: self.payload_bytes,
+            signal_dbm,
+            duration_us: self.duration_us,
+        }
+    }
+
+    /// Materializes full frame bytes for pcap export. Data payloads are
+    /// zero-filled (their content never mattered to the study; the sniffers
+    /// kept only headers anyway).
+    pub fn to_frame(&self, channel: Channel) -> Frame {
+        let seq = SeqCtl::new(self.seq.unwrap_or(0), self.frag);
+        match self.kind {
+            FrameKind::Rts => Frame::Rts(Rts {
+                duration: self.duration_us,
+                receiver: self.dst,
+                transmitter: self.src.unwrap_or(MacAddr::ZERO),
+            }),
+            FrameKind::Cts => Frame::Cts(Cts {
+                duration: self.duration_us,
+                receiver: self.dst,
+            }),
+            FrameKind::Ack => Frame::Ack(Ack {
+                duration: self.duration_us,
+                receiver: self.dst,
+            }),
+            FrameKind::Beacon => Frame::Beacon(Beacon {
+                duration: 0,
+                dest: MacAddr::BROADCAST,
+                source: self.src.unwrap_or(MacAddr::ZERO),
+                bssid: self.bssid.unwrap_or(MacAddr::ZERO),
+                seq,
+                timestamp: 0,
+                interval_tu: 100,
+                capability: 0x0401,
+                // Size the SSID so the materialized frame matches mac_bytes:
+                // overhead(28) + fixed(12) + ssid_ie(2+n) + rates(6) + ds(3).
+                ssid: "x".repeat((self.mac_bytes as usize).saturating_sub(
+                    frame::MGMT_OVERHEAD_BYTES + frame::BEACON_FIXED_BODY_BYTES + 11,
+                )),
+                channel,
+            }),
+            FrameKind::Data | FrameKind::NullData => {
+                let mut flags = FcFlags::default();
+                flags.retry = self.retry;
+                flags.to_ds = self.to_ds;
+                flags.from_ds = !self.to_ds;
+                flags.more_frag = self.more_frag;
+                Frame::Data(Data {
+                    flags,
+                    duration: self.duration_us,
+                    addr1: self.dst,
+                    addr2: self.src.unwrap_or(MacAddr::ZERO),
+                    addr3: self.bssid.unwrap_or(MacAddr::ZERO),
+                    seq,
+                    payload: vec![0u8; self.payload_bytes as usize],
+                    null: self.kind == FrameKind::NullData,
+                })
+            }
+            kind => {
+                let mut flags = FcFlags::default();
+                flags.retry = self.retry;
+                Frame::Mgmt(wifi_frames::frame::Mgmt {
+                    kind,
+                    flags,
+                    duration: self.duration_us,
+                    addr1: self.dst,
+                    addr2: self.src.unwrap_or(MacAddr::ZERO),
+                    addr3: self.bssid.unwrap_or(MacAddr::ZERO),
+                    seq,
+                    body: vec![
+                        0u8;
+                        (self.mac_bytes as usize).saturating_sub(frame::MGMT_OVERHEAD_BYTES)
+                    ],
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> MacAddr {
+        MacAddr::from_id(i)
+    }
+
+    #[test]
+    fn data_descriptor_sizes() {
+        let f = SimFrame::data(a(1), a(2), a(3), 7, 1472, false, 314, true);
+        assert_eq!(f.mac_bytes, 1500);
+        assert_eq!(f.payload_bytes, 1472);
+        assert!(!f.is_broadcast());
+    }
+
+    #[test]
+    fn control_descriptor_sizes() {
+        assert_eq!(SimFrame::rts(a(1), a(2), 100).mac_bytes, 20);
+        assert_eq!(SimFrame::cts(a(1), 50).mac_bytes, 14);
+        assert_eq!(SimFrame::ack(a(1)).mac_bytes, 14);
+    }
+
+    #[test]
+    fn beacon_is_broadcast() {
+        let b = SimFrame::beacon(a(5), 3, 29);
+        assert!(b.is_broadcast());
+        assert_eq!(b.mac_bytes, 57);
+    }
+
+    #[test]
+    fn record_conversion_carries_fields() {
+        let f = SimFrame::data(a(1), a(2), a(3), 42, 800, true, 314, false);
+        let ch = Channel::new(6).unwrap();
+        let r = f.to_record(5_000_000, Rate::R5_5, ch, -55);
+        assert_eq!(r.timestamp_us, 5_000_000);
+        assert_eq!(r.kind, FrameKind::Data);
+        assert_eq!(r.rate, Rate::R5_5);
+        assert_eq!(r.seq, Some(42));
+        assert!(r.retry);
+        assert_eq!(r.mac_bytes, 828);
+        assert_eq!(r.payload_bytes, 800);
+        assert_eq!(r.signal_dbm, -55);
+    }
+
+    #[test]
+    fn materialized_frames_encode_to_declared_size() {
+        let ch = Channel::new(1).unwrap();
+        let frames = [
+            SimFrame::data(a(1), a(2), a(3), 7, 321, false, 0, true),
+            SimFrame::rts(a(1), a(2), 9),
+            SimFrame::cts(a(2), 5),
+            SimFrame::ack(a(1)),
+            SimFrame::beacon(a(4), 1, 29),
+            SimFrame::mgmt(FrameKind::AssocRequest, a(1), a(4), a(4), 2, 20, false, 0),
+        ];
+        for sf in frames {
+            let full = sf.to_frame(ch);
+            let bytes = wifi_frames::wire::encode(&full);
+            assert_eq!(bytes.len() as u32, sf.mac_bytes, "{:?}", sf.kind);
+            // And they parse back.
+            wifi_frames::wire::parse(&bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn materialized_data_round_trips_ds_bits() {
+        let up = SimFrame::data(a(1), a(2), a(3), 7, 10, false, 0, true);
+        if let Frame::Data(d) = up.to_frame(Channel::new(1).unwrap()) {
+            assert!(d.flags.to_ds && !d.flags.from_ds);
+        } else {
+            panic!("not a data frame");
+        }
+        let down = SimFrame::data(a(2), a(1), a(3), 8, 10, false, 0, false);
+        if let Frame::Data(d) = down.to_frame(Channel::new(1).unwrap()) {
+            assert!(!d.flags.to_ds && d.flags.from_ds);
+        } else {
+            panic!("not a data frame");
+        }
+    }
+}

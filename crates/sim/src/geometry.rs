@@ -1,0 +1,38 @@
+//! Planar geometry for node placement.
+
+/// A position on the venue floor, in meters.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Pos {
+    /// East–west coordinate, meters.
+    pub x: f64,
+    /// North–south coordinate, meters.
+    pub y: f64,
+}
+
+impl Pos {
+    /// Builds a position.
+    pub const fn new(x: f64, y: f64) -> Pos {
+        Pos { x, y }
+    }
+
+    /// Euclidean distance to another position, meters.
+    pub fn distance_to(&self, other: Pos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Pos::new(0.0, 0.0);
+        let b = Pos::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(b.distance_to(a), 5.0);
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The shared radio medium of one channel.
+//!
+//! Tracks in-flight transmissions and, for each, every other transmission
+//! that overlapped it in time — the interferer set from which receivers
+//! compute SINR. Propagation delay is neglected (a conference hall is well
+//! under one microsecond across).
+
+use crate::events::NodeId;
+use crate::frame_info::SimFrame;
+use crate::geometry::Pos;
+use wifi_frames::phy::Rate;
+use wifi_frames::timing::Micros;
+
+/// One transmission in flight (or just completed).
+#[derive(Clone, Debug)]
+pub struct Transmission {
+    /// Medium-assigned id.
+    pub tx_id: u64,
+    /// Transmitting node.
+    pub node: NodeId,
+    /// Transmitter position at start of transmission.
+    pub pos: Pos,
+    /// The frame.
+    pub frame: SimFrame,
+    /// PHY rate.
+    pub rate: Rate,
+    /// Air start time.
+    pub start: Micros,
+    /// Air end time.
+    pub end: Micros,
+    /// `(node, position)` of every other transmission that overlapped this
+    /// one (grown as overlaps occur).
+    pub interferer_pos: Vec<(NodeId, Pos)>,
+    /// Stations whose carrier sense this transmission raised (set by the
+    /// simulator at start; used to release carrier sense at end).
+    pub sensed_by: Vec<NodeId>,
+    /// Whether the busy indication has already been applied at listeners
+    /// (set when the carrier-sense detection delay elapses).
+    pub cs_applied: bool,
+}
+
+/// The medium of a single channel.
+#[derive(Default)]
+pub struct Medium {
+    active: Vec<Transmission>,
+    next_tx_id: u64,
+    /// Running count of transmissions that suffered at least one overlap.
+    pub collisions: u64,
+    /// Running count of all transmissions.
+    pub transmissions: u64,
+}
+
+impl Medium {
+    /// An idle medium.
+    pub fn new() -> Medium {
+        Medium::default()
+    }
+
+    /// Registers a transmission; returns its id. Every already-active
+    /// transmission becomes a mutual interferer.
+    pub fn start_tx(
+        &mut self,
+        node: NodeId,
+        pos: Pos,
+        frame: SimFrame,
+        rate: Rate,
+        start: Micros,
+        end: Micros,
+    ) -> u64 {
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let mut interferer_pos = Vec::new();
+        for other in &mut self.active {
+            other.interferer_pos.push((node, pos));
+            interferer_pos.push((other.node, other.pos));
+        }
+        if !interferer_pos.is_empty() {
+            self.collisions += 1;
+        }
+        self.transmissions += 1;
+        self.active.push(Transmission {
+            tx_id,
+            node,
+            pos,
+            frame,
+            rate,
+            start,
+            end,
+            interferer_pos,
+            sensed_by: Vec::new(),
+            cs_applied: false,
+        });
+        tx_id
+    }
+
+    /// Records which stations sensed this transmission.
+    pub fn set_sensed_by(&mut self, tx_id: u64, sensed_by: Vec<NodeId>) {
+        if let Some(t) = self.active.iter_mut().find(|t| t.tx_id == tx_id) {
+            t.sensed_by = sensed_by;
+        }
+    }
+
+    /// Removes and returns a completed transmission.
+    pub fn end_tx(&mut self, tx_id: u64) -> Option<Transmission> {
+        let idx = self.active.iter().position(|t| t.tx_id == tx_id)?;
+        Some(self.active.swap_remove(idx))
+    }
+
+    /// Active transmissions (for carrier-sense queries).
+    pub fn active(&self) -> &[Transmission] {
+        &self.active
+    }
+
+    /// Mutable access to active transmissions (for channel-switch
+    /// bookkeeping).
+    pub fn active_mut(&mut self) -> &mut [Transmission] {
+        &mut self.active
+    }
+
+    /// Marks a transmission's carrier sense as applied at its listeners.
+    pub fn mark_cs_applied(&mut self, tx_id: u64) {
+        if let Some(t) = self.active.iter_mut().find(|t| t.tx_id == tx_id) {
+            t.cs_applied = true;
+        }
+    }
+
+    /// True when any transmission is in flight.
+    pub fn is_transmitting(&self) -> bool {
+        !self.active.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::mac::MacAddr;
+
+    fn frame() -> SimFrame {
+        SimFrame::ack(MacAddr::from_id(1))
+    }
+
+    #[test]
+    fn single_tx_lifecycle() {
+        let mut m = Medium::new();
+        assert!(!m.is_transmitting());
+        let id = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 304);
+        assert!(m.is_transmitting());
+        assert_eq!(m.active().len(), 1);
+        let tx = m.end_tx(id).unwrap();
+        assert!(tx.interferer_pos.is_empty());
+        assert!(!m.is_transmitting());
+        assert_eq!(m.collisions, 0);
+        assert_eq!(m.transmissions, 1);
+    }
+
+    #[test]
+    fn overlap_registers_mutual_interference() {
+        let mut m = Medium::new();
+        let a = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 1000);
+        let b = m.start_tx(1, Pos::new(10.0, 0.0), frame(), Rate::R1, 500, 900);
+        let tb = m.end_tx(b).unwrap();
+        assert_eq!(tb.interferer_pos.len(), 1);
+        assert_eq!(tb.interferer_pos[0], (0, Pos::new(0.0, 0.0)));
+        let ta = m.end_tx(a).unwrap();
+        assert_eq!(ta.interferer_pos.len(), 1);
+        assert_eq!(ta.interferer_pos[0], (1, Pos::new(10.0, 0.0)));
+        assert_eq!(m.collisions, 1);
+    }
+
+    #[test]
+    fn interference_accumulates_across_sequential_overlaps() {
+        let mut m = Medium::new();
+        let long = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 10_000);
+        for i in 1..4 {
+            let id = m.start_tx(i, Pos::new(i as f64, 0.0), frame(), Rate::R11, 0, 100);
+            m.end_tx(id).unwrap();
+        }
+        let t = m.end_tx(long).unwrap();
+        assert_eq!(t.interferer_pos.len(), 3, "keeps ended interferers");
+    }
+
+    #[test]
+    fn end_unknown_tx_is_none() {
+        let mut m = Medium::new();
+        assert!(m.end_tx(99).is_none());
+    }
+
+    #[test]
+    fn tx_ids_are_unique_and_monotone() {
+        let mut m = Medium::new();
+        let a = m.start_tx(0, Pos::default(), frame(), Rate::R1, 0, 1);
+        let b = m.start_tx(1, Pos::default(), frame(), Rate::R1, 0, 1);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,353 @@
+//! Multirate adaptation algorithms.
+//!
+//! The 802.11 standard leaves rate selection to the vendor (Section 3 of the
+//! paper); this module provides the family the study discusses:
+//!
+//! * [`Arf`] — Auto Rate Fallback (Kamerman & Monteban), the generic scheme
+//!   the paper attributes to commodity cards: step down after consecutive
+//!   failures, step up after a train of successes. Crucially it cannot tell
+//!   collision losses from channel losses — the deficiency the paper blames
+//!   for congestion collapse.
+//! * [`Aarf`] — Adaptive ARF: doubles the success train required after a
+//!   failed upshift probe, reducing rate flapping.
+//! * [`FixedRate`] — no adaptation; the paper's Section 7 suggests staying
+//!   at a high rate under congestion.
+//! * [`SnrRate`] — an RBAR/OAR-style SNR-threshold chooser, the "alternate
+//!   scheme that may offer some relief" of Section 7.
+
+use wifi_frames::phy::Rate;
+
+/// Feedback a transmitter gives its rate adapter after each attempt.
+pub trait RateAdapter: Send {
+    /// The rate to use for the next transmission attempt to this peer.
+    /// `snr_hint_db` is the most recent SNR observed from the peer (e.g.
+    /// from its ACKs), when available.
+    fn rate(&self, snr_hint_db: Option<f64>) -> Rate;
+
+    /// Called after an attempt that was acknowledged.
+    fn on_success(&mut self);
+
+    /// Called after an attempt whose ACK (or CTS) never arrived.
+    fn on_failure(&mut self);
+
+    /// Called when the MSDU is abandoned past the retry limit.
+    fn on_drop(&mut self) {
+        // Default: treated as one more failure signal.
+        self.on_failure();
+    }
+}
+
+/// Classic Auto Rate Fallback.
+#[derive(Clone, Debug)]
+pub struct Arf {
+    rate: Rate,
+    consecutive_ok: u32,
+    consecutive_fail: u32,
+    /// Successes required to step up (10 in the original WaveLAN II design).
+    pub up_after: u32,
+    /// Failures required to step down (2 in the original design).
+    pub down_after: u32,
+    /// True right after an upshift: the first failure at the new rate drops
+    /// straight back down (the "probe" behaviour).
+    probing: bool,
+}
+
+impl Arf {
+    /// A new adapter starting at the given rate.
+    pub fn new(start: Rate) -> Arf {
+        Arf {
+            rate: start,
+            consecutive_ok: 0,
+            consecutive_fail: 0,
+            up_after: 10,
+            down_after: 2,
+            probing: false,
+        }
+    }
+}
+
+impl RateAdapter for Arf {
+    fn rate(&self, _snr_hint_db: Option<f64>) -> Rate {
+        self.rate
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive_fail = 0;
+        self.consecutive_ok += 1;
+        self.probing = false;
+        if self.consecutive_ok >= self.up_after {
+            if let Some(up) = self.rate.step_up() {
+                self.rate = up;
+                self.probing = true;
+            }
+            self.consecutive_ok = 0;
+        }
+    }
+
+    fn on_failure(&mut self) {
+        self.consecutive_ok = 0;
+        self.consecutive_fail += 1;
+        let drop_now = self.probing || self.consecutive_fail >= self.down_after;
+        if drop_now {
+            if let Some(down) = self.rate.step_down() {
+                self.rate = down;
+            }
+            self.consecutive_fail = 0;
+            self.probing = false;
+        }
+    }
+}
+
+/// Adaptive ARF: each failed probe doubles the success train required before
+/// the next upshift attempt, up to a cap.
+#[derive(Clone, Debug)]
+pub struct Aarf {
+    inner: Arf,
+    base_up_after: u32,
+    max_up_after: u32,
+}
+
+impl Aarf {
+    /// A new adapter starting at the given rate.
+    pub fn new(start: Rate) -> Aarf {
+        Aarf {
+            inner: Arf::new(start),
+            base_up_after: 10,
+            max_up_after: 160,
+        }
+    }
+}
+
+impl RateAdapter for Aarf {
+    fn rate(&self, hint: Option<f64>) -> Rate {
+        self.inner.rate(hint)
+    }
+
+    fn on_success(&mut self) {
+        self.inner.on_success();
+    }
+
+    fn on_failure(&mut self) {
+        let was_probing = self.inner.probing;
+        self.inner.on_failure();
+        if was_probing {
+            self.inner.up_after = (self.inner.up_after * 2).min(self.max_up_after);
+        } else if self.inner.consecutive_fail == 0 {
+            // A regular (non-probe) downshift resets the train requirement.
+            self.inner.up_after = self.base_up_after;
+        }
+    }
+}
+
+/// No adaptation: always the configured rate.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedRate(pub Rate);
+
+impl RateAdapter for FixedRate {
+    fn rate(&self, _snr_hint_db: Option<f64>) -> Rate {
+        self.0
+    }
+    fn on_success(&mut self) {}
+    fn on_failure(&mut self) {}
+    fn on_drop(&mut self) {}
+}
+
+/// SNR-threshold rate selection: picks the fastest rate whose threshold the
+/// observed SNR clears with a configurable margin. Collision losses do not
+/// perturb it — the key property Section 7 argues for.
+#[derive(Clone, Copy, Debug)]
+pub struct SnrRate {
+    /// Safety margin in dB above each rate's minimum SNR.
+    pub margin_db: f64,
+    /// Rate used before any SNR observation exists.
+    pub fallback: Rate,
+}
+
+impl SnrRate {
+    /// A new adapter with the given margin.
+    pub fn new(margin_db: f64) -> SnrRate {
+        SnrRate {
+            margin_db,
+            fallback: Rate::R1,
+        }
+    }
+}
+
+impl RateAdapter for SnrRate {
+    fn rate(&self, snr_hint_db: Option<f64>) -> Rate {
+        let Some(snr) = snr_hint_db else {
+            return self.fallback;
+        };
+        let mut chosen = Rate::R1;
+        for r in Rate::ALL {
+            if snr >= r.min_snr_db() + self.margin_db {
+                chosen = r;
+            }
+        }
+        chosen
+    }
+    fn on_success(&mut self) {}
+    fn on_failure(&mut self) {}
+    fn on_drop(&mut self) {}
+}
+
+/// Which adapter a station uses — the configuration-level enum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateAdaptation {
+    /// Classic ARF starting at the given rate.
+    Arf(Rate),
+    /// Adaptive ARF starting at the given rate.
+    Aarf(Rate),
+    /// Fixed at the given rate.
+    Fixed(Rate),
+    /// SNR-threshold with the given margin in dB.
+    Snr(f64),
+}
+
+impl RateAdaptation {
+    /// Instantiates the adapter.
+    pub fn build(self) -> Box<dyn RateAdapter> {
+        match self {
+            RateAdaptation::Arf(r) => Box::new(Arf::new(r)),
+            RateAdaptation::Aarf(r) => Box::new(Aarf::new(r)),
+            RateAdaptation::Fixed(r) => Box::new(FixedRate(r)),
+            RateAdaptation::Snr(margin) => Box::new(SnrRate::new(margin)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arf_steps_down_after_two_failures() {
+        let mut a = Arf::new(Rate::R11);
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R11);
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R5_5);
+        a.on_failure();
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R2);
+        a.on_failure();
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R1);
+        // Floor at 1 Mbps.
+        a.on_failure();
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R1);
+    }
+
+    #[test]
+    fn arf_steps_up_after_success_train() {
+        let mut a = Arf::new(Rate::R1);
+        for _ in 0..9 {
+            a.on_success();
+            assert_eq!(a.rate(None), Rate::R1);
+        }
+        a.on_success();
+        assert_eq!(a.rate(None), Rate::R2);
+    }
+
+    #[test]
+    fn arf_probe_failure_falls_back_immediately() {
+        let mut a = Arf::new(Rate::R1);
+        for _ in 0..10 {
+            a.on_success();
+        }
+        assert_eq!(a.rate(None), Rate::R2);
+        // One failure right after the upshift reverts it.
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R1);
+    }
+
+    #[test]
+    fn arf_success_clears_failure_streak() {
+        let mut a = Arf::new(Rate::R11);
+        a.on_failure();
+        a.on_success();
+        a.on_failure();
+        assert_eq!(a.rate(None), Rate::R11, "streak was broken");
+    }
+
+    #[test]
+    fn arf_ceiling_at_11() {
+        let mut a = Arf::new(Rate::R11);
+        for _ in 0..50 {
+            a.on_success();
+        }
+        assert_eq!(a.rate(None), Rate::R11);
+    }
+
+    #[test]
+    fn aarf_doubles_probe_train_on_probe_failure() {
+        let mut a = Aarf::new(Rate::R1);
+        for _ in 0..10 {
+            a.on_success();
+        }
+        assert_eq!(a.rate(None), Rate::R2);
+        a.on_failure(); // probe fails
+        assert_eq!(a.rate(None), Rate::R1);
+        // Now 20 successes are needed.
+        for _ in 0..19 {
+            a.on_success();
+        }
+        assert_eq!(a.rate(None), Rate::R1);
+        a.on_success();
+        assert_eq!(a.rate(None), Rate::R2);
+    }
+
+    #[test]
+    fn aarf_train_is_capped() {
+        let mut a = Aarf::new(Rate::R1);
+        for _ in 0..10 {
+            for _ in 0..200 {
+                a.on_success();
+            }
+            a.on_failure(); // fail every probe
+        }
+        assert!(a.inner.up_after <= 160);
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut f = FixedRate(Rate::R11);
+        for _ in 0..100 {
+            f.on_failure();
+        }
+        assert_eq!(f.rate(None), Rate::R11);
+    }
+
+    #[test]
+    fn snr_rate_thresholds() {
+        let s = SnrRate::new(3.0);
+        assert_eq!(s.rate(None), Rate::R1, "no hint: fallback");
+        assert_eq!(s.rate(Some(5.0)), Rate::R1);
+        assert_eq!(s.rate(Some(9.5)), Rate::R2);
+        assert_eq!(s.rate(Some(11.5)), Rate::R5_5);
+        assert_eq!(s.rate(Some(13.0)), Rate::R11);
+        assert_eq!(s.rate(Some(40.0)), Rate::R11);
+    }
+
+    #[test]
+    fn snr_rate_ignores_loss_feedback() {
+        let mut s = SnrRate::new(3.0);
+        for _ in 0..100 {
+            s.on_failure();
+        }
+        assert_eq!(s.rate(Some(40.0)), Rate::R11);
+    }
+
+    #[test]
+    fn config_enum_builds_each_kind() {
+        for (cfg, expect) in [
+            (RateAdaptation::Arf(Rate::R11), Rate::R11),
+            (RateAdaptation::Aarf(Rate::R5_5), Rate::R5_5),
+            (RateAdaptation::Fixed(Rate::R2), Rate::R2),
+        ] {
+            assert_eq!(cfg.build().rate(None), expect);
+        }
+        assert_eq!(RateAdaptation::Snr(3.0).build().rate(Some(40.0)), Rate::R11);
+    }
+}

@@ -1,0 +1,1608 @@
+//! The simulator: event loop and DCF orchestration.
+//!
+//! [`Simulator`] owns the stations, the per-channel media, the sniffers and
+//! the event queue, and drives every MAC-layer interaction: CSMA/CA
+//! contention (defer, backoff, freeze/resume), RTS/CTS exchanges, SIFS-spaced
+//! responses, retransmission with exponential contention-window growth,
+//! rate-adaptation feedback, beaconing, association, traffic generation, and
+//! sniffer capture.
+//!
+//! ## Fidelity notes and deliberate simplifications
+//!
+//! * Propagation delay is zero (a conference hall is < 0.3 µs across).
+//! * NAV is honoured for RTS/CTS overhearers; for plain DATA/ACK exchanges
+//!   physical carrier sense alone is sufficient because SIFS (10 µs) is
+//!   shorter than DIFS (50 µs): no conformant station can seize the channel
+//!   inside a SIFS gap anyway.
+//! * EIFS is applied at the intended receiver after a failed decode;
+//!   third-party stations skip the draw for cost reasons.
+//! * If a station owes two SIFS responses nearly simultaneously (two frames
+//!   ending within a SIFS of each other — only possible via hidden
+//!   terminals), the later obligation replaces the earlier, costing the
+//!   first peer an ACK. Real hardware behaves comparably under collision.
+
+use crate::config::SimConfig;
+use crate::events::{Event, EventQueue, NodeId, TimerKind};
+use crate::frame_info::SimFrame;
+use crate::geometry::Pos;
+use crate::medium::Medium;
+use crate::radio::{effective_sinr_db, processing_gain_db};
+use crate::rate::RateAdaptation;
+use crate::sniffer::{MissReason, Sniffer, SnifferConfig};
+use crate::station::{MacState, Msdu, MsduKind, Role, RtsPolicy, Station, TxOp, TxPhase};
+use crate::traffic::TrafficProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use wifi_frames::fc::FrameKind;
+use wifi_frames::frame;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::Rate;
+use wifi_frames::record::FrameRecord;
+use wifi_frames::timing::{delay, frame_airtime_us, Micros};
+
+/// Management-frame body sizes (bytes) used for the association handshake.
+const ASSOC_REQ_BODY: u32 = 34;
+const ASSOC_RESP_BODY: u32 = 30;
+const PROBE_REQ_BODY: u32 = 12;
+const PROBE_RESP_BODY: u32 = 42;
+/// Guard added to CTS/ACK timeouts beyond SIFS + response air time.
+const TIMEOUT_MARGIN_US: Micros = 30;
+/// Delay before a failed association is retried.
+const ASSOC_RETRY_US: Micros = 500_000;
+/// Link-id offset distinguishing sniffer fade links from station links.
+const SNIFFER_LINK_BASE: u64 = 1 << 40;
+
+/// Ground-truth log of everything that actually went on air.
+#[derive(Default)]
+pub struct GroundTruth {
+    /// Every transmitted frame (when `record_ground_truth` is on).
+    pub records: Vec<FrameRecord>,
+    /// Total transmissions.
+    pub transmissions: u64,
+    /// Data-frame transmissions (including retries).
+    pub data_tx: u64,
+    /// MSDUs delivered network-wide.
+    pub delivered: u64,
+    /// MSDUs dropped at the retry limit.
+    pub retry_drops: u64,
+}
+
+/// Options for one client station.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Position.
+    pub pos: Pos,
+    /// Channel (index into [`SimConfig::channels`]).
+    pub channel_idx: usize,
+    /// RTS/CTS policy.
+    pub rts_policy: RtsPolicy,
+    /// Rate-adaptation algorithm.
+    pub adaptation: RateAdaptation,
+    /// Traffic flows.
+    pub traffic: TrafficProfile,
+    /// When the user powers on.
+    pub join_at_us: Micros,
+    /// When the user leaves (`None`: stays to the end).
+    pub leave_at_us: Option<Micros>,
+    /// Power-save signalling: when set, the client sends a Null-function
+    /// frame to its AP at roughly this interval (µs), toggling the
+    /// power-management bit — the short S-class chatter real clients emit.
+    pub power_save_interval_us: Option<Micros>,
+    /// Fragmentation threshold in payload bytes (`None`: off, the 2005
+    /// default — cards shipped with threshold 2346, above the MTU).
+    pub frag_threshold: Option<u32>,
+}
+
+/// The simulator.
+pub struct Simulator {
+    /// Configuration (immutable after construction).
+    pub config: SimConfig,
+    now: Micros,
+    queue: EventQueue,
+    stations: Vec<Station>,
+    sniffers: Vec<Sniffer>,
+    media: Vec<Medium>,
+    mac_index: HashMap<MacAddr, NodeId>,
+    rng: SmallRng,
+    /// Ground truth.
+    pub ground_truth: GroundTruth,
+    next_mac_id: u32,
+    /// Cumulative transmission air time per channel, µs (drives dynamic
+    /// channel assignment).
+    chan_airtime_us: Vec<u64>,
+}
+
+impl Simulator {
+    /// A new, empty simulation.
+    pub fn new(config: SimConfig) -> Simulator {
+        let media = config.channels.iter().map(|_| Medium::new()).collect();
+        let chan_airtime_us = vec![0; config.channels.len()];
+        Simulator {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            now: 0,
+            queue: EventQueue::new(),
+            stations: Vec::new(),
+            sniffers: Vec::new(),
+            media,
+            mac_index: HashMap::new(),
+            ground_truth: GroundTruth::default(),
+            next_mac_id: 1,
+            chan_airtime_us,
+        }
+    }
+
+    /// Current simulation time, microseconds.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// The stations (APs and clients).
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// The sniffers.
+    pub fn sniffers(&self) -> &[Sniffer] {
+        &self.sniffers
+    }
+
+    /// Mutable sniffer access (e.g. to take traces out).
+    pub fn sniffers_mut(&mut self) -> &mut [Sniffer] {
+        &mut self.sniffers
+    }
+
+    /// Collision/transmission counters per channel medium.
+    pub fn medium_stats(&self) -> Vec<(u64, u64)> {
+        self.media
+            .iter()
+            .map(|m| (m.transmissions, m.collisions))
+            .collect()
+    }
+
+    /// Path-loss RSSI plus the current slow-fade of the `tx → rx` link.
+    fn faded_rssi(&self, tx_node: NodeId, rx_link: u64, tx_pos: Pos, rx_pos: Pos) -> f64 {
+        self.config.radio.rssi_dbm(tx_pos, rx_pos)
+            + self
+                .config
+                .radio
+                .fading
+                .fade_db(tx_node as u64, rx_link, self.now)
+    }
+
+    fn fresh_mac(&mut self) -> MacAddr {
+        let mac = MacAddr::from_id(self.next_mac_id);
+        self.next_mac_id += 1;
+        mac
+    }
+
+    /// Adds an access point. Returns its node id. The first beacon is
+    /// scheduled at a random offset inside one beacon interval so that
+    /// co-channel APs do not beacon in lockstep.
+    pub fn add_ap(&mut self, pos: Pos, channel_idx: usize, ssid_len: u32) -> NodeId {
+        assert!(
+            channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        let mac = self.fresh_mac();
+        let id = self.stations.len();
+        // Beacon body: fixed(12) + ssid IE(2+n) + rates IE(6) + DS IE(3).
+        let beacon_body = frame::BEACON_FIXED_BODY_BYTES as u32 + 2 + ssid_len + 6 + 3;
+        let mut st = Station::new(
+            id,
+            mac,
+            pos,
+            channel_idx,
+            Role::Ap {
+                beacon_body_bytes: beacon_body,
+            },
+            RtsPolicy::Never,
+            RateAdaptation::Arf(Rate::R11),
+            TrafficProfile::silent(),
+            &self.config.dcf,
+        );
+        st.queue_cap = self.config.queue_cap;
+        st.joined = true;
+        self.stations.push(st);
+        self.mac_index.insert(mac, id);
+        let offset = self.rng.gen_range(0..self.config.beacon_interval_us);
+        self.queue.push(offset, Event::BeaconDue { node: id });
+        if let Some(cm) = self.config.channel_mgmt {
+            let jitter = self.rng.gen_range(0..cm.eval_interval_us.max(1));
+            self.queue.push(
+                cm.eval_interval_us + jitter,
+                Event::ChannelEval { node: id },
+            );
+        }
+        id
+    }
+
+    /// Adds an AP whose downlink transmissions use the given rate adaptation
+    /// and RTS policy (ablations).
+    pub fn add_ap_with(
+        &mut self,
+        pos: Pos,
+        channel_idx: usize,
+        ssid_len: u32,
+        adaptation: RateAdaptation,
+        rts_policy: RtsPolicy,
+    ) -> NodeId {
+        let id = self.add_ap(pos, channel_idx, ssid_len);
+        self.stations[id].adapter_cfg = adaptation;
+        self.stations[id].rts_policy = rts_policy;
+        id
+    }
+
+    /// Adds a client. Returns its node id.
+    pub fn add_client(&mut self, cfg: ClientConfig) -> NodeId {
+        assert!(
+            cfg.channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        let mac = self.fresh_mac();
+        let id = self.stations.len();
+        let mut st = Station::new(
+            id,
+            mac,
+            cfg.pos,
+            cfg.channel_idx,
+            Role::Client,
+            cfg.rts_policy,
+            cfg.adaptation,
+            cfg.traffic,
+            &self.config.dcf,
+        );
+        st.queue_cap = self.config.queue_cap;
+        st.power_save_interval_us = cfg.power_save_interval_us;
+        st.frag_threshold = cfg.frag_threshold;
+        self.stations.push(st);
+        self.mac_index.insert(mac, id);
+        self.queue
+            .push(cfg.join_at_us, Event::UserJoin { node: id });
+        if let Some(leave) = cfg.leave_at_us {
+            self.queue.push(leave, Event::UserLeave { node: id });
+        }
+        if let Some(interval) = cfg.power_save_interval_us {
+            let first = cfg.join_at_us + self.rng.gen_range(0..interval.max(1));
+            self.queue.push(first, Event::PowerSaveTick { node: id });
+        }
+        id
+    }
+
+    /// Adds a sniffer; returns its index.
+    pub fn add_sniffer(&mut self, cfg: SnifferConfig) -> usize {
+        assert!(
+            cfg.channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        self.sniffers.push(Sniffer::new(cfg));
+        self.sniffers.len() - 1
+    }
+
+    /// Runs the simulation until `until` (microseconds).
+    pub fn run_until(&mut self, until: Micros) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.handle(ev);
+        }
+        self.now = until;
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::UserJoin { node } => self.on_user_join(node),
+            Event::UserLeave { node } => self.on_user_leave(node),
+            Event::BeaconDue { node } => self.on_beacon_due(node),
+            Event::TrafficArrival { node, flow } => self.on_traffic(node, flow),
+            Event::Timer { node, gen, kind } => self.on_timer(node, gen, kind),
+            Event::CsBusy { channel, tx_id } => self.on_cs_busy(channel, tx_id),
+            Event::TxEnd { channel, tx_id } => self.on_tx_end(channel, tx_id),
+            Event::ChannelEval { node } => self.on_channel_eval(node),
+            Event::PowerSaveTick { node } => self.on_power_save_tick(node),
+            Event::FollowAp { node, channel_idx } => self.on_follow_ap(node, channel_idx),
+        }
+    }
+
+    fn arm_timer(&mut self, node: NodeId, kind: TimerKind, at: Micros) {
+        let gen = self.stations[node].bump_timer_gen();
+        self.queue.push(at, Event::Timer { node, gen, kind });
+    }
+
+    /// NavExpired is validated by condition, not generation, so it must not
+    /// bump the generation (that would cancel a live contention timer).
+    fn arm_nav_expiry(&mut self, node: NodeId, at: Micros) {
+        let gen = self.stations[node].timer_gen;
+        self.queue.push(
+            at,
+            Event::Timer {
+                node,
+                gen,
+                kind: TimerKind::NavExpired,
+            },
+        );
+    }
+
+    fn on_timer(&mut self, node: NodeId, gen: u64, kind: TimerKind) {
+        // NavExpired and SifsResponse are condition-validated; the rest are
+        // generation-validated.
+        match kind {
+            TimerKind::NavExpired => {
+                let st = &self.stations[node];
+                if st.nav_until <= self.now && st.sensed == 0 {
+                    self.on_channel_idle(node);
+                }
+                return;
+            }
+            TimerKind::SifsResponse => {
+                self.fire_sifs_response(node);
+                return;
+            }
+            _ => {}
+        }
+        if self.stations[node].timer_gen != gen {
+            return; // stale
+        }
+        match kind {
+            TimerKind::DeferDone => self.on_defer_done(node),
+            TimerKind::BackoffDone => self.on_backoff_done(node),
+            TimerKind::CtsTimeout => self.on_exchange_timeout(node, MacState::AwaitCts),
+            TimerKind::AckTimeout => self.on_exchange_timeout(node, MacState::AwaitAck),
+            TimerKind::NavExpired | TimerKind::SifsResponse => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join / leave / association
+    // ------------------------------------------------------------------
+
+    fn on_user_join(&mut self, node: NodeId) {
+        let st = &self.stations[node];
+        if st.associated_ap.is_some() || st.departed {
+            return; // already associated, or left for good (stale retry)
+        }
+        let channel_idx = st.channel_idx;
+        let pos = st.pos;
+        let first_join = !st.joined;
+        self.stations[node].joined = true;
+        // Active scanning: a broadcast probe request precedes the first
+        // association attempt, as real clients do.
+        if first_join {
+            self.stations[node].enqueue(Msdu {
+                dst: MacAddr::BROADCAST,
+                bssid: MacAddr::BROADCAST,
+                payload: PROBE_REQ_BODY,
+                kind: MsduKind::Mgmt(FrameKind::ProbeRequest),
+                enqueued_at: self.now,
+            });
+        }
+        // Pick the strongest AP on our channel.
+        let best_on = |sim: &Simulator, ch: Option<usize>| -> Option<(NodeId, f64)> {
+            let mut best: Option<(NodeId, f64)> = None;
+            for (i, ap) in sim.stations.iter().enumerate() {
+                if ap.is_ap() && ch.map_or(true, |c| ap.channel_idx == c) {
+                    let rssi = sim.config.radio.rssi_dbm(ap.pos, pos);
+                    if best.map_or(true, |(_, b)| rssi > b) {
+                        best = Some((i, rssi));
+                    }
+                }
+            }
+            best
+        };
+        let mut choice = best_on(self, Some(channel_idx));
+        if choice.is_none() {
+            // Our channel has no AP (it may have migrated away): scan all
+            // channels and retune to the strongest AP found anywhere.
+            if let Some((ap_id, rssi)) = best_on(self, None) {
+                let target = self.stations[ap_id].channel_idx;
+                if self.move_station_channel(node, target) {
+                    choice = Some((ap_id, rssi));
+                }
+            }
+        }
+        let Some((ap_id, _)) = choice else {
+            // No AP anywhere yet (or we were mid-exchange); retry later.
+            self.queue
+                .push(self.now + ASSOC_RETRY_US, Event::UserJoin { node });
+            return;
+        };
+        let ap_mac = self.stations[ap_id].mac;
+        let msdu = Msdu {
+            dst: ap_mac,
+            bssid: ap_mac,
+            payload: ASSOC_REQ_BODY,
+            kind: MsduKind::Mgmt(FrameKind::AssocRequest),
+            enqueued_at: self.now,
+        };
+        self.stations[node].enqueue(msdu);
+        self.try_dequeue(node);
+    }
+
+    fn on_user_leave(&mut self, node: NodeId) {
+        let st = &mut self.stations[node];
+        st.joined = false;
+        st.departed = true;
+        st.associated_ap = None;
+        st.queue.clear();
+        // An in-flight TxOp completes or times out on its own.
+    }
+
+    fn complete_association(&mut self, client: NodeId, ap: NodeId) {
+        let st = &mut self.stations[client];
+        if st.associated_ap.is_some() || !st.joined {
+            return;
+        }
+        st.associated_ap = Some(ap);
+        // Start traffic flows.
+        let up_gap = st.traffic.uplink.next_gap(&mut self.rng);
+        let down_gap = self.stations[client]
+            .traffic
+            .downlink
+            .next_gap(&mut self.rng);
+        if let Some(g) = up_gap {
+            self.queue.push(
+                self.now + g,
+                Event::TrafficArrival {
+                    node: client,
+                    flow: 0,
+                },
+            );
+        }
+        if let Some(g) = down_gap {
+            self.queue.push(
+                self.now + g,
+                Event::TrafficArrival {
+                    node: client,
+                    flow: 1,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic and beacons
+    // ------------------------------------------------------------------
+
+    fn on_traffic(&mut self, node: NodeId, flow: usize) {
+        let st = &self.stations[node];
+        if !st.joined {
+            return; // user left: flow dies
+        }
+        let Some(ap) = st.associated_ap else {
+            return; // disassociated: flow dies (re-association restarts it)
+        };
+        let ap_mac = self.stations[ap].mac;
+        let client_mac = st.mac;
+        // One arrival event delivers a (possibly bursty) batch of MSDUs.
+        let flow_cfg = if flow == 0 {
+            &self.stations[node].traffic.uplink
+        } else {
+            &self.stations[node].traffic.downlink
+        }
+        .clone();
+        let batch = flow_cfg.batch_size(&mut self.rng);
+        let (enqueue_on, dst, to_ds) = if flow == 0 {
+            (node, ap_mac, true)
+        } else {
+            (ap, client_mac, false)
+        };
+        for _ in 0..batch {
+            let size = flow_cfg.sizes.sample(&mut self.rng);
+            self.stations[enqueue_on].enqueue(Msdu {
+                dst,
+                bssid: ap_mac,
+                payload: size,
+                kind: MsduKind::Data { to_ds },
+                enqueued_at: self.now,
+            });
+        }
+        self.try_dequeue(enqueue_on);
+        if let Some(g) = flow_cfg.next_gap(&mut self.rng) {
+            self.queue
+                .push(self.now + g, Event::TrafficArrival { node, flow });
+        }
+    }
+
+    fn on_beacon_due(&mut self, node: NodeId) {
+        let Role::Ap { beacon_body_bytes } = self.stations[node].role else {
+            return;
+        };
+        let mac = self.stations[node].mac;
+        self.stations[node].enqueue_front(Msdu {
+            dst: MacAddr::BROADCAST,
+            bssid: mac,
+            payload: beacon_body_bytes,
+            kind: MsduKind::Beacon,
+            enqueued_at: self.now,
+        });
+        self.queue.push(
+            self.now + self.config.beacon_interval_us,
+            Event::BeaconDue { node },
+        );
+        self.try_dequeue(node);
+    }
+
+    /// A power-saving client toggles its power-management bit with a
+    /// Null-function frame to its AP — the short S-class signalling chatter
+    /// real clients emit (Section 3's power-save machinery, trace-visible).
+    fn on_power_save_tick(&mut self, node: NodeId) {
+        let st = &self.stations[node];
+        if !st.joined || st.departed {
+            return; // user left: cadence dies
+        }
+        let Some(interval) = st.power_save_interval_us else {
+            return;
+        };
+        if let Some(ap) = st.associated_ap {
+            let ap_mac = self.stations[ap].mac;
+            let st = &mut self.stations[node];
+            st.power_save_state = !st.power_save_state;
+            st.enqueue(Msdu {
+                dst: ap_mac,
+                bssid: ap_mac,
+                payload: 0,
+                kind: MsduKind::Null,
+                enqueued_at: self.now,
+            });
+            self.try_dequeue(node);
+        }
+        let jitter = self.rng.gen_range(0..interval / 4 + 1);
+        self.queue
+            .push(self.now + interval + jitter, Event::PowerSaveTick { node });
+    }
+
+    // ------------------------------------------------------------------
+    // Contention
+    // ------------------------------------------------------------------
+
+    /// Starts serving the head-of-line MSDU if the station is free.
+    fn try_dequeue(&mut self, node: NodeId) {
+        let st = &mut self.stations[node];
+        if st.current.is_some() || st.state != MacState::Idle {
+            return;
+        }
+        let Some(msdu) = st.queue.pop_front() else {
+            return;
+        };
+        let seq = st.take_seq();
+        let unicast = !msdu.dst.is_multicast();
+        let (rate, use_rts) = match msdu.kind {
+            MsduKind::Data { .. } => {
+                let r = st.pick_rate(msdu.dst);
+                (r, unicast && st.rts_policy.applies(msdu.payload))
+            }
+            _ => (self.config.control_rate, false),
+        };
+        // Fragmentation: unicast data MSDUs above the threshold become a
+        // SIFS-separated fragment burst.
+        let (current_payload, pending_fragments) = match (st.frag_threshold, &msdu.kind) {
+            (Some(thr), MsduKind::Data { .. }) if unicast && msdu.payload > thr && thr > 0 => {
+                let mut chunks: Vec<u32> = Vec::new();
+                let mut remaining = msdu.payload;
+                while remaining > 0 {
+                    let take = remaining.min(thr);
+                    chunks.push(take);
+                    remaining -= take;
+                }
+                let first = chunks.remove(0);
+                (first, chunks)
+            }
+            _ => (msdu.payload, Vec::new()),
+        };
+        st.current = Some(TxOp {
+            msdu,
+            retries: 0,
+            current_payload,
+            pending_fragments,
+            frag_no: 0,
+            use_rts,
+            cts_received: false,
+            seq,
+            rate,
+            first_tx_at: None,
+        });
+        self.begin_access(node);
+    }
+
+    /// Enters the channel-access procedure for the current TxOp.
+    fn begin_access(&mut self, node: NodeId) {
+        let now = self.now;
+        let difs = self.defer_interval(node);
+        let st = &mut self.stations[node];
+        debug_assert!(st.current.is_some());
+        if st.channel_busy(now) {
+            if st.backoff_slots == 0 {
+                st.backoff_slots = draw_backoff(&mut self.rng, st.cw);
+            }
+            st.state = MacState::Frozen;
+            return;
+        }
+        // Channel idle. Immediate transmission is allowed only with no
+        // pending backoff and a DIFS of idle time already behind us.
+        if st.backoff_slots == 0 && st.idle_since + difs <= now {
+            self.transmit_current(node);
+            return;
+        }
+        if st.backoff_slots == 0 {
+            st.backoff_slots = draw_backoff(&mut self.rng, st.cw);
+        }
+        st.state = MacState::WaitDefer;
+        let ready_at = (st.idle_since + difs).max(now);
+        self.arm_timer(node, TimerKind::DeferDone, ready_at);
+    }
+
+    fn defer_interval(&self, node: NodeId) -> Micros {
+        if self.config.eifs_enabled && self.stations[node].use_eifs {
+            self.config.dcf.eifs_us()
+        } else {
+            self.config.dcf.difs_us()
+        }
+    }
+
+    fn on_defer_done(&mut self, node: NodeId) {
+        let now = self.now;
+        let st = &mut self.stations[node];
+        if st.state != MacState::WaitDefer {
+            return;
+        }
+        st.use_eifs = false;
+        if st.channel_busy(now) {
+            st.state = MacState::Frozen;
+            return;
+        }
+        if st.backoff_slots == 0 {
+            self.transmit_current(node);
+            return;
+        }
+        let slots = st.backoff_slots;
+        st.state = MacState::Backoff {
+            started: now,
+            slots_at_start: slots,
+        };
+        let fire_at = now + slots as Micros * self.config.dcf.slot_us;
+        self.arm_timer(node, TimerKind::BackoffDone, fire_at);
+    }
+
+    fn on_backoff_done(&mut self, node: NodeId) {
+        let st = &mut self.stations[node];
+        if !matches!(st.state, MacState::Backoff { .. }) {
+            return;
+        }
+        st.backoff_slots = 0;
+        self.transmit_current(node);
+    }
+
+    /// The channel turned busy for `node`: freeze contention.
+    fn on_channel_busy(&mut self, node: NodeId) {
+        let now = self.now;
+        let slot = self.config.dcf.slot_us;
+        let st = &mut self.stations[node];
+        match st.state {
+            MacState::WaitDefer => {
+                st.bump_timer_gen();
+                st.state = MacState::Frozen;
+            }
+            MacState::Backoff { started, .. } => {
+                st.bump_timer_gen();
+                st.consume_backoff(now - started, slot);
+                st.state = MacState::Frozen;
+            }
+            _ => {}
+        }
+    }
+
+    /// The channel turned idle for `node`: restart the defer.
+    fn on_channel_idle(&mut self, node: NodeId) {
+        let now = self.now;
+        let st = &mut self.stations[node];
+        st.idle_since = now;
+        if st.state == MacState::Frozen {
+            st.state = MacState::WaitDefer;
+            let difs = self.defer_interval(node);
+            self.arm_timer(node, TimerKind::DeferDone, now + difs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission
+    // ------------------------------------------------------------------
+
+    fn transmit_current(&mut self, node: NodeId) {
+        let now = self.now;
+        let control_rate = self.config.control_rate;
+        let preamble = self.config.preamble;
+        let st = &mut self.stations[node];
+        let op = st.current.as_mut().expect("transmit without TxOp");
+        let mac = st.mac;
+        let unicast = !op.msdu.dst.is_multicast();
+
+        if op.use_rts && !op.cts_received {
+            // RTS attempt.
+            let data_bytes = frame::DATA_OVERHEAD_BYTES as u32 + op.current_payload;
+            let data_air = frame_airtime_us(data_bytes as u64, op.rate, preamble);
+            let dur = (3 * delay::SIFS + delay::CTS + data_air + delay::ACK).min(u16::MAX as u64);
+            let frame = SimFrame::rts(mac, op.msdu.dst, dur as u16);
+            st.stats.rts_sent += 1;
+            self.start_transmission(node, frame, control_rate, TxPhase::Rts);
+            return;
+        }
+
+        let retry = op.retries > 0;
+        let seq = op.seq;
+        op.first_tx_at.get_or_insert(now);
+        let frame = match op.msdu.kind {
+            MsduKind::Data { to_ds } => {
+                let dur = if unicast {
+                    (delay::SIFS + delay::ACK) as u16
+                } else {
+                    0
+                };
+                SimFrame::data_fragment(
+                    mac,
+                    op.msdu.dst,
+                    op.msdu.bssid,
+                    seq,
+                    op.frag_no,
+                    op.current_payload,
+                    retry,
+                    dur,
+                    to_ds,
+                    !op.pending_fragments.is_empty(),
+                )
+            }
+            MsduKind::Null => {
+                let mut f = SimFrame::data(
+                    mac,
+                    op.msdu.dst,
+                    op.msdu.bssid,
+                    seq,
+                    0,
+                    retry,
+                    (delay::SIFS + delay::ACK) as u16,
+                    true,
+                );
+                f.kind = FrameKind::NullData;
+                f.mac_bytes = frame::DATA_OVERHEAD_BYTES as u32;
+                f
+            }
+            MsduKind::Beacon => SimFrame::beacon(mac, seq, op.msdu.payload),
+            MsduKind::Mgmt(kind) => SimFrame::mgmt(
+                kind,
+                mac,
+                op.msdu.dst,
+                op.msdu.bssid,
+                seq,
+                op.msdu.payload,
+                retry,
+                if unicast {
+                    (delay::SIFS + delay::ACK) as u16
+                } else {
+                    0
+                },
+            ),
+        };
+        let rate = match op.msdu.kind {
+            MsduKind::Data { .. } => op.rate,
+            _ => control_rate,
+        };
+        st.stats.tx_attempts += 1;
+        self.ground_truth.data_tx += matches!(op.msdu.kind, MsduKind::Data { .. }) as u64;
+        self.start_transmission(node, frame, rate, TxPhase::Data);
+    }
+
+    fn start_transmission(&mut self, node: NodeId, frame: SimFrame, rate: Rate, phase: TxPhase) {
+        let now = self.now;
+        let preamble = self.config.preamble;
+        let air = frame_airtime_us(frame.mac_bytes as u64, rate, preamble);
+        let end = now + air;
+        let channel = self.stations[node].channel_idx;
+        let pos = self.stations[node].pos;
+        {
+            let st = &mut self.stations[node];
+            st.state = MacState::Transmitting { phase };
+            st.tx_until = end;
+        }
+        let tx_id = self.media[channel].start_tx(node, pos, frame, rate, now, end);
+        // Decide who will sense this transmission; the busy indication lands
+        // one detection delay later (the CSMA vulnerability window).
+        let mut sensed_by = Vec::new();
+        for i in 0..self.stations.len() {
+            if i == node || self.stations[i].channel_idx != channel {
+                continue;
+            }
+            let rssi = self.config.radio.rssi_dbm(pos, self.stations[i].pos);
+            if rssi >= self.config.radio.cs_threshold_dbm {
+                sensed_by.push(i);
+            }
+        }
+        self.media[channel].set_sensed_by(tx_id, sensed_by);
+        self.queue.push(
+            now + self.config.cs_delay_us.min(air.saturating_sub(1)),
+            Event::CsBusy { channel, tx_id },
+        );
+        self.queue.push(end, Event::TxEnd { channel, tx_id });
+    }
+
+    /// One detection delay into a transmission: listeners now sense energy.
+    fn on_cs_busy(&mut self, channel: usize, tx_id: u64) {
+        let now = self.now;
+        let Some(sensed_by) = self.media[channel]
+            .active()
+            .iter()
+            .find(|t| t.tx_id == tx_id)
+            .map(|t| t.sensed_by.clone())
+        else {
+            return; // transmission already ended (degenerate cs delay)
+        };
+        self.media[channel].mark_cs_applied(tx_id);
+        for i in sensed_by {
+            let was_busy = self.stations[i].channel_busy(now);
+            self.stations[i].sensed += 1;
+            if !was_busy {
+                self.on_channel_busy(i);
+            }
+        }
+    }
+
+    fn fire_sifs_response(&mut self, node: NodeId) {
+        let Some(frame) = self.stations[node].pending_response.take() else {
+            return;
+        };
+        let state = self.stations[node].state;
+        let (phase, rate) = match frame.kind {
+            // The data frame of an RTS-protected exchange (released a SIFS
+            // after its CTS, state AwaitCts) or the next fragment of a burst
+            // (released a SIFS after the previous fragment's ACK, state
+            // AwaitAck).
+            FrameKind::Data | FrameKind::NullData => {
+                if state != MacState::AwaitCts && state != MacState::AwaitAck {
+                    return;
+                }
+                let rate = self.stations[node]
+                    .current
+                    .as_ref()
+                    .map(|op| op.rate)
+                    .unwrap_or(self.config.control_rate);
+                (TxPhase::Data, rate)
+            }
+            FrameKind::Cts | FrameKind::Ack => {
+                // A control response; never interrupt an exchange we are in
+                // the middle of (the peer will retry instead).
+                if matches!(
+                    state,
+                    MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
+                ) {
+                    return;
+                }
+                // Pause any contention countdown; it resumes after the
+                // response.
+                self.on_channel_busy(node);
+                if frame.kind == FrameKind::Cts {
+                    self.stations[node].stats.cts_sent += 1;
+                    (TxPhase::Cts, self.config.control_rate)
+                } else {
+                    self.stations[node].stats.acks_sent += 1;
+                    (TxPhase::Ack, self.config.control_rate)
+                }
+            }
+            _ => return,
+        };
+        self.start_transmission(node, frame, rate, phase);
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission end: receptions, sniffers, state advance
+    // ------------------------------------------------------------------
+
+    fn on_tx_end(&mut self, channel: usize, tx_id: u64) {
+        let tx = self.media[channel]
+            .end_tx(tx_id)
+            .expect("TxEnd for unknown transmission");
+        let now = self.now;
+
+        // 1. Advance the transmitter's state machine.
+        self.advance_transmitter(&tx);
+
+        // 2. Intended-receiver reception.
+        self.process_reception(channel, &tx);
+
+        // 3. NAV at overhearers, for RTS/CTS only (see module docs).
+        if matches!(tx.frame.kind, FrameKind::Rts | FrameKind::Cts) && tx.frame.duration_us > 0 {
+            self.process_nav(channel, &tx);
+        }
+
+        // 4. Sniffers.
+        self.process_sniffers(channel, &tx);
+
+        // 5. Ground truth and channel load accounting.
+        self.chan_airtime_us[channel] += tx.end.saturating_sub(tx.start);
+        self.ground_truth.transmissions += 1;
+        if self.config.record_ground_truth {
+            let ch = self.config.channels[channel];
+            let sig = self.config.radio.tx_power_dbm as i8;
+            self.ground_truth
+                .records
+                .push(tx.frame.to_record(tx.end, tx.rate, ch, sig));
+        }
+
+        // 6. Release carrier sense.
+        for &i in &tx.sensed_by {
+            let st = &mut self.stations[i];
+            debug_assert!(st.sensed > 0);
+            st.sensed -= 1;
+            if !st.channel_busy(now) {
+                self.on_channel_idle(i);
+            }
+        }
+        // The transmitter itself: its own channel went quiet from its side.
+        if !self.stations[tx.node].channel_busy(now) {
+            self.stations[tx.node].idle_since = now;
+        }
+    }
+
+    fn advance_transmitter(&mut self, tx: &crate::medium::Transmission) {
+        let node = tx.node;
+        let now = self.now;
+        let MacState::Transmitting { phase } = self.stations[node].state else {
+            return;
+        };
+        match phase {
+            TxPhase::Rts => {
+                self.stations[node].state = MacState::AwaitCts;
+                let timeout = now + delay::SIFS + delay::CTS + TIMEOUT_MARGIN_US;
+                self.arm_timer(node, TimerKind::CtsTimeout, timeout);
+            }
+            TxPhase::Data => {
+                if tx.frame.is_broadcast() {
+                    self.complete_delivery(node, false);
+                } else {
+                    self.stations[node].state = MacState::AwaitAck;
+                    let timeout = now + delay::SIFS + delay::ACK + TIMEOUT_MARGIN_US;
+                    self.arm_timer(node, TimerKind::AckTimeout, timeout);
+                }
+            }
+            TxPhase::Cts | TxPhase::Ack => {
+                // Response sent; resume whatever we were doing. Contention
+                // was paused into Frozen by fire_sifs_response, so the
+                // channel-idle path restarts the defer with preserved
+                // backoff.
+                let has_work = self.stations[node].current.is_some();
+                if has_work {
+                    self.stations[node].state = MacState::Frozen;
+                    if !self.stations[node].channel_busy(now) {
+                        self.on_channel_idle(node);
+                    }
+                } else {
+                    self.stations[node].state = MacState::Idle;
+                    self.stations[node].idle_since = now;
+                    self.try_dequeue(node);
+                }
+            }
+        }
+    }
+
+    fn process_reception(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+        let frame = &tx.frame;
+        if frame.dst.is_multicast() {
+            // Broadcast probes solicit responses from every AP that decodes
+            // them; other broadcast frames have no modelled consequences.
+            if frame.kind == FrameKind::ProbeRequest {
+                self.process_probe_request(channel, tx);
+            }
+            return;
+        }
+        let Some(&rx_node) = self.mac_index.get(&frame.dst) else {
+            return;
+        };
+        if rx_node == tx.node || self.stations[rx_node].channel_idx != channel {
+            return;
+        }
+        if self.stations[rx_node].was_transmitting_during(tx.start, tx.end) {
+            return; // half-duplex
+        }
+        let rx_pos = self.stations[rx_node].pos;
+        let rssi = self.faded_rssi(tx.node, rx_node as u64, tx.pos, rx_pos);
+        if rssi < self.config.radio.sensitivity_dbm {
+            return; // out of range
+        }
+        let interferers: Vec<f64> = tx
+            .interferer_pos
+            .iter()
+            .map(|&(n, p)| self.faded_rssi(n, rx_node as u64, p, rx_pos))
+            .collect();
+        let sinr = effective_sinr_db(
+            rssi,
+            &interferers,
+            self.config.radio.noise_floor_dbm,
+            processing_gain_db(tx.rate),
+        );
+        let p = self
+            .config
+            .error
+            .frame_success_prob(sinr, tx.rate, frame.mac_bytes);
+        if self.rng.gen::<f64>() >= p {
+            if self.config.eifs_enabled {
+                self.stations[rx_node].use_eifs = true;
+            }
+            return;
+        }
+        self.deliver_frame(rx_node, tx, sinr);
+    }
+
+    /// A broadcast probe request: every AP on the channel that decodes it
+    /// queues a probe response to the prober.
+    fn process_probe_request(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+        let Some(prober) = tx.frame.src else {
+            return;
+        };
+        let now = self.now;
+        for i in 0..self.stations.len() {
+            if !self.stations[i].is_ap() || self.stations[i].channel_idx != channel || i == tx.node
+            {
+                continue;
+            }
+            if self.stations[i].was_transmitting_during(tx.start, tx.end) {
+                continue;
+            }
+            let rx_pos = self.stations[i].pos;
+            let rssi = self.faded_rssi(tx.node, i as u64, tx.pos, rx_pos);
+            if rssi < self.config.radio.sensitivity_dbm {
+                continue;
+            }
+            let interferers: Vec<f64> = tx
+                .interferer_pos
+                .iter()
+                .map(|&(n, p)| self.faded_rssi(n, i as u64, p, rx_pos))
+                .collect();
+            let sinr = effective_sinr_db(
+                rssi,
+                &interferers,
+                self.config.radio.noise_floor_dbm,
+                processing_gain_db(tx.rate),
+            );
+            let p = self
+                .config
+                .error
+                .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
+            if self.rng.gen::<f64>() >= p {
+                continue;
+            }
+            let ap_mac = self.stations[i].mac;
+            self.stations[i].enqueue(Msdu {
+                dst: prober,
+                bssid: ap_mac,
+                payload: PROBE_RESP_BODY,
+                kind: MsduKind::Mgmt(FrameKind::ProbeResponse),
+                enqueued_at: now,
+            });
+            self.try_dequeue(i);
+        }
+    }
+
+    /// A frame decoded successfully at `rx_node`.
+    fn deliver_frame(&mut self, rx_node: NodeId, tx: &crate::medium::Transmission, sinr: f64) {
+        let now = self.now;
+        let frame = &tx.frame;
+        if let Some(src) = frame.src {
+            self.stations[rx_node].snr_hints.insert(src, sinr);
+        }
+        match frame.kind {
+            FrameKind::Ack => {
+                if self.stations[rx_node].state == MacState::AwaitAck {
+                    self.stations[rx_node].bump_timer_gen(); // cancel AckTimeout
+                    let has_more = self.stations[rx_node]
+                        .current
+                        .as_ref()
+                        .is_some_and(|op| !op.pending_fragments.is_empty());
+                    if has_more {
+                        self.advance_fragment(rx_node);
+                    } else {
+                        self.complete_delivery(rx_node, true);
+                    }
+                }
+            }
+            FrameKind::Cts => {
+                if self.stations[rx_node].state == MacState::AwaitCts {
+                    self.stations[rx_node].bump_timer_gen(); // cancel CtsTimeout
+                    if let Some(op) = self.stations[rx_node].current.as_mut() {
+                        op.cts_received = true;
+                    }
+                    // Data follows after SIFS, bypassing contention.
+                    self.schedule_post_cts_data(rx_node);
+                }
+            }
+            FrameKind::Rts => {
+                // Respond with CTS only if our NAV is clear.
+                if self.stations[rx_node].nav_until <= now {
+                    let src = frame.src.expect("RTS carries a transmitter");
+                    let dur = (frame.duration_us as u64)
+                        .saturating_sub(delay::SIFS + delay::CTS)
+                        .min(u16::MAX as u64) as u16;
+                    self.owe_response(rx_node, SimFrame::cts(src, dur));
+                }
+            }
+            FrameKind::Data | FrameKind::NullData => {
+                let src = frame.src.expect("data carries a transmitter");
+                self.owe_response(rx_node, SimFrame::ack(src));
+                // Payload content is not consumed further; duplicates are
+                // ACKed like real hardware does.
+            }
+            FrameKind::AssocRequest => {
+                let src = frame.src.expect("mgmt carries a transmitter");
+                self.owe_response(rx_node, SimFrame::ack(src));
+                if self.stations[rx_node].is_ap() && self.mac_index.contains_key(&src) {
+                    let already_queued = self.stations[rx_node].queue.iter().any(|m| {
+                        m.dst == src && m.kind == MsduKind::Mgmt(FrameKind::AssocResponse)
+                    });
+                    if !already_queued {
+                        let ap_mac = self.stations[rx_node].mac;
+                        self.stations[rx_node].enqueue(Msdu {
+                            dst: src,
+                            bssid: ap_mac,
+                            payload: ASSOC_RESP_BODY,
+                            kind: MsduKind::Mgmt(FrameKind::AssocResponse),
+                            enqueued_at: now,
+                        });
+                        self.try_dequeue(rx_node);
+                    }
+                }
+            }
+            FrameKind::AssocResponse => {
+                let src = frame.src.expect("mgmt carries a transmitter");
+                self.owe_response(rx_node, SimFrame::ack(src));
+                if let Some(&ap) = self.mac_index.get(&src) {
+                    self.complete_association(rx_node, ap);
+                }
+            }
+            _ => {
+                // Other management frames: ACK if unicast to us.
+                if let Some(src) = frame.src {
+                    self.owe_response(rx_node, SimFrame::ack(src));
+                }
+            }
+        }
+    }
+
+    fn owe_response(&mut self, node: NodeId, frame: SimFrame) {
+        // Never take on a response while mid-exchange: starting a CTS/ACK
+        // from AwaitCts/AwaitAck would clobber that state machine. The peer
+        // simply retries — comparable to real-hardware behaviour under the
+        // same (collision-heavy) conditions.
+        if matches!(
+            self.stations[node].state,
+            MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
+        ) {
+            return;
+        }
+        let now = self.now;
+        self.stations[node].pending_response = Some(frame);
+        let gen = self.stations[node].timer_gen;
+        self.queue.push(
+            now + delay::SIFS,
+            Event::Timer {
+                node,
+                gen,
+                kind: TimerKind::SifsResponse,
+            },
+        );
+    }
+
+    /// The data frame of an RTS-protected exchange follows the CTS by a
+    /// SIFS, bypassing contention: store the pre-built frame as the pending
+    /// response and let [`Self::fire_sifs_response`] release it.
+    fn schedule_post_cts_data(&mut self, node: NodeId) {
+        let now = self.now;
+        let st = &mut self.stations[node];
+        let op = st.current.as_mut().expect("CTS without TxOp");
+        let MsduKind::Data { to_ds } = op.msdu.kind else {
+            return; // RTS only protects data
+        };
+        op.first_tx_at.get_or_insert(now + delay::SIFS);
+        let retry = op.retries > 0;
+        let frame = SimFrame::data(
+            st.mac,
+            op.msdu.dst,
+            op.msdu.bssid,
+            op.seq,
+            op.msdu.payload,
+            retry,
+            (delay::SIFS + delay::ACK) as u16,
+            to_ds,
+        );
+        st.stats.tx_attempts += 1;
+        st.pending_response = Some(frame);
+        let gen = st.timer_gen;
+        self.ground_truth.data_tx += 1;
+        self.queue.push(
+            now + delay::SIFS,
+            Event::Timer {
+                node,
+                gen,
+                kind: TimerKind::SifsResponse,
+            },
+        );
+    }
+
+    fn process_nav(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+        let now = self.now;
+        let until = now + tx.frame.duration_us as Micros;
+        for i in 0..self.stations.len() {
+            if i == tx.node || self.stations[i].channel_idx != channel {
+                continue;
+            }
+            if self.stations[i].mac == tx.frame.dst {
+                continue; // the addressee does not set NAV from its own exchange
+            }
+            if self.stations[i].was_transmitting_during(tx.start, tx.end) {
+                continue;
+            }
+            let rx_pos = self.stations[i].pos;
+            let rssi = self.faded_rssi(tx.node, i as u64, tx.pos, rx_pos);
+            if rssi < self.config.radio.sensitivity_dbm {
+                continue;
+            }
+            let interferers: Vec<f64> = tx
+                .interferer_pos
+                .iter()
+                .map(|&(n, p)| self.faded_rssi(n, i as u64, p, rx_pos))
+                .collect();
+            let sinr = effective_sinr_db(
+                rssi,
+                &interferers,
+                self.config.radio.noise_floor_dbm,
+                processing_gain_db(tx.rate),
+            );
+            let p = self
+                .config
+                .error
+                .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
+            if self.rng.gen::<f64>() < p && until > self.stations[i].nav_until {
+                let was_busy = self.stations[i].channel_busy(now);
+                self.stations[i].nav_until = until;
+                if !was_busy {
+                    self.on_channel_busy(i);
+                }
+                self.arm_nav_expiry(i, until);
+            }
+        }
+    }
+
+    fn process_sniffers(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+        let ch = self.config.channels[channel];
+        let now = self.now;
+        for idx in 0..self.sniffers.len() {
+            if self.sniffers[idx].config.channel_idx != channel {
+                continue;
+            }
+            let pos = self.sniffers[idx].config.pos;
+            // Sniffer links get their own fade realizations, keyed past the
+            // station id space, and a sniffer-specific fade scale.
+            let sniffer_link = SNIFFER_LINK_BASE + idx as u64;
+            let fade_scale = self.sniffers[idx].config.fade_scale;
+            let faded = |tx_node: NodeId, tx_pos: Pos| {
+                self.config.radio.rssi_dbm(tx_pos, pos)
+                    + fade_scale
+                        * self
+                            .config
+                            .radio
+                            .fading
+                            .fade_db(tx_node as u64, sniffer_link, self.now)
+            };
+            let rssi = faded(tx.node, tx.pos);
+            if rssi < self.config.radio.sensitivity_dbm {
+                self.sniffers[idx].miss(MissReason::OutOfRange);
+                continue;
+            }
+            let interferers: Vec<f64> = tx
+                .interferer_pos
+                .iter()
+                .map(|&(n, p)| faded(n, p))
+                .collect();
+            let sinr = effective_sinr_db(
+                rssi,
+                &interferers,
+                self.config.radio.noise_floor_dbm,
+                processing_gain_db(tx.rate),
+            );
+            let p = self
+                .config
+                .error
+                .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
+            if self.rng.gen::<f64>() >= p {
+                if tx.interferer_pos.is_empty() {
+                    self.sniffers[idx].stats.missed_clean += 1;
+                }
+                self.sniffers[idx].miss(MissReason::BitError);
+                continue;
+            }
+            if !self.sniffers[idx].try_take_token(now) {
+                self.sniffers[idx].miss(MissReason::HardwareDrop);
+                continue;
+            }
+            let record = tx.frame.to_record(tx.end, tx.rate, ch, rssi.round() as i8);
+            self.sniffers[idx].capture(record);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic channel assignment (the Airespace stand-in)
+    // ------------------------------------------------------------------
+
+    /// Periodic per-AP evaluation: compare recent air time across channels
+    /// and switch to the least-loaded one when the imbalance clears the
+    /// hysteresis ratio. Associated clients follow after a staggered delay.
+    fn on_channel_eval(&mut self, node: NodeId) {
+        let Some(cm) = self.config.channel_mgmt else {
+            return;
+        };
+        self.queue
+            .push(self.now + cm.eval_interval_us, Event::ChannelEval { node });
+        if !self.stations[node].is_ap() {
+            return;
+        }
+        // First evaluation only takes the baseline snapshot.
+        if self.stations[node].chan_airtime_snapshot.is_empty() {
+            self.stations[node].chan_airtime_snapshot = self.chan_airtime_us.clone();
+            return;
+        }
+        let deltas: Vec<u64> = self
+            .chan_airtime_us
+            .iter()
+            .zip(&self.stations[node].chan_airtime_snapshot)
+            .map(|(now_v, then_v)| now_v.saturating_sub(*then_v))
+            .collect();
+        self.stations[node].chan_airtime_snapshot = self.chan_airtime_us.clone();
+        let cur = self.stations[node].channel_idx;
+        let Some((best, &best_load)) = deltas.iter().enumerate().min_by_key(|&(_, load)| *load)
+        else {
+            return;
+        };
+        if best == cur {
+            return;
+        }
+        let cur_load = deltas[cur] as f64;
+        if cur_load <= cm.switch_ratio * best_load as f64 + 1.0 {
+            return; // not imbalanced enough
+        }
+        if !self.move_station_channel(node, best) {
+            return; // mid-exchange; try again next interval
+        }
+        // Associated clients notice the beacon loss and follow.
+        let followers: Vec<NodeId> = self
+            .stations
+            .iter()
+            .filter(|s| s.associated_ap == Some(node))
+            .map(|s| s.id)
+            .collect();
+        for c in followers {
+            self.stations[c].associated_ap = None;
+            let delay = self
+                .rng
+                .gen_range(10_000..cm.follow_delay_max_us.max(10_001));
+            self.queue.push(
+                self.now + delay,
+                Event::FollowAp {
+                    node: c,
+                    channel_idx: best,
+                },
+            );
+        }
+    }
+
+    /// A client moves to its AP's new channel and re-associates.
+    fn on_follow_ap(&mut self, node: NodeId, channel_idx: usize) {
+        if !self.stations[node].joined || self.stations[node].departed {
+            return;
+        }
+        if !self.move_station_channel(node, channel_idx) {
+            // Mid-exchange: retry shortly.
+            self.queue
+                .push(self.now + 50_000, Event::FollowAp { node, channel_idx });
+            return;
+        }
+        self.stations[node].associated_ap = None;
+        self.on_user_join(node);
+    }
+
+    /// Retunes a station's radio to another channel, maintaining carrier
+    /// sense and NAV bookkeeping consistency. Returns false (no change)
+    /// when the station is in the middle of a frame exchange.
+    fn move_station_channel(&mut self, node: NodeId, new_idx: usize) -> bool {
+        assert!(new_idx < self.config.channels.len(), "bad channel index");
+        if matches!(
+            self.stations[node].state,
+            MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
+        ) || self.stations[node].pending_response.is_some()
+        {
+            return false;
+        }
+        let old_idx = self.stations[node].channel_idx;
+        if old_idx == new_idx {
+            return true;
+        }
+        let now = self.now;
+        // Detach from the old channel's in-flight transmissions.
+        for tx in self.media[old_idx].active_mut() {
+            if let Some(p) = tx.sensed_by.iter().position(|&n| n == node) {
+                tx.sensed_by.swap_remove(p);
+                if tx.cs_applied {
+                    let st = &mut self.stations[node];
+                    debug_assert!(st.sensed > 0);
+                    st.sensed = st.sensed.saturating_sub(1);
+                }
+            }
+        }
+        // Pause any contention countdown; NAV from the old channel is void.
+        self.on_channel_busy(node); // freezes WaitDefer/Backoff safely
+        {
+            let st = &mut self.stations[node];
+            st.nav_until = 0;
+            st.use_eifs = false;
+            st.channel_idx = new_idx;
+        }
+        // Attach to the new channel's in-flight transmissions.
+        let pos = self.stations[node].pos;
+        let mut sensed_gain = 0u32;
+        for tx in self.media[new_idx].active_mut() {
+            let rssi = self.config.radio.rssi_dbm(tx.pos, pos);
+            if rssi >= self.config.radio.cs_threshold_dbm {
+                tx.sensed_by.push(node);
+                if tx.cs_applied {
+                    sensed_gain += 1;
+                }
+            }
+        }
+        {
+            let st = &mut self.stations[node];
+            st.sensed += sensed_gain;
+            st.idle_since = now;
+        }
+        if self.stations[node].state == MacState::Frozen && !self.stations[node].channel_busy(now) {
+            self.on_channel_idle(node);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Exchange outcomes
+    // ------------------------------------------------------------------
+
+    fn on_exchange_timeout(&mut self, node: NodeId, expected: MacState) {
+        if self.stations[node].state != expected {
+            return;
+        }
+        let drop;
+        let peer;
+        let is_assoc_req;
+        let is_data;
+        {
+            let dcf = self.config.dcf;
+            let st = &mut self.stations[node];
+            let op = st.current.as_mut().expect("timeout without TxOp");
+            peer = op.msdu.dst;
+            is_assoc_req = op.msdu.kind == MsduKind::Mgmt(FrameKind::AssocRequest);
+            is_data = matches!(op.msdu.kind, MsduKind::Data { .. });
+            op.retries += 1;
+            op.cts_received = false;
+            drop = op.retries > dcf.short_retry_limit;
+            st.cw = dcf.cw_after(op.retries);
+        }
+        // Rate-adaptation feedback for data frames. This is exactly the
+        // deficiency the paper identifies: the adapter cannot distinguish a
+        // collision from a weak signal, so congestion drives rates down.
+        if is_data {
+            if drop {
+                self.stations[node].adapter_for(peer).on_drop();
+            } else {
+                self.stations[node].adapter_for(peer).on_failure();
+            }
+        }
+        if drop {
+            let cw_min = self.config.dcf.cw_min;
+            let backoff = draw_backoff(&mut self.rng, cw_min);
+            let st = &mut self.stations[node];
+            st.stats.retry_drops += 1;
+            st.current = None;
+            st.cw = cw_min;
+            st.backoff_slots = backoff;
+            st.state = MacState::Idle;
+            self.ground_truth.retry_drops += 1;
+            if is_assoc_req && self.stations[node].joined {
+                self.queue
+                    .push(self.now + ASSOC_RETRY_US, Event::UserJoin { node });
+            }
+            self.try_dequeue(node);
+            return;
+        }
+        // Retry: new rate decision, fresh backoff from the grown window.
+        let new_rate = self.stations[node].pick_rate(peer);
+        {
+            let st = &mut self.stations[node];
+            if let Some(op) = st.current.as_mut() {
+                if matches!(op.msdu.kind, MsduKind::Data { .. }) {
+                    op.rate = new_rate;
+                }
+            }
+            let cw = st.cw;
+            st.backoff_slots = draw_backoff(&mut self.rng, cw);
+            st.state = MacState::Idle;
+        }
+        self.begin_access(node);
+    }
+
+    /// A fragment was acknowledged and more remain: release the next one a
+    /// SIFS later, without re-contending (the fragment-burst rule).
+    fn advance_fragment(&mut self, node: NodeId) {
+        let now = self.now;
+        let st = &mut self.stations[node];
+        let Some(op) = st.current.as_mut() else {
+            return;
+        };
+        let MsduKind::Data { to_ds } = op.msdu.kind else {
+            return;
+        };
+        op.current_payload = op.pending_fragments.remove(0);
+        op.frag_no = op.frag_no.wrapping_add(1);
+        op.retries = 0; // per-fragment retry counting, as the standard does
+        let frame = SimFrame::data_fragment(
+            st.mac,
+            op.msdu.dst,
+            op.msdu.bssid,
+            op.seq,
+            op.frag_no,
+            op.current_payload,
+            false,
+            (delay::SIFS + delay::ACK) as u16,
+            to_ds,
+            !op.pending_fragments.is_empty(),
+        );
+        st.stats.tx_attempts += 1;
+        st.pending_response = Some(frame);
+        let gen = st.timer_gen;
+        self.ground_truth.data_tx += 1;
+        self.queue.push(
+            now + delay::SIFS,
+            Event::Timer {
+                node,
+                gen,
+                kind: TimerKind::SifsResponse,
+            },
+        );
+    }
+
+    /// The current MSDU is done: delivered (ACK received) or broadcast sent.
+    fn complete_delivery(&mut self, node: NodeId, acked: bool) {
+        let now = self.now;
+        let peer;
+        let is_data;
+        {
+            let st = &mut self.stations[node];
+            let op = st.current.take().expect("completion without TxOp");
+            peer = op.msdu.dst;
+            is_data = matches!(op.msdu.kind, MsduKind::Data { .. });
+            st.stats.delivered += 1;
+            st.stats.delivery_delay_total_us += now.saturating_sub(op.msdu.enqueued_at);
+            st.cw = self.config.dcf.cw_min;
+            let cw = st.cw;
+            st.backoff_slots = draw_backoff(&mut self.rng, cw);
+            st.state = MacState::Idle;
+        }
+        self.ground_truth.delivered += 1;
+        if acked && is_data {
+            self.stations[node].adapter_for(peer).on_success();
+        }
+        self.try_dequeue(node);
+    }
+}
+
+fn draw_backoff(rng: &mut SmallRng, cw: u32) -> u32 {
+    rng.gen_range(0..=cw)
+}

@@ -1,0 +1,481 @@
+//! Per-station MAC state: the DCF contention machine's data, the transmit
+//! queue, per-peer rate adapters, and counters.
+//!
+//! `Station` is deliberately a *state container*: the transition logic lives
+//! in [`crate::sim::Simulator`], which owns the medium and the event queue.
+//! The methods here are the self-contained pieces (queue management, backoff
+//! bookkeeping, adapter lookup) that are unit-testable in isolation.
+
+use crate::events::NodeId;
+use crate::frame_info::SimFrame;
+use crate::geometry::Pos;
+use crate::rate::{RateAdaptation, RateAdapter};
+use crate::traffic::TrafficProfile;
+use std::collections::{HashMap, VecDeque};
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::Rate;
+use wifi_frames::timing::{Dcf, Micros};
+
+/// When a station precedes data frames with an RTS/CTS exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtsPolicy {
+    /// Never use RTS/CTS (the default on commodity cards, per the paper).
+    Never,
+    /// Always use RTS/CTS for unicast data.
+    Always,
+    /// Use RTS/CTS for payloads strictly larger than the threshold (bytes).
+    Threshold(u32),
+}
+
+impl RtsPolicy {
+    /// Whether a unicast data frame of `payload` bytes takes the RTS path.
+    pub fn applies(&self, payload: u32) -> bool {
+        match *self {
+            RtsPolicy::Never => false,
+            RtsPolicy::Always => true,
+            RtsPolicy::Threshold(t) => payload > t,
+        }
+    }
+}
+
+/// What a station is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// An access point: beacons, accepts associations, relays downlink.
+    Ap {
+        /// Beacon body size (depends on SSID length).
+        beacon_body_bytes: u32,
+    },
+    /// A client: associates to an AP and runs traffic flows.
+    Client,
+}
+
+/// One queued MSDU awaiting transmission.
+#[derive(Clone, Debug)]
+pub struct Msdu {
+    /// Destination MAC (next hop).
+    pub dst: MacAddr,
+    /// BSSID to stamp on the frame.
+    pub bssid: MacAddr,
+    /// Payload bytes (zero for management frames).
+    pub payload: u32,
+    /// What kind of frame this becomes on air.
+    pub kind: MsduKind,
+    /// Enqueue time (for queueing-delay stats).
+    pub enqueued_at: Micros,
+}
+
+/// MSDU kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsduKind {
+    /// A data frame; `to_ds` is true for client→AP.
+    Data {
+        /// Direction bit.
+        to_ds: bool,
+    },
+    /// A Null-function frame (power-save signalling; unicast, ACKed, no
+    /// payload on air).
+    Null,
+    /// A beacon (broadcast, no ACK).
+    Beacon,
+    /// A management frame of the given subtype (unicast when addressed,
+    /// ACKed; broadcast probes draw no ACK).
+    Mgmt(FrameKind),
+}
+
+/// The in-progress transmission operation for the head-of-line MSDU.
+#[derive(Clone, Debug)]
+pub struct TxOp {
+    /// The MSDU.
+    pub msdu: Msdu,
+    /// Retry count so far for the current fragment (0 = first attempt
+    /// pending).
+    pub retries: u32,
+    /// Payload of the fragment currently being sent (equals
+    /// `msdu.payload` when unfragmented).
+    pub current_payload: u32,
+    /// Payloads of the fragments still to send after the current one
+    /// (in send order; empty when unfragmented or on the last fragment).
+    pub pending_fragments: Vec<u32>,
+    /// Fragment number of the current fragment.
+    pub frag_no: u8,
+    /// Whether this exchange uses RTS/CTS.
+    pub use_rts: bool,
+    /// True once the CTS for this attempt has been received.
+    pub cts_received: bool,
+    /// Sequence number assigned to the MSDU.
+    pub seq: u16,
+    /// Data rate of the current attempt (fixed per attempt at queue time).
+    pub rate: Rate,
+    /// When the first attempt hit the air (for acceptance-delay ground
+    /// truth); `None` until then.
+    pub first_tx_at: Option<Micros>,
+}
+
+/// The DCF contention state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacState {
+    /// Nothing to send.
+    Idle,
+    /// Have a frame; waiting out DIFS/EIFS after the channel went idle.
+    WaitDefer,
+    /// Counting down backoff slots; `started` is when the countdown began,
+    /// `slots_at_start` the remaining slots at that moment.
+    Backoff {
+        /// Countdown start time.
+        started: Micros,
+        /// Slots remaining when the countdown began.
+        slots_at_start: u32,
+    },
+    /// Have a frame; channel is busy; backoff frozen.
+    Frozen,
+    /// Our transmission is in the air.
+    Transmitting {
+        /// What we are sending.
+        phase: TxPhase,
+    },
+    /// RTS sent; waiting for the CTS.
+    AwaitCts,
+    /// Data sent; waiting for the ACK.
+    AwaitAck,
+}
+
+/// What a transmitting station is sending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxPhase {
+    /// An RTS for the current TxOp.
+    Rts,
+    /// The data/management/beacon frame of the current TxOp.
+    Data,
+    /// A CTS we owe a peer.
+    Cts,
+    /// An ACK we owe a peer.
+    Ack,
+}
+
+/// Per-station counters (ground truth, not sniffer-derived).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StationStats {
+    /// Data/mgmt transmission attempts (includes retries).
+    pub tx_attempts: u64,
+    /// MSDUs delivered (ACK received, or broadcast sent).
+    pub delivered: u64,
+    /// MSDUs dropped at the retry limit.
+    pub retry_drops: u64,
+    /// MSDUs dropped because the queue was full.
+    pub queue_drops: u64,
+    /// ACKs sent.
+    pub acks_sent: u64,
+    /// RTS frames sent.
+    pub rts_sent: u64,
+    /// CTS frames sent.
+    pub cts_sent: u64,
+    /// Sum of (delivery time − enqueue time) over delivered MSDUs, µs.
+    pub delivery_delay_total_us: u64,
+}
+
+/// A station (AP or client).
+pub struct Station {
+    /// Node id within the simulation.
+    pub id: NodeId,
+    /// MAC address.
+    pub mac: MacAddr,
+    /// Fixed position.
+    pub pos: Pos,
+    /// Index into the simulator's channel list.
+    pub channel_idx: usize,
+    /// AP or client.
+    pub role: Role,
+    /// Transmit queue.
+    pub queue: VecDeque<Msdu>,
+    /// Queue capacity; MSDUs beyond it are dropped.
+    pub queue_cap: usize,
+    /// In-flight operation for the head-of-line MSDU.
+    pub current: Option<TxOp>,
+    /// Contention state.
+    pub state: MacState,
+    /// Remaining backoff slots (meaningful in WaitDefer/Frozen/Backoff).
+    pub backoff_slots: u32,
+    /// Current contention-window size.
+    pub cw: u32,
+    /// Timer generation; a bumped generation invalidates armed timers.
+    pub timer_gen: u64,
+    /// Number of carrier-sensed in-flight transmissions.
+    pub sensed: u32,
+    /// NAV expiry.
+    pub nav_until: Micros,
+    /// When the channel last became idle for this station.
+    pub idle_since: Micros,
+    /// Whether the next defer must use EIFS (after an undecodable frame).
+    pub use_eifs: bool,
+    /// End time of our own most recent transmission (half-duplex check).
+    pub tx_until: Micros,
+    /// A response (CTS/ACK) owed after SIFS.
+    pub pending_response: Option<SimFrame>,
+    /// RTS policy for unicast data.
+    pub rts_policy: RtsPolicy,
+    /// Rate-adaptation algorithm configuration.
+    pub adapter_cfg: RateAdaptation,
+    /// Per-peer adapters.
+    pub adapters: HashMap<MacAddr, Box<dyn RateAdapter>>,
+    /// Most recent SNR (dB) observed from each peer.
+    pub snr_hints: HashMap<MacAddr, f64>,
+    /// Next sequence number.
+    pub next_seq: u16,
+    /// Has the user powered on (join event fired)?
+    pub joined: bool,
+    /// Has the user left for good (no re-association)?
+    pub departed: bool,
+    /// Client: associated AP node, once association completes.
+    pub associated_ap: Option<NodeId>,
+    /// Traffic profile (clients; ignored for APs).
+    pub traffic: TrafficProfile,
+    /// Counters.
+    pub stats: StationStats,
+    /// APs with dynamic channel assignment: per-channel air-time counters
+    /// at the last evaluation (empty until the first one).
+    pub chan_airtime_snapshot: Vec<u64>,
+    /// Fragmentation threshold (payload bytes): unicast data MSDUs larger
+    /// than this are sent as a SIFS-separated fragment burst. `None` (the
+    /// 2005 default) disables fragmentation.
+    pub frag_threshold: Option<u32>,
+    /// Power-save Null-frame cadence (clients), µs; `None` = no signalling.
+    pub power_save_interval_us: Option<Micros>,
+    /// Current power-management bit (toggles with each Null frame).
+    pub power_save_state: bool,
+}
+
+impl Station {
+    /// Creates a station with empty state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        mac: MacAddr,
+        pos: Pos,
+        channel_idx: usize,
+        role: Role,
+        rts_policy: RtsPolicy,
+        adapter_cfg: RateAdaptation,
+        traffic: TrafficProfile,
+        dcf: &Dcf,
+    ) -> Station {
+        Station {
+            id,
+            mac,
+            pos,
+            channel_idx,
+            role,
+            queue: VecDeque::new(),
+            queue_cap: 128,
+            current: None,
+            state: MacState::Idle,
+            backoff_slots: 0,
+            cw: dcf.cw_min,
+            timer_gen: 0,
+            sensed: 0,
+            nav_until: 0,
+            idle_since: 0,
+            use_eifs: false,
+            tx_until: 0,
+            pending_response: None,
+            rts_policy,
+            adapter_cfg,
+            adapters: HashMap::new(),
+            snr_hints: HashMap::new(),
+            next_seq: 0,
+            joined: false,
+            departed: false,
+            associated_ap: None,
+            traffic,
+            stats: StationStats::default(),
+            chan_airtime_snapshot: Vec::new(),
+            frag_threshold: None,
+            power_save_interval_us: None,
+            power_save_state: false,
+        }
+    }
+
+    /// True when this station is an AP.
+    pub fn is_ap(&self) -> bool {
+        matches!(self.role, Role::Ap { .. })
+    }
+
+    /// Enqueues an MSDU; returns false (and counts a drop) when full.
+    pub fn enqueue(&mut self, msdu: Msdu) -> bool {
+        if self.queue.len() >= self.queue_cap {
+            self.stats.queue_drops += 1;
+            return false;
+        }
+        self.queue.push_back(msdu);
+        true
+    }
+
+    /// Pushes an MSDU at the front (beacons preempt data).
+    pub fn enqueue_front(&mut self, msdu: Msdu) {
+        self.queue.push_front(msdu);
+    }
+
+    /// The channel is busy for this station right now?
+    pub fn channel_busy(&self, now: Micros) -> bool {
+        self.sensed > 0 || self.nav_until > now
+    }
+
+    /// Was this station transmitting at any point in `[start, end]`?
+    pub fn was_transmitting_during(&self, start: Micros, end: Micros) -> bool {
+        // tx_until > start means our last transmission was still in the air
+        // after `start`; our transmissions always begin before we could hear
+        // anything, so overlap reduces to this check.
+        let _ = end;
+        self.tx_until > start
+    }
+
+    /// Assigns the next sequence number.
+    pub fn take_seq(&mut self) -> u16 {
+        let s = self.next_seq;
+        self.next_seq = (self.next_seq + 1) % 4096;
+        s
+    }
+
+    /// Invalidates any armed timers and returns the new generation.
+    pub fn bump_timer_gen(&mut self) -> u64 {
+        self.timer_gen += 1;
+        self.timer_gen
+    }
+
+    /// The rate adapter for `peer`, created on first use.
+    pub fn adapter_for(&mut self, peer: MacAddr) -> &mut Box<dyn RateAdapter> {
+        let cfg = self.adapter_cfg;
+        self.adapters.entry(peer).or_insert_with(|| cfg.build())
+    }
+
+    /// Picks the data rate for the next attempt to `peer`.
+    pub fn pick_rate(&mut self, peer: MacAddr) -> Rate {
+        let hint = self.snr_hints.get(&peer).copied();
+        self.adapter_for(peer).rate(hint)
+    }
+
+    /// Consumes elapsed backoff time: decrements the remaining slot count by
+    /// the number of whole slots that fit in `elapsed`.
+    pub fn consume_backoff(&mut self, elapsed: Micros, slot_us: Micros) {
+        let consumed = (elapsed / slot_us) as u32;
+        self.backoff_slots = self.backoff_slots.saturating_sub(consumed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station() -> Station {
+        Station::new(
+            0,
+            MacAddr::from_id(1),
+            Pos::default(),
+            0,
+            Role::Client,
+            RtsPolicy::Never,
+            RateAdaptation::Arf(Rate::R11),
+            TrafficProfile::silent(),
+            &Dcf::standard(),
+        )
+    }
+
+    fn msdu() -> Msdu {
+        Msdu {
+            dst: MacAddr::from_id(2),
+            bssid: MacAddr::from_id(2),
+            payload: 100,
+            kind: MsduKind::Data { to_ds: true },
+            enqueued_at: 0,
+        }
+    }
+
+    #[test]
+    fn rts_policy_threshold() {
+        assert!(!RtsPolicy::Never.applies(5000));
+        assert!(RtsPolicy::Always.applies(0));
+        let t = RtsPolicy::Threshold(1000);
+        assert!(!t.applies(1000));
+        assert!(t.applies(1001));
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut s = station();
+        s.queue_cap = 3;
+        for _ in 0..3 {
+            assert!(s.enqueue(msdu()));
+        }
+        assert!(!s.enqueue(msdu()));
+        assert_eq!(s.stats.queue_drops, 1);
+        assert_eq!(s.queue.len(), 3);
+    }
+
+    #[test]
+    fn beacon_preempts_queue() {
+        let mut s = station();
+        s.enqueue(msdu());
+        let mut beacon = msdu();
+        beacon.kind = MsduKind::Beacon;
+        s.enqueue_front(beacon);
+        assert_eq!(s.queue.front().unwrap().kind, MsduKind::Beacon);
+    }
+
+    #[test]
+    fn seq_numbers_wrap_mod_4096() {
+        let mut s = station();
+        s.next_seq = 4095;
+        assert_eq!(s.take_seq(), 4095);
+        assert_eq!(s.take_seq(), 0);
+    }
+
+    #[test]
+    fn busy_combines_carrier_sense_and_nav() {
+        let mut s = station();
+        assert!(!s.channel_busy(100));
+        s.sensed = 1;
+        assert!(s.channel_busy(100));
+        s.sensed = 0;
+        s.nav_until = 200;
+        assert!(s.channel_busy(100));
+        assert!(!s.channel_busy(200));
+    }
+
+    #[test]
+    fn backoff_consumption_floors_partial_slots() {
+        let mut s = station();
+        s.backoff_slots = 10;
+        s.consume_backoff(59, 20); // 2.95 slots -> 2
+        assert_eq!(s.backoff_slots, 8);
+        s.consume_backoff(1_000_000, 20); // saturates at zero
+        assert_eq!(s.backoff_slots, 0);
+    }
+
+    #[test]
+    fn adapters_are_per_peer() {
+        let mut s = station();
+        let p1 = MacAddr::from_id(10);
+        let p2 = MacAddr::from_id(11);
+        s.adapter_for(p1).on_failure();
+        s.adapter_for(p1).on_failure();
+        assert_eq!(s.pick_rate(p1), Rate::R5_5, "p1 stepped down");
+        assert_eq!(s.pick_rate(p2), Rate::R11, "p2 untouched");
+    }
+
+    #[test]
+    fn timer_generation_invalidates() {
+        let mut s = station();
+        let g0 = s.timer_gen;
+        let g1 = s.bump_timer_gen();
+        assert!(g1 > g0);
+    }
+
+    #[test]
+    fn half_duplex_overlap_check() {
+        let mut s = station();
+        s.tx_until = 1000;
+        assert!(s.was_transmitting_during(500, 2000));
+        assert!(!s.was_transmitting_during(1000, 2000));
+    }
+}

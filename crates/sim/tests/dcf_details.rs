@@ -1,0 +1,413 @@
+//! Finer-grained DCF behaviour tests: duration fields, NAV protection,
+//! queue overflow, fading-driven rate selection, DSSS processing gain, and
+//! the carrier-sense vulnerability window.
+
+use wifi_frames::fc::FrameKind;
+use wifi_frames::phy::Rate;
+use wifi_frames::timing::delay;
+use wifi_sim::geometry::Pos;
+use wifi_sim::radio::{Fading, RadioConfig};
+use wifi_sim::rate::RateAdaptation;
+use wifi_sim::sniffer::SnifferConfig;
+use wifi_sim::station::RtsPolicy;
+use wifi_sim::traffic::{FlowConfig, SizeDist, TrafficProfile};
+use wifi_sim::{ClientConfig, SimConfig, Simulator};
+
+const SEC: u64 = 1_000_000;
+
+fn base_client(pos: Pos, fps: f64, payload: u32) -> ClientConfig {
+    ClientConfig {
+        pos,
+        channel_idx: 0,
+        rts_policy: RtsPolicy::Never,
+        adaptation: RateAdaptation::Fixed(Rate::R11),
+        traffic: TrafficProfile {
+            uplink: FlowConfig::poisson(fps, SizeDist::fixed(payload)),
+            downlink: FlowConfig::off(),
+        },
+        join_at_us: 0,
+        leave_at_us: None,
+        power_save_interval_us: None,
+        frag_threshold: None,
+    }
+}
+
+fn wide_open_sniffer() -> SnifferConfig {
+    SnifferConfig {
+        capacity_fps: 1e6,
+        burst: 1e5,
+        ..SnifferConfig::default()
+    }
+}
+
+#[test]
+fn data_frame_duration_covers_the_ack() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    sim.add_client(base_client(Pos::new(5.0, 0.0), 20.0, 500));
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(3 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    for r in trace.iter().filter(|r| r.kind == FrameKind::Data) {
+        assert_eq!(
+            r.duration_us as u64,
+            delay::SIFS + delay::ACK,
+            "unicast data protects exactly one SIFS + ACK"
+        );
+    }
+    for r in trace.iter().filter(|r| r.kind == FrameKind::Ack) {
+        assert_eq!(r.duration_us, 0, "final ACK carries zero duration");
+    }
+}
+
+#[test]
+fn rts_duration_covers_the_whole_exchange() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    let mut c = base_client(Pos::new(5.0, 0.0), 20.0, 1000);
+    c.rts_policy = RtsPolicy::Always;
+    sim.add_client(c);
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(3 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    let rts: Vec<_> = trace.iter().filter(|r| r.kind == FrameKind::Rts).collect();
+    assert!(!rts.is_empty());
+    // Duration = 3×SIFS + CTS + data air (1028 B at 11 Mbps: 192 + 748) + ACK.
+    let data_air =
+        wifi_frames::timing::frame_airtime_us(1028, Rate::R11, wifi_frames::phy::Preamble::Long);
+    let expect = 3 * delay::SIFS + delay::CTS + data_air + delay::ACK;
+    for r in &rts {
+        assert_eq!(r.duration_us as u64, expect);
+    }
+    // And each CTS advertises the remaining time (duration - SIFS - CTS).
+    for r in trace.iter().filter(|r| r.kind == FrameKind::Cts) {
+        assert_eq!(r.duration_us as u64, expect - delay::SIFS - delay::CTS);
+    }
+}
+
+#[test]
+fn queue_overflow_drops_are_counted() {
+    let mut sim = Simulator::new(SimConfig {
+        queue_cap: 16,
+        ..SimConfig::default()
+    });
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    // 2000 fps of 1500-byte frames: far beyond an 11 Mbps channel.
+    sim.add_client(base_client(Pos::new(5.0, 0.0), 2000.0, 1472));
+    sim.run_until(5 * SEC);
+    let client = &sim.stations()[1];
+    assert!(
+        client.stats.queue_drops > 1000,
+        "expected heavy queue loss, got {}",
+        client.stats.queue_drops
+    );
+    assert!(client.stats.delivered > 100, "channel still drains");
+}
+
+#[test]
+fn slow_fade_pushes_arf_down_and_recovery_pulls_it_up() {
+    // One client, ARF, with a fading link: over a long run the trace must
+    // contain both high-rate and low-rate phases.
+    let mut sim = Simulator::new(SimConfig {
+        radio: RadioConfig {
+            tx_power_dbm: 13.0,
+            pathloss_exp: 3.5,
+            fading: Fading {
+                sigma_db: 10.0,
+                coherence_us: 2_000_000,
+                seed: 3,
+            },
+            ..RadioConfig::default()
+        },
+        ..SimConfig::default()
+    });
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    let mut c = base_client(Pos::new(26.0, 0.0), 60.0, 800);
+    c.adaptation = RateAdaptation::Arf(Rate::R11);
+    sim.add_client(c);
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(60 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    let at = |rate: Rate| {
+        trace
+            .iter()
+            .filter(|r| r.kind == FrameKind::Data && r.rate == rate)
+            .count()
+    };
+    assert!(
+        at(Rate::R11) > 100,
+        "good phases run at 11 Mbps: {}",
+        at(Rate::R11)
+    );
+    assert!(
+        at(Rate::R1) + at(Rate::R2) + at(Rate::R5_5) > 50,
+        "faded phases must push ARF below 11 Mbps ({} / {} / {})",
+        at(Rate::R1),
+        at(Rate::R2),
+        at(Rate::R5_5)
+    );
+}
+
+#[test]
+fn processing_gain_lets_slow_frames_survive_equal_power_collisions() {
+    // The despreading credit, checked at the radio model: an equal-power
+    // interferer leaves raw SINR at ~0 dB, which kills CCK-11 outright but
+    // leaves DBPSK-1 ~6 dB above its threshold.
+    use wifi_sim::radio::{effective_sinr_db, processing_gain_db, ErrorModel};
+    let signal = -60.0;
+    let interferer = [-60.0];
+    let noise = -95.0;
+    let model = ErrorModel::default();
+
+    let sinr_1 = effective_sinr_db(signal, &interferer, noise, processing_gain_db(Rate::R1));
+    let sinr_11 = effective_sinr_db(signal, &interferer, noise, processing_gain_db(Rate::R11));
+    assert!(sinr_1 > 10.0, "despread SINR at 1 Mbps: {sinr_1:.1}");
+    assert!(sinr_11 < 1.0, "CCK-11 sees nearly raw SINR: {sinr_11:.1}");
+
+    let p1 = model.frame_success_prob(sinr_1, Rate::R1, 428);
+    let p11 = model.frame_success_prob(sinr_11, Rate::R11, 428);
+    assert!(p1 > 0.95, "1 Mbps survives the collision: {p1:.3}");
+    assert!(p11 < 0.01, "11 Mbps dies in the collision: {p11:.3}");
+}
+
+#[test]
+fn vulnerability_window_scales_with_cs_delay() {
+    // A longer carrier-sense detection delay must produce more collisions
+    // on a contended channel.
+    let collisions = |cs_delay_us: u64| -> u64 {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 6,
+            cs_delay_us,
+            ..SimConfig::default()
+        });
+        sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+        for i in 0..12 {
+            let angle = i as f64;
+            sim.add_client(base_client(
+                Pos::new(8.0 * angle.cos(), 8.0 * angle.sin()),
+                120.0,
+                400,
+            ));
+        }
+        sim.run_until(10 * SEC);
+        sim.medium_stats()[0].1
+    };
+    let short = collisions(5);
+    let long = collisions(40);
+    assert!(
+        long > short,
+        "cs_delay 40µs should collide more than 5µs: {long} vs {short}"
+    );
+}
+
+#[test]
+fn eifs_config_toggle_changes_behaviour_deterministically() {
+    let run = |eifs: bool| {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 8,
+            eifs_enabled: eifs,
+            radio: RadioConfig {
+                fading: Fading::crowded_hall(4),
+                ..RadioConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+        for i in 0..6 {
+            sim.add_client(base_client(Pos::new(5.0 + i as f64 * 6.0, 0.0), 80.0, 800));
+        }
+        sim.add_sniffer(wide_open_sniffer());
+        sim.run_until(5 * SEC);
+        sim.sniffers()[0].trace.len()
+    };
+    // Not asserting which direction (workload-dependent), only that the
+    // toggle is wired through and runs are self-consistent.
+    let a = run(true);
+    let b = run(true);
+    assert_eq!(a, b);
+    let _ = run(false);
+}
+
+#[test]
+fn sniffer_hardware_saturation_engages_under_load() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    for i in 0..6 {
+        sim.add_client(base_client(Pos::new(4.0 + i as f64, 0.0), 150.0, 200));
+    }
+    sim.add_sniffer(SnifferConfig {
+        capacity_fps: 100.0,
+        burst: 20.0,
+        ..SnifferConfig::default()
+    });
+    sim.run_until(5 * SEC);
+    let st = &sim.sniffers()[0].stats;
+    assert!(
+        st.missed_hardware > 100,
+        "a 100 fps sniffer on a busy channel must drop: {}",
+        st.missed_hardware
+    );
+    assert!(st.captured > 300, "but it still captures at its capacity");
+}
+
+#[test]
+fn ground_truth_can_be_disabled() {
+    let mut sim = Simulator::new(SimConfig {
+        record_ground_truth: false,
+        ..SimConfig::default()
+    });
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    sim.add_client(base_client(Pos::new(5.0, 0.0), 50.0, 500));
+    sim.run_until(2 * SEC);
+    assert!(sim.ground_truth.records.is_empty());
+    assert!(sim.ground_truth.transmissions > 50, "counters still work");
+}
+
+#[test]
+fn power_save_null_frames_appear_and_are_acked() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    let mut c = base_client(Pos::new(5.0, 0.0), 5.0, 300);
+    c.power_save_interval_us = Some(2 * SEC);
+    sim.add_client(c);
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(30 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    let nulls: Vec<_> = trace
+        .iter()
+        .filter(|r| r.kind == FrameKind::NullData)
+        .collect();
+    // ~12 ticks in 30 s at a 2–2.5 s jittered cadence.
+    assert!(
+        (8..=16).contains(&nulls.len()),
+        "null frames: {}",
+        nulls.len()
+    );
+    for n in &nulls {
+        assert_eq!(n.mac_bytes, 28, "null frames carry no payload");
+        assert_eq!(n.payload_bytes, 0);
+    }
+    // The analysis charges them as zero-payload data frames and they count
+    // as acknowledged exchanges.
+    let stats = congestion_smoke(trace);
+    assert!(stats > 0, "nulls must be ACKed: {stats}");
+}
+
+/// Counts acknowledged NullData frames via DATA→ACK adjacency.
+fn congestion_smoke(trace: &[wifi_frames::record::FrameRecord]) -> usize {
+    trace
+        .windows(2)
+        .filter(|w| {
+            w[0].kind == FrameKind::NullData
+                && w[1].kind == FrameKind::Ack
+                && Some(w[1].dst) == w[0].src
+        })
+        .count()
+}
+
+#[test]
+fn fragmentation_splits_large_msdus_into_sifs_bursts() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    let mut c = base_client(Pos::new(5.0, 0.0), 10.0, 1400);
+    c.frag_threshold = Some(500);
+    sim.add_client(c);
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(5 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    // Every 1400-byte MSDU becomes 500+500+400 fragments.
+    let frag_sizes: Vec<u32> = trace
+        .iter()
+        .filter(|r| r.kind == FrameKind::Data)
+        .map(|r| r.payload_bytes)
+        .collect();
+    assert!(!frag_sizes.is_empty());
+    assert!(
+        frag_sizes.iter().all(|&s| s == 500 || s == 400),
+        "only fragment-sized payloads on air: {:?}",
+        &frag_sizes[..frag_sizes.len().min(6)]
+    );
+    // Fragments of one burst are SIFS-spaced: data→ack gap 314 µs, then the
+    // next fragment ends ≈ SIFS + its air time later. Count bursts: the
+    // client delivered MSDUs, each as 3 fragments.
+    let client = &sim.stations()[1];
+    // Every burst is exactly 500 + 500 + 400.
+    let tails = frag_sizes.iter().filter(|&&s| s == 400).count() as u64;
+    let heads = frag_sizes.iter().filter(|&&s| s == 500).count() as u64;
+    assert_eq!(
+        heads,
+        tails * 2,
+        "each burst carries two 500-byte fragments"
+    );
+    // `delivered` also counts the probe and association MSDUs.
+    assert_eq!(
+        client.stats.delivered,
+        tails + 2,
+        "one delivered MSDU per complete burst (+probe/assoc)"
+    );
+    assert!(tails > 20, "MSDUs flow");
+    assert_eq!(client.stats.retry_drops, 0);
+}
+
+#[test]
+fn fragmentation_off_keeps_msdus_whole() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    sim.add_client(base_client(Pos::new(5.0, 0.0), 10.0, 1400));
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(3 * SEC);
+    assert!(sim.sniffers()[0]
+        .trace
+        .iter()
+        .filter(|r| r.kind == FrameKind::Data)
+        .all(|r| r.payload_bytes == 1400));
+}
+
+#[test]
+fn small_frames_are_never_fragmented() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    let mut c = base_client(Pos::new(5.0, 0.0), 10.0, 300);
+    c.frag_threshold = Some(500);
+    sim.add_client(c);
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(3 * SEC);
+    assert!(sim.sniffers()[0]
+        .trace
+        .iter()
+        .filter(|r| r.kind == FrameKind::Data)
+        .all(|r| r.payload_bytes == 300));
+}
+
+#[test]
+fn probe_scan_precedes_association() {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    sim.add_ap(Pos::new(20.0, 0.0), 0, 6);
+    sim.add_client(base_client(Pos::new(5.0, 0.0), 5.0, 200));
+    sim.add_sniffer(wide_open_sniffer());
+    sim.run_until(2 * SEC);
+    let trace = &sim.sniffers()[0].trace;
+    let probe_req_at = trace
+        .iter()
+        .position(|r| r.kind == FrameKind::ProbeRequest)
+        .expect("client probes before associating");
+    let assoc_at = trace
+        .iter()
+        .position(|r| r.kind == FrameKind::AssocRequest)
+        .expect("client associates");
+    assert!(probe_req_at < assoc_at, "probe comes first");
+    // Both APs answer the broadcast probe.
+    let resps = trace
+        .iter()
+        .filter(|r| r.kind == FrameKind::ProbeResponse)
+        .count();
+    assert!(
+        resps >= 2,
+        "both APs should answer the probe, saw {resps} responses"
+    );
+    // Broadcast probes carry zero duration and draw no ACK.
+    for r in trace.iter().filter(|r| r.kind == FrameKind::ProbeRequest) {
+        assert_eq!(r.duration_us, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Attendance schedules: when users join and leave the venue.
+//!
+//! Figure 4(b) of the paper shows the associated-user count over a session:
+//! a ramp at the start, a plateau with slow churn, and departures near the
+//! end (day peak 523 users; plenary peak 325). [`Attendance`] generates
+//! per-user `(join, leave)` times reproducing that envelope.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use wifi_frames::timing::{Micros, SECOND};
+
+/// An attendance envelope for one session.
+#[derive(Clone, Copy, Debug)]
+pub struct Attendance {
+    /// Session length in seconds.
+    pub duration_s: u64,
+    /// Fraction of the session spent ramping in at the start (0..1).
+    pub rampin_frac: f64,
+    /// Fraction of the session over which users trickle out at the end.
+    pub rampout_frac: f64,
+    /// Probability a user leaves early (mid-session churn) instead of
+    /// staying to the end.
+    pub churn_prob: f64,
+}
+
+impl Attendance {
+    /// The day-session envelope: staggered morning arrivals, mild churn.
+    pub fn day(duration_s: u64) -> Attendance {
+        Attendance {
+            duration_s,
+            rampin_frac: 0.15,
+            rampout_frac: 0.10,
+            churn_prob: 0.15,
+        }
+    }
+
+    /// The plenary envelope: a fast pile-in, very little churn.
+    pub fn plenary(duration_s: u64) -> Attendance {
+        Attendance {
+            duration_s,
+            rampin_frac: 0.08,
+            rampout_frac: 0.15,
+            churn_prob: 0.05,
+        }
+    }
+
+    /// Draws one user's `(join, leave)` times in microseconds.
+    /// `leave` is `None` for users who stay past the simulation end.
+    pub fn draw(&self, rng: &mut SmallRng) -> (Micros, Option<Micros>) {
+        let dur = self.duration_s as f64;
+        let join_s = rng.gen_range(0.0..dur * self.rampin_frac.max(1e-6));
+        let leave_s = if rng.gen_bool(self.churn_prob) {
+            // Early leaver: uniformly somewhere after joining.
+            Some(rng.gen_range((join_s + 30.0).min(dur - 1.0)..dur))
+        } else if rng.gen_bool(0.7) {
+            // Leaves during the final ramp-out.
+            Some(rng.gen_range(dur * (1.0 - self.rampout_frac)..dur))
+        } else {
+            None // stays to the very end
+        };
+        (
+            (join_s * SECOND as f64) as Micros,
+            leave_s.map(|s| (s * SECOND as f64) as Micros),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn joins_fall_in_rampin_window() {
+        let a = Attendance::day(3600);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let (join, _) = a.draw(&mut rng);
+            assert!(join <= (3600.0 * 0.15 * 1e6) as u64);
+        }
+    }
+
+    #[test]
+    fn leaves_follow_joins() {
+        let a = Attendance::plenary(3600);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let (join, leave) = a.draw(&mut rng);
+            if let Some(leave) = leave {
+                assert!(leave > join, "leave {leave} after join {join}");
+                assert!(leave <= 3600 * 1_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn most_plenary_users_stay_long() {
+        let a = Attendance::plenary(1000);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 1000;
+        let stayers = (0..n)
+            .filter(|_| {
+                let (_, leave) = a.draw(&mut rng);
+                leave.map_or(true, |l| l > 800 * 1_000_000)
+            })
+            .count();
+        assert!(stayers > n * 8 / 10, "stayers {stayers}/{n}");
+    }
+}

@@ -1,0 +1,76 @@
+//! The plenary session end to end: run the packed-ballroom scenario, build
+//! the utilization histogram (Fig 5c), classify congestion, and rank the
+//! busiest access points (Fig 4a) — the paper's workflow on one screen.
+//!
+//! ```sh
+//! cargo run --release --example plenary_congestion
+//! ```
+
+use congestion::ap_stats::{infer_aps, rank_aps, top_k_share};
+use ietf80211_congestion::prelude::*;
+
+fn main() {
+    // A reduced-scale plenary: ~120 users for a quick run; crank `users`
+    // and `duration_s` up to approach the real deployment.
+    let mut scale = SessionScale::plenary_default(42);
+    scale.users = 120;
+    scale.duration_s = 120;
+    println!(
+        "running plenary: {} users, {} s, seed {} …",
+        scale.users, scale.duration_s, scale.seed
+    );
+    let result = ietf_plenary(scale).run();
+
+    // Per-channel utilization (the three sniffers are the three channels).
+    let mut pooled_seconds = Vec::new();
+    for (ch, trace) in result.traces.iter().enumerate() {
+        let stats = analyze(trace);
+        let bins = UtilizationBins::build(&stats);
+        println!(
+            "channel {}: {} frames captured, utilization mode {:?}%",
+            [1, 6, 11][ch],
+            trace.len(),
+            bins.mode()
+        );
+        pooled_seconds.extend(stats);
+    }
+
+    // Fig 5(c): the pooled histogram.
+    let bins = UtilizationBins::build(&pooled_seconds);
+    println!("\nutilization histogram (pooled, non-empty bins):");
+    for (u, n) in bins.histogram() {
+        if n > 0 && u % 5 == 0 {
+            println!("{u:3}%  {}", "#".repeat((n as usize).min(60)));
+        }
+    }
+    println!("mode: {:?}% (paper: ≈86% for the plenary)", bins.mode());
+
+    // Congestion classes over the session.
+    let classifier = CongestionClassifier::ietf();
+    let mut counts = [0u64; 3];
+    for s in &pooled_seconds {
+        match classifier.classify(s.utilization_pct()) {
+            CongestionLevel::Uncongested => counts[0] += 1,
+            CongestionLevel::Moderate => counts[1] += 1,
+            CongestionLevel::High => counts[2] += 1,
+        }
+    }
+    println!(
+        "\nseconds by congestion class: {} uncongested, {} moderate, {} high",
+        counts[0], counts[1], counts[2]
+    );
+
+    // Fig 4(a): the busiest APs.
+    let pooled: Vec<_> = result.traces.concat();
+    let aps = infer_aps(&pooled);
+    let ranked = rank_aps(&pooled, &aps);
+    println!("\nbusiest APs (frames sent+received):");
+    for (i, ap) in ranked.iter().take(5).enumerate() {
+        println!("  #{:<2} {}  {:>8} frames", i + 1, ap.mac, ap.frames);
+    }
+    println!(
+        "top-{} APs carry {:.1}% of AP traffic",
+        ranked.len().min(15),
+        top_k_share(&ranked, 15)
+    );
+}

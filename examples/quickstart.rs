@@ -1,0 +1,68 @@
+//! Quickstart: build a small 802.11b cell, sniff it, and measure congestion
+//! with the paper's channel busy-time metric.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ietf80211_congestion::prelude::*;
+use wifi_sim::geometry::Pos;
+use wifi_sim::rate::RateAdaptation;
+use wifi_sim::sniffer::SnifferConfig;
+use wifi_sim::station::RtsPolicy;
+use wifi_sim::traffic::TrafficProfile;
+
+fn main() {
+    // One AP, eight clients, one passive sniffer.
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
+    for i in 0..8 {
+        let angle = i as f64 / 8.0 * std::f64::consts::TAU;
+        sim.add_client(ClientConfig {
+            pos: Pos::new(10.0 * angle.cos(), 10.0 * angle.sin()),
+            channel_idx: 0,
+            rts_policy: RtsPolicy::Never,
+            adaptation: RateAdaptation::Arf(Rate::R11),
+            traffic: TrafficProfile::symmetric(30.0),
+            join_at_us: 0,
+            leave_at_us: None,
+            power_save_interval_us: None,
+            frag_threshold: None,
+        });
+    }
+    sim.add_sniffer(SnifferConfig::default());
+
+    // Thirty simulated seconds.
+    sim.run_until(30_000_000);
+
+    // Analyze the sniffer's capture exactly as the paper does.
+    let trace = &sim.sniffers()[0].trace;
+    println!("captured {} frames", trace.len());
+
+    let per_second = analyze(trace);
+    let bins = UtilizationBins::build(&per_second);
+    let classifier = CongestionClassifier::ietf();
+
+    println!("\nsec  util%  thr(Mbps)  good(Mbps)  congestion");
+    for s in per_second.iter().take(10) {
+        println!(
+            "{:3}  {:5.1}  {:9.2}  {:10.2}  {:?}",
+            s.second,
+            s.utilization_pct(),
+            s.throughput_mbps(),
+            s.goodput_mbps(),
+            classifier.classify(s.utilization_pct()),
+        );
+    }
+    println!("\nutilization mode over the run: {:?}%", bins.mode());
+
+    // How lossy was our sniffer? (Equation 1 of the paper.)
+    let est = estimate_unrecorded(trace);
+    println!(
+        "estimated unrecorded frames: {:.2}% ({} DATA, {} RTS, {} CTS inferred)",
+        est.unrecorded_pct(),
+        est.counts.data,
+        est.counts.rts,
+        est.counts.cts
+    );
+}

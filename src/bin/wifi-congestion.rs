@@ -1,0 +1,256 @@
+//! `wifi-congestion` — command-line front end to the congestion analysis.
+//!
+//! ```text
+//! wifi-congestion analyze <trace.pcap>        per-second + summary analysis
+//! wifi-congestion histogram <trace.pcap>      Fig 5(c) utilization histogram
+//! wifi-congestion unrecorded <trace.pcap>     Eq. 1 capture-loss estimate
+//! wifi-congestion aps <trace.pcap>            Fig 4(a) AP ranking
+//! wifi-congestion simulate <day|plenary|ramp> --out DIR [--seed N]
+//!                                             generate pcap traces
+//! ```
+//!
+//! Works on any classic pcap with the radiotap link type — including files
+//! produced by real RFMon captures, not just this repo's simulator.
+
+use congestion::ap_stats::{infer_aps, rank_aps, top_k_share};
+use congestion::{analyze, estimate_unrecorded, CongestionClassifier, UtilizationBins};
+use ietf80211_congestion::trace::{read_capture, write_capture};
+use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, Scenario, SessionScale};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => with_trace(&args, cmd_analyze),
+        Some("histogram") => with_trace(&args, cmd_histogram),
+        Some("unrecorded") => with_trace(&args, cmd_unrecorded),
+        Some("aps") => with_trace(&args, cmd_aps),
+        Some("simulate") => cmd_simulate(&args),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "wifi-congestion — IEEE 802.11b congestion analysis (IMC 2005 reproduction)
+
+USAGE:
+  wifi-congestion analyze    <trace.pcap>   per-second analysis + summary
+  wifi-congestion histogram  <trace.pcap>   utilization histogram (Fig 5c)
+  wifi-congestion unrecorded <trace.pcap>   capture-loss estimate (Eq. 1)
+  wifi-congestion aps        <trace.pcap>   AP activity ranking (Fig 4a)
+  wifi-congestion simulate   <day|plenary|ramp> --out DIR
+                             [--seed N] [--users N] [--duration SECONDS]
+                                            generate radiotap pcap traces"
+    );
+}
+
+fn with_trace(
+    args: &[String],
+    f: fn(&[wifi_frames::FrameRecord]) -> Result<(), String>,
+) -> Result<(), String> {
+    let path = args
+        .get(1)
+        .ok_or_else(|| "missing <trace.pcap> argument".to_string())?;
+    let records = read_capture(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path} contains no parseable 802.11 records"));
+    }
+    f(&records)
+}
+
+fn cmd_analyze(records: &[wifi_frames::FrameRecord]) -> Result<(), String> {
+    let stats = analyze(records);
+    let bins = UtilizationBins::build(&stats);
+    let classifier = CongestionClassifier::from_measurements(&bins);
+    println!("frames: {}", records.len());
+    println!(
+        "span: {:.1} s ({} analyzed seconds)",
+        (records.last().unwrap().timestamp_us - records.first().unwrap().timestamp_us) as f64 / 1e6,
+        stats.len()
+    );
+    let mut high = 0u64;
+    let mut moderate = 0u64;
+    let mut idle = 0u64;
+    for s in &stats {
+        match classifier.classify(s.utilization_pct()) {
+            congestion::CongestionLevel::High => high += 1,
+            congestion::CongestionLevel::Moderate => moderate += 1,
+            congestion::CongestionLevel::Uncongested => idle += 1,
+        }
+    }
+    println!(
+        "congestion: {idle} uncongested s, {moderate} moderate s, {high} high s \
+         (thresholds {:.0}% / {:.0}%)",
+        classifier.low_pct, classifier.high_pct
+    );
+    println!("utilization mode: {:?}%", bins.mode());
+    let total_thr: f64 = stats.iter().map(|s| s.throughput_mbps()).sum();
+    let total_good: f64 = stats.iter().map(|s| s.goodput_mbps()).sum();
+    let n = stats.len().max(1) as f64;
+    println!(
+        "mean throughput {:.2} Mbps, mean goodput {:.2} Mbps",
+        total_thr / n,
+        total_good / n
+    );
+    println!("\nsec\tutil%\tthr\tgood\tdata/s\tretr/s");
+    for s in stats.iter().take(30) {
+        println!(
+            "{}\t{:.1}\t{:.2}\t{:.2}\t{}\t{}",
+            s.second,
+            s.utilization_pct(),
+            s.throughput_mbps(),
+            s.goodput_mbps(),
+            s.data,
+            s.retries,
+        );
+    }
+    if stats.len() > 30 {
+        println!("… ({} more seconds)", stats.len() - 30);
+    }
+    Ok(())
+}
+
+fn cmd_histogram(records: &[wifi_frames::FrameRecord]) -> Result<(), String> {
+    let stats = analyze(records);
+    let bins = UtilizationBins::build(&stats);
+    let max = bins
+        .histogram()
+        .iter()
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for (u, n) in bins.histogram() {
+        if n > 0 {
+            let bar = "#".repeat((n * 60 / max) as usize);
+            println!("{u:3}% {n:6} {bar}");
+        }
+    }
+    println!("\nmode: {:?}%", bins.mode());
+    Ok(())
+}
+
+fn cmd_unrecorded(records: &[wifi_frames::FrameRecord]) -> Result<(), String> {
+    let est = estimate_unrecorded(records);
+    println!("captured frames:        {}", est.captured);
+    println!("inferred missing DATA:  {}", est.counts.data);
+    println!("inferred missing RTS:   {}", est.counts.rts);
+    println!("inferred missing CTS:   {}", est.counts.cts);
+    println!("unrecorded percentage:  {:.2}%", est.unrecorded_pct());
+    Ok(())
+}
+
+fn cmd_aps(records: &[wifi_frames::FrameRecord]) -> Result<(), String> {
+    let aps = infer_aps(records);
+    if aps.is_empty() {
+        return Err("no beacons in trace: cannot identify APs".into());
+    }
+    let ranked = rank_aps(records, &aps);
+    println!("rank\tAP\t\t\tframes");
+    for (i, ap) in ranked.iter().take(15).enumerate() {
+        println!("{}\t{}\t{}", i + 1, ap.mac, ap.frames);
+    }
+    println!(
+        "\ntop-{} share: {:.2}%",
+        ranked.len().min(15),
+        top_k_share(&ranked, 15)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let kind = args
+        .get(1)
+        .ok_or_else(|| "missing scenario: day | plenary | ramp".to_string())?
+        .clone();
+    let mut out: Option<PathBuf> = None;
+    let mut seed = 1u64;
+    let mut users: Option<usize> = None;
+    let mut duration_s: Option<u64> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--out needs a directory")?,
+                ));
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+                i += 2;
+            }
+            "--users" => {
+                users = Some(
+                    args.get(i + 1)
+                        .ok_or("--users needs a value")?
+                        .parse()
+                        .map_err(|_| "--users must be an integer")?,
+                );
+                i += 2;
+            }
+            "--duration" => {
+                duration_s = Some(
+                    args.get(i + 1)
+                        .ok_or("--duration needs seconds")?
+                        .parse()
+                        .map_err(|_| "--duration must be an integer (seconds)")?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let out = out.ok_or("missing --out DIR")?;
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+
+    let scenario: Scenario = match kind.as_str() {
+        "day" => {
+            let mut scale = SessionScale::day_default(seed);
+            if let Some(u) = users {
+                scale.users = u;
+            }
+            if let Some(d) = duration_s {
+                scale.duration_s = d;
+            }
+            ietf_day(scale)
+        }
+        "plenary" => {
+            let mut scale = SessionScale::plenary_default(seed);
+            if let Some(u) = users {
+                scale.users = u;
+            }
+            if let Some(d) = duration_s {
+                scale.duration_s = d;
+            }
+            ietf_plenary(scale)
+        }
+        "ramp" => load_ramp(seed, users.unwrap_or(200), duration_s.unwrap_or(240), 1.7),
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    eprintln!("running scenario `{kind}` (seed {seed}) …");
+    let result = scenario.run();
+    for (i, trace) in result.traces.iter().enumerate() {
+        let path = out.join(format!("{kind}_sniffer{i}.pcap"));
+        let n = write_capture(&path, trace).map_err(|e| format!("write {path:?}: {e}"))?;
+        println!("{}: {n} records", path.display());
+    }
+    Ok(())
+}

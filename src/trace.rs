@@ -1,0 +1,306 @@
+//! Capture-file glue: persist simulated sniffer traces as pcap files with
+//! radiotap headers (what tethereal in RFMon mode wrote in 2005), and
+//! ingest such files back into analysis records.
+//!
+//! The export path reconstructs full frame bytes from the compact
+//! [`FrameRecord`]s (payloads zero-filled — the study's sniffers kept only
+//! the first 250 bytes anyway), and the import path exercises the same
+//! truncated-header parsing a real trace analysis needs.
+
+use std::io;
+use std::path::Path;
+use wifi_frames::radiotap::{self, CaptureMeta, FLAG_FCS_AT_END};
+use wifi_frames::record::FrameRecord;
+use wifi_frames::wire;
+use wifi_pcap::pcapng::{PcapNgReader, BT_SHB};
+use wifi_pcap::{LinkType, PcapError, PcapReader, PcapWriter};
+
+/// The snap length the study used.
+pub const STUDY_SNAPLEN: u32 = 250;
+
+/// Errors from capture import.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// Underlying pcap problem.
+    Pcap(PcapError),
+    /// A record's radiotap header was undecodable.
+    Radiotap(radiotap::RadiotapError),
+    /// The file's link type is not radiotap.
+    WrongLinkType(LinkType),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Pcap(e) => write!(f, "pcap error: {e}"),
+            CaptureError::Radiotap(e) => write!(f, "radiotap error: {e}"),
+            CaptureError::WrongLinkType(lt) => {
+                write!(f, "expected radiotap link type, found {lt:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl From<PcapError> for CaptureError {
+    fn from(e: PcapError) -> Self {
+        CaptureError::Pcap(e)
+    }
+}
+
+/// Writes a sniffer trace to `path` as a radiotap pcap with the study's
+/// 250-byte snap length. Returns the number of records written.
+pub fn write_capture(path: &Path, records: &[FrameRecord]) -> Result<u64, CaptureError> {
+    write_capture_with_snaplen(path, records, STUDY_SNAPLEN)
+}
+
+/// [`write_capture`] with an explicit snap length (0 = no truncation).
+pub fn write_capture_with_snaplen(
+    path: &Path,
+    records: &[FrameRecord],
+    snaplen: u32,
+) -> Result<u64, CaptureError> {
+    let file = std::fs::File::create(path).map_err(|e| PcapError::Io(e))?;
+    let mut writer = PcapWriter::new(io::BufWriter::new(file), LinkType::Radiotap, snaplen)?;
+    for r in records {
+        let meta = CaptureMeta {
+            tsft_us: r.timestamp_us,
+            flags: FLAG_FCS_AT_END,
+            rate: r.rate,
+            channel: r.channel,
+            signal_dbm: r.signal_dbm,
+            noise_dbm: -95,
+            antenna: 0,
+        };
+        let frame = record_to_frame(r);
+        let bytes = wire::encode(&frame);
+        let packet = radiotap::encode_packet(&meta, &bytes);
+        writer.write_packet(r.timestamp_us, &packet)?;
+    }
+    writer.flush()?;
+    Ok(writer.packets_written())
+}
+
+/// Reads a radiotap capture back into analysis records, auto-detecting the
+/// container (classic pcap or pcapng by leading magic). Handles snaplen
+/// truncation via header-only parsing plus the original-length field, just
+/// as an analysis of the study's real traces must.
+pub fn read_capture(path: &Path) -> Result<Vec<FrameRecord>, CaptureError> {
+    let bytes = std::fs::read(path).map_err(PcapError::Io)?;
+    // The pcapng SHB type is byte-order-palindromic, so one comparison
+    // detects it in either endianness.
+    let is_ng =
+        bytes.len() >= 4 && u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) == BT_SHB;
+    let mut out = Vec::new();
+    let mut push_record = |data: &[u8], orig_len: u32| -> Result<(), CaptureError> {
+        let (meta, frame_bytes) = radiotap::parse_packet(data).map_err(CaptureError::Radiotap)?;
+        // The radiotap header is never truncated (25 bytes < any snaplen we
+        // use); the frame behind it may be.
+        let radiotap_len = data.len() - frame_bytes.len();
+        let frame_orig_len = orig_len - radiotap_len as u32;
+        if let Ok(header) = wire::parse_header(frame_bytes) {
+            out.push(FrameRecord::from_header(&header, frame_orig_len, &meta));
+        }
+        // Mangled frames are skipped, as a real analysis must.
+        Ok(())
+    };
+    if is_ng {
+        let mut reader = PcapNgReader::new(&bytes[..]);
+        while let Some(pkt) = reader.next_packet()? {
+            if pkt.link != LinkType::Radiotap {
+                return Err(CaptureError::WrongLinkType(pkt.link));
+            }
+            push_record(&pkt.packet.data, pkt.packet.orig_len)?;
+        }
+    } else {
+        let mut reader = PcapReader::new(&bytes[..])?;
+        if reader.link_type() != LinkType::Radiotap {
+            return Err(CaptureError::WrongLinkType(reader.link_type()));
+        }
+        while let Some(pkt) = reader.next_packet()? {
+            push_record(&pkt.data, pkt.orig_len)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Reconstructs a full frame from a record for serialization. Payload
+/// contents are zero-filled; every header field round-trips.
+fn record_to_frame(r: &FrameRecord) -> wifi_frames::Frame {
+    use wifi_frames::fc::FcFlags;
+    use wifi_frames::frame::{self, Ack, Beacon, Cts, Data, Frame, Mgmt, Rts, SeqCtl};
+    use wifi_frames::mac::MacAddr;
+    use wifi_frames::FrameKind;
+
+    let seq = SeqCtl::new(r.seq.unwrap_or(0), 0);
+    match r.kind {
+        FrameKind::Rts => Frame::Rts(Rts {
+            duration: r.duration_us,
+            receiver: r.dst,
+            transmitter: r.src.unwrap_or(MacAddr::ZERO),
+        }),
+        FrameKind::Cts => Frame::Cts(Cts {
+            duration: r.duration_us,
+            receiver: r.dst,
+        }),
+        FrameKind::Ack => Frame::Ack(Ack {
+            duration: r.duration_us,
+            receiver: r.dst,
+        }),
+        FrameKind::Beacon => {
+            Frame::Beacon(Beacon {
+                duration: 0,
+                dest: MacAddr::BROADCAST,
+                source: r.src.unwrap_or(MacAddr::ZERO),
+                bssid: r.bssid.unwrap_or(MacAddr::ZERO),
+                seq,
+                timestamp: r.timestamp_us,
+                interval_tu: 100,
+                capability: 0x0401,
+                ssid: "x".repeat((r.mac_bytes as usize).saturating_sub(
+                    frame::MGMT_OVERHEAD_BYTES + frame::BEACON_FIXED_BODY_BYTES + 11,
+                )),
+                channel: r.channel,
+            })
+        }
+        FrameKind::Data | FrameKind::NullData => {
+            let mut flags = FcFlags::default();
+            flags.retry = r.retry;
+            // Direction: to-DS when the destination is the BSSID.
+            flags.to_ds = r.bssid == Some(r.dst);
+            flags.from_ds = !flags.to_ds;
+            Frame::Data(Data {
+                flags,
+                duration: r.duration_us,
+                addr1: r.dst,
+                addr2: r.src.unwrap_or(MacAddr::ZERO),
+                addr3: r.bssid.unwrap_or(MacAddr::ZERO),
+                seq,
+                payload: vec![0u8; r.payload_bytes as usize],
+                null: r.kind == FrameKind::NullData,
+            })
+        }
+        kind => {
+            let mut flags = FcFlags::default();
+            flags.retry = r.retry;
+            Frame::Mgmt(Mgmt {
+                kind,
+                flags,
+                duration: r.duration_us,
+                addr1: r.dst,
+                addr2: r.src.unwrap_or(MacAddr::ZERO),
+                addr3: r.bssid.unwrap_or(MacAddr::ZERO),
+                seq,
+                body: vec![0u8; (r.mac_bytes as usize).saturating_sub(frame::MGMT_OVERHEAD_BYTES)],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_frames::phy::{Channel, Rate};
+    use wifi_frames::FrameKind;
+    use wifi_frames::MacAddr;
+
+    fn sample_records() -> Vec<FrameRecord> {
+        let mk = |ts: u64, kind, src: Option<u32>, dst: u32, payload: u32, rate| FrameRecord {
+            timestamp_us: ts,
+            kind,
+            rate,
+            channel: Channel::new(6).unwrap(),
+            dst: MacAddr::from_id(dst),
+            src: src.map(MacAddr::from_id),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: false,
+            seq: Some((ts % 4096) as u16),
+            mac_bytes: payload + 28,
+            payload_bytes: payload,
+            signal_dbm: -62,
+            duration_us: 314,
+        };
+        vec![
+            mk(1_000, FrameKind::Data, Some(1), 99, 1472, Rate::R11),
+            {
+                let mut ack = mk(1_314, FrameKind::Ack, None, 1, 0, Rate::R1);
+                ack.mac_bytes = 14;
+                ack.payload_bytes = 0;
+                ack.bssid = None;
+                ack.duration_us = 0;
+                ack.seq = None; // control frames carry no sequence number
+                ack
+            },
+            mk(3_000, FrameKind::Data, Some(2), 99, 64, Rate::R5_5),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_untruncated() {
+        let dir = std::env::temp_dir().join("congestion_trace_test_full");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.pcap");
+        let records = sample_records();
+        let n = write_capture_with_snaplen(&path, &records, 0).unwrap();
+        assert_eq!(n, 3);
+        let back = read_capture(&path).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in back.iter().zip(&records) {
+            assert_eq!(a.timestamp_us, b.timestamp_us);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.rate, b.rate);
+            assert_eq!(a.mac_bytes, b.mac_bytes);
+            assert_eq!(a.payload_bytes, b.payload_bytes);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_study_snaplen() {
+        let dir = std::env::temp_dir().join("congestion_trace_test_snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.pcap");
+        let records = sample_records();
+        write_capture(&path, &records).unwrap();
+        let back = read_capture(&path).unwrap();
+        assert_eq!(back.len(), records.len());
+        // The 1500-byte frame was truncated on disk, yet its sizes survive
+        // via the original-length field.
+        assert_eq!(back[0].mac_bytes, 1500);
+        assert_eq!(back[0].payload_bytes, 1472);
+        assert_eq!(back[0].rate, Rate::R11);
+    }
+
+    #[test]
+    fn analysis_agrees_before_and_after_roundtrip() {
+        let dir = std::env::temp_dir().join("congestion_trace_test_agree");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agree.pcap");
+        let records = sample_records();
+        write_capture(&path, &records).unwrap();
+        let back = read_capture(&path).unwrap();
+        let a = congestion::analyze(&records);
+        let b = congestion::analyze(&back);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.busy_us, y.busy_us, "CBT must survive the roundtrip");
+            assert_eq!(x.acked_data, y.acked_data);
+            assert_eq!(x.throughput_bits, y.throughput_bits);
+        }
+    }
+
+    #[test]
+    fn wrong_link_type_rejected() {
+        let dir = std::env::temp_dir().join("congestion_trace_test_lt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("eth.pcap");
+        wifi_pcap::write_file(&path, LinkType::Ethernet, 0, vec![(0u64, &[0u8; 14][..])]).unwrap();
+        assert!(matches!(
+            read_capture(&path),
+            Err(CaptureError::WrongLinkType(LinkType::Ethernet))
+        ));
+    }
+}

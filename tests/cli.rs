@@ -1,0 +1,94 @@
+//! End-to-end tests of the `wifi-congestion` command-line tool: simulate a
+//! trace to pcap, then run every analysis subcommand against the file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wifi-congestion"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wifi-congestion-cli").join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn simulate(dir: &PathBuf) -> PathBuf {
+    let out = bin()
+        .args([
+            "simulate",
+            "ramp",
+            "--out",
+            dir.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--users",
+            "40",
+            "--duration",
+            "20",
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let pcap = dir.join("ramp_sniffer0.pcap");
+    assert!(pcap.exists(), "pcap written");
+    pcap
+}
+
+#[test]
+fn simulate_then_analyze() {
+    let dir = temp_dir("analyze");
+    let pcap = simulate(&dir);
+    let out = bin()
+        .args(["analyze", pcap.to_str().unwrap()])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("frames:"), "{stdout}");
+    assert!(stdout.contains("congestion:"), "{stdout}");
+    assert!(stdout.contains("utilization mode:"), "{stdout}");
+}
+
+#[test]
+fn histogram_unrecorded_and_aps() {
+    let dir = temp_dir("others");
+    let pcap = simulate(&dir);
+    for (cmd, needle) in [
+        ("histogram", "mode:"),
+        ("unrecorded", "unrecorded percentage:"),
+        ("aps", "top-"),
+    ] {
+        let out = bin()
+            .args([cmd, pcap.to_str().unwrap()])
+            .output()
+            .expect("run subcommand");
+        assert!(out.status.success(), "{cmd} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(needle), "{cmd}: {stdout}");
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing file.
+    let out = bin()
+        .args(["analyze", "/nonexistent.pcap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    // Help exits zero.
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
