@@ -2,36 +2,81 @@
 //!
 //! The paper fixes the high-congestion threshold at 84% from one network's
 //! throughput curve. How stable is a measured knee across seeds and
-//! workload intensities? This ablation re-estimates it under both.
+//! workload intensities? This ablation re-estimates it under both: the
+//! `(seed, offered load)` grid runs as one parallel sweep, and per load the
+//! knees are aggregated across seeds as mean ± 95 % CI.
 
-use congestion::{analyze, find_knee, UtilizationBins};
-use congestion_bench::{print_series, scaled};
+use congestion::{analyze, find_knee, mean_ci95, UtilizationBins};
+use congestion_bench::{print_series, run_cells, scaled, Cell, SweepArgs};
 use ietf_workloads::load_ramp;
 
+const LOADS: [f64; 3] = [1.3, 1.7, 2.2];
+
 fn main() {
+    let args = SweepArgs::parse(3);
     let users = scaled(320, 60) as usize;
     let duration = scaled(700, 60);
-    let mut rows = Vec::new();
-    for seed in [101u64, 102, 103] {
-        for fps in [1.3, 1.7, 2.2] {
-            let result = load_ramp(seed, users, duration, fps).run();
-            let stats = analyze(&result.traces[0]);
-            let bins = UtilizationBins::build(&stats);
-            let knee = find_knee(&bins);
-            rows.push(vec![
-                seed.to_string(),
-                format!("{fps:.1}"),
-                knee.map(|k| format!("{k:.0}%"))
-                    .unwrap_or_else(|| "none".into()),
-                bins.mode()
-                    .map(|m| m.to_string())
-                    .unwrap_or_else(|| "-".into()),
-            ]);
+    let seeds = args.seed_list(101);
+
+    let mut cells = Vec::new();
+    for &seed in &seeds {
+        for fps in LOADS {
+            cells.push(Cell::new(
+                format!("ramp seed={seed} fps={fps:.1}"),
+                seed,
+                move || load_ramp(seed, users, duration, fps),
+            ));
         }
+    }
+    let (results, _report) = run_cells("ablation_knee", &args, cells);
+
+    // Per-cell knee estimates, in the (seed-major, load-minor) cell order.
+    let mut rows = Vec::new();
+    let mut knees = vec![Vec::new(); LOADS.len()]; // per load, across seeds
+    for (i, result) in results.iter().enumerate() {
+        let seed = seeds[i / LOADS.len()];
+        let load_idx = i % LOADS.len();
+        let stats = analyze(&result.traces[0]);
+        let bins = UtilizationBins::build(&stats);
+        let knee = find_knee(&bins);
+        if let Some(k) = knee {
+            knees[load_idx].push(k);
+        }
+        rows.push(vec![
+            seed.to_string(),
+            format!("{:.1}", LOADS[load_idx]),
+            knee.map(|k| format!("{k:.0}%"))
+                .unwrap_or_else(|| "none".into()),
+            bins.mode()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
     }
     print_series(
         "A3: congestion-knee estimate across seeds and offered loads",
         &["seed", "per-user fps", "knee", "utilization mode"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = LOADS
+        .iter()
+        .zip(&knees)
+        .map(|(fps, ks)| {
+            vec![
+                format!("{fps:.1}"),
+                format!("{}/{}", ks.len(), seeds.len()),
+                mean_ci95(ks)
+                    .map(|ci| format!("{ci:.1}%"))
+                    .unwrap_or_else(|| "none".into()),
+            ]
+        })
+        .collect();
+    print_series(
+        &format!(
+            "A3: knee across {} seeds per load (mean ± 95% CI)",
+            seeds.len()
+        ),
+        &["per-user fps", "knees found", "knee"],
         &rows,
     );
     println!(

@@ -4,52 +4,111 @@
 //! congested network, those stations are denied fair channel access: their
 //! exchanges require two extra vulnerable control frames. This ablation
 //! sweeps the RTS-using fraction and compares per-station delivery between
-//! users and non-users of the mechanism.
+//! users and non-users of the mechanism. The `(fraction, seed)` grid runs
+//! as one parallel sweep; with `--seeds N > 1` each column is a cross-seed
+//! mean ± 95 % CI.
 
-use congestion_bench::{print_series, scaled};
-use ietf_workloads::load_ramp_with;
+use congestion::mean_ci95;
+use congestion_bench::{print_series, run_cells, scaled, Cell, SweepArgs};
+use ietf_workloads::{load_ramp_with, StationSummary};
 use wifi_frames::phy::Rate;
 use wifi_sim::rate::RateAdaptation;
 
+const FRACTIONS: [f64; 5] = [0.0, 0.02, 0.1, 0.3, 1.0];
+
+/// Per-run fairness numbers: RTS-client count and the four per-client means.
+struct RunStats {
+    rts_clients: usize,
+    delivered_rts: f64,
+    delivered_plain: f64,
+    drops_rts: f64,
+    drops_plain: f64,
+}
+
+fn run_stats(stations: &[StationSummary]) -> RunStats {
+    let clients: Vec<&StationSummary> = stations.iter().filter(|s| !s.is_ap).collect();
+    let (rts_users, plain): (Vec<&StationSummary>, Vec<&StationSummary>) =
+        clients.iter().partition(|s| s.uses_rts);
+    let mean = |set: &[&StationSummary], f: fn(&StationSummary) -> u64| -> f64 {
+        if set.is_empty() {
+            return f64::NAN;
+        }
+        set.iter().map(|s| f(s) as f64).sum::<f64>() / set.len() as f64
+    };
+    RunStats {
+        rts_clients: rts_users.len(),
+        delivered_rts: mean(&rts_users, |s| s.delivered),
+        delivered_plain: mean(&plain, |s| s.delivered),
+        drops_rts: mean(&rts_users, |s| s.retry_drops),
+        drops_plain: mean(&plain, |s| s.retry_drops),
+    }
+}
+
+/// Formats a cross-seed column: plain mean for one seed, `mean ± CI` for
+/// more; `-` when no run had stations in the class.
+fn col(stats: &[RunStats], prec: usize, f: fn(&RunStats) -> f64) -> String {
+    let xs: Vec<f64> = stats.iter().map(f).filter(|v| v.is_finite()).collect();
+    match mean_ci95(&xs) {
+        None => "-".into(),
+        Some(ci) if ci.n == 1 => format!("{:.prec$}", ci.mean),
+        Some(ci) => format!("{ci:.prec$}"),
+    }
+}
+
 fn main() {
+    let args = SweepArgs::parse(1);
     let users = scaled(260, 50) as usize;
     let duration = scaled(360, 30);
-    let mut rows = Vec::new();
-    for rts_fraction in [0.0, 0.02, 0.1, 0.3, 1.0] {
-        let result = load_ramp_with(
-            41,
-            users,
-            duration,
-            1.7,
-            RateAdaptation::Arf(Rate::R11),
-            rts_fraction,
-        )
-        .run();
-        let clients: Vec<_> = result.stations.iter().filter(|s| !s.is_ap).collect();
-        let (rts_users, plain): (Vec<_>, Vec<_>) = clients.iter().partition(|s| s.uses_rts);
-        let mean_delivered = |set: &[&&ietf_workloads::StationSummary]| -> f64 {
-            if set.is_empty() {
-                return f64::NAN;
-            }
-            set.iter().map(|s| s.delivered as f64).sum::<f64>() / set.len() as f64
-        };
-        let mean_drops = |set: &[&&ietf_workloads::StationSummary]| -> f64 {
-            if set.is_empty() {
-                return f64::NAN;
-            }
-            set.iter().map(|s| s.retry_drops as f64).sum::<f64>() / set.len() as f64
-        };
-        rows.push(vec![
-            format!("{:.0}%", rts_fraction * 100.0),
-            rts_users.len().to_string(),
-            format!("{:.1}", mean_delivered(&rts_users)),
-            format!("{:.1}", mean_delivered(&plain)),
-            format!("{:.2}", mean_drops(&rts_users)),
-            format!("{:.2}", mean_drops(&plain)),
-        ]);
+    let seeds = args.seed_list(41);
+
+    let mut cells = Vec::new();
+    for &fraction in &FRACTIONS {
+        for &seed in &seeds {
+            cells.push(Cell::new(
+                format!("ramp seed={seed} rts={:.0}%", fraction * 100.0),
+                seed,
+                move || {
+                    load_ramp_with(
+                        seed,
+                        users,
+                        duration,
+                        1.7,
+                        RateAdaptation::Arf(Rate::R11),
+                        fraction,
+                    )
+                },
+            ));
+        }
     }
+    let (results, _report) = run_cells("ablation_rtscts", &args, cells);
+
+    // Cells are (fraction-major, seed-minor); fold each fraction's seeds.
+    let rows: Vec<Vec<String>> = FRACTIONS
+        .iter()
+        .enumerate()
+        .map(|(fi, fraction)| {
+            let stats: Vec<RunStats> = results[fi * seeds.len()..(fi + 1) * seeds.len()]
+                .iter()
+                .map(|r| run_stats(&r.stations))
+                .collect();
+            let mean_clients =
+                stats.iter().map(|s| s.rts_clients).sum::<usize>() as f64 / stats.len() as f64;
+            vec![
+                format!("{:.0}%", fraction * 100.0),
+                format!("{mean_clients:.0}"),
+                col(&stats, 1, |s| s.delivered_rts),
+                col(&stats, 1, |s| s.delivered_plain),
+                col(&stats, 2, |s| s.drops_rts),
+                col(&stats, 2, |s| s.drops_plain),
+            ]
+        })
+        .collect();
     print_series(
-        "A2: RTS/CTS adoption sweep — per-client uplink delivery under congestion",
+        &format!(
+            "A2: RTS/CTS adoption sweep — per-client uplink delivery under congestion \
+             ({} seed(s))",
+            seeds.len()
+        ),
         &[
             "RTS fraction",
             "RTS clients",

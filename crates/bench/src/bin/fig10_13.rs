@@ -8,10 +8,11 @@
 //! * Fig 13 — 11 Mbps frames of each size class.
 
 use congestion::SizeClass;
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig10_13", &args);
     let bins = bins_of(&seconds);
     let us = occupied_bins(&bins);
 

@@ -4,10 +4,11 @@
 //! then recover under high congestion.
 
 use congestion::persec::SecondStats;
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig14", &args);
     let bins = bins_of(&seconds);
     let rows: Vec<Vec<String>> = occupied_bins(&bins)
         .into_iter()

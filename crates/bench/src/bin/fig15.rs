@@ -4,10 +4,11 @@
 //! frames *regardless of size* — S-1 is slower than XL-11.
 
 use congestion::SizeClass;
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig15", &args);
     let bins = bins_of(&seconds);
     let cats = [
         ("S-1", SizeClass::Small.index(), 0usize),

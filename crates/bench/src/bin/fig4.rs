@@ -1,12 +1,57 @@
 //! Figure 4: (a) frames sent + received by the 15 most active APs,
 //! (b) users associated over time (30 s means), (c) unrecorded-frame
 //! percentage per AP — for the day and plenary sessions.
+//!
+//! With `--seeds N > 1` the detailed tables still come from the canonical
+//! seed, and a cross-seed summary (peak users, top-AP share, network-wide
+//! unrecorded %, each as mean ± 95 % CI) is appended per session.
 
 use congestion::ap_stats::{infer_aps, rank_aps, top_k_share, unrecorded_by_rank};
 use congestion::estimate_unrecorded;
+use congestion::mean_ci95;
 use congestion::users::{peak_users, users_per_window};
-use congestion_bench::{print_series, session_results};
+use congestion_bench::{print_series, session_results, SweepArgs};
 use ietf_workloads::ScenarioResult;
+
+/// The cross-seed scalar summary of one session run.
+struct SessionStats {
+    peak_users: usize,
+    top_share_pct: f64,
+    unrecorded_pct: f64,
+}
+
+fn merged_unrecorded(result: &ScenarioResult) -> congestion::UnrecordedEstimate {
+    // The estimator runs per channel (atomicity holds within a channel's
+    // capture), then per-AP numbers are summed.
+    let mut merged = congestion::UnrecordedEstimate::default();
+    for trace in &result.traces {
+        let est = estimate_unrecorded(trace);
+        merged.captured += est.captured;
+        merged.counts.data += est.counts.data;
+        merged.counts.rts += est.counts.rts;
+        merged.counts.cts += est.counts.cts;
+        for (mac, node) in est.per_node {
+            let e = merged.per_node.entry(mac).or_default();
+            e.captured += node.captured;
+            e.unrecorded += node.unrecorded;
+        }
+    }
+    merged
+}
+
+fn session_stats(result: &ScenarioResult) -> SessionStats {
+    let mut pooled = result.traces.concat();
+    pooled.sort_by_key(|r| r.timestamp_us);
+    let aps = infer_aps(&pooled);
+    let ranked = rank_aps(&pooled, &aps);
+    let top = 15.min(ranked.len());
+    let windows = users_per_window(&pooled, &aps, 30);
+    SessionStats {
+        peak_users: peak_users(&windows),
+        top_share_pct: top_k_share(&ranked, top),
+        unrecorded_pct: merged_unrecorded(result).unrecorded_pct(),
+    }
+}
 
 fn report(result: &ScenarioResult) {
     let name = &result.name;
@@ -52,22 +97,8 @@ fn report(result: &ScenarioResult) {
         peak_users(&windows)
     );
 
-    // Fig 4(c): unrecorded percentage per ranked AP. The estimator runs per
-    // channel (atomicity holds within a channel's capture), then per-AP
-    // numbers are summed.
-    let mut merged = congestion::UnrecordedEstimate::default();
-    for trace in &result.traces {
-        let est = estimate_unrecorded(trace);
-        merged.captured += est.captured;
-        merged.counts.data += est.counts.data;
-        merged.counts.rts += est.counts.rts;
-        merged.counts.cts += est.counts.cts;
-        for (mac, node) in est.per_node {
-            let e = merged.per_node.entry(mac).or_default();
-            e.captured += node.captured;
-            e.unrecorded += node.unrecorded;
-        }
-    }
+    // Fig 4(c): unrecorded percentage per ranked AP.
+    let merged = merged_unrecorded(result);
     let rows: Vec<Vec<String>> = unrecorded_by_rank(&ranked[..top], &merged)
         .into_iter()
         .enumerate()
@@ -83,8 +114,31 @@ fn report(result: &ScenarioResult) {
     println!("network-wide unrecorded: {:.2}%", merged.unrecorded_pct());
 }
 
+fn cross_seed_summary(name: &str, runs: &[ScenarioResult]) {
+    let stats: Vec<SessionStats> = runs.iter().map(session_stats).collect();
+    let col = |f: fn(&SessionStats) -> f64| -> String {
+        mean_ci95(&stats.iter().map(f).collect::<Vec<_>>())
+            .map(|ci| format!("{ci:.2}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    print_series(
+        &format!("Fig 4 [{name}]: cross-seed summary ({} seeds)", runs.len()),
+        &["metric", "mean ± 95% CI"],
+        &[
+            vec!["peak users".into(), col(|s| s.peak_users as f64)],
+            vec!["top-AP share %".into(), col(|s| s.top_share_pct)],
+            vec!["unrecorded %".into(), col(|s| s.unrecorded_pct)],
+        ],
+    );
+}
+
 fn main() {
-    let (day, plenary) = session_results();
-    report(&day);
-    report(&plenary);
+    let args = SweepArgs::parse(1);
+    let (day_runs, plenary_runs, _report) = session_results("fig4", &args);
+    report(&day_runs[0]);
+    report(&plenary_runs[0]);
+    if args.seeds > 1 {
+        cross_seed_summary("day", &day_runs);
+        cross_seed_summary("plenary", &plenary_runs);
+    }
 }

@@ -3,7 +3,7 @@
 
 use congestion::analyze;
 use congestion::bins::UtilizationBins;
-use congestion_bench::{print_series, session_results};
+use congestion_bench::{print_series, session_results, SweepArgs};
 use ietf_workloads::ScenarioResult;
 
 fn report(result: &ScenarioResult) -> UtilizationBins {
@@ -31,9 +31,10 @@ fn report(result: &ScenarioResult) -> UtilizationBins {
 }
 
 fn main() {
-    let (day, plenary) = session_results();
-    let day_bins = report(&day);
-    let plenary_bins = report(&plenary);
+    let args = SweepArgs::parse(1);
+    let (day_runs, plenary_runs, _report) = session_results("fig5", &args);
+    let day_bins = report(&day_runs[0]);
+    let plenary_bins = report(&plenary_runs[0]);
 
     for (name, bins, paper_mode) in [("day", &day_bins, 55), ("plenary", &plenary_bins, 86)] {
         let rows: Vec<Vec<String>> = bins

@@ -4,12 +4,13 @@
 
 use congestion::theory::{tmt_bps, tmt_with_backoff_bps};
 use congestion::{find_knee, CongestionClassifier};
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 use wifi_frames::phy::Rate;
 use wifi_frames::timing::Dcf;
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig6", &args);
     let bins = bins_of(&seconds);
     let rows: Vec<Vec<String>> = occupied_bins(&bins)
         .into_iter()

@@ -3,10 +3,11 @@
 //! ~5/s to ~8/s across 80–84% utilization, then collapsing under high
 //! congestion, with CTS failing to keep pace.
 
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig7", &args);
     let bins = bins_of(&seconds);
     let rows: Vec<Vec<String>> = occupied_bins(&bins)
         .into_iter()

@@ -4,10 +4,11 @@
 //! 0.43 s to 0.54 s under high congestion while 11 Mbps moves ≈300% more
 //! bytes in about half the air time.
 
-use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series};
+use congestion_bench::{bins_of, figure_dataset, occupied_bins, print_series, SweepArgs};
 
 fn main() {
-    let seconds = figure_dataset();
+    let args = SweepArgs::parse(3);
+    let (seconds, _report) = figure_dataset("fig8_9", &args);
     let bins = bins_of(&seconds);
 
     let rows: Vec<Vec<String>> = occupied_bins(&bins)

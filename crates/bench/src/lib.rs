@@ -24,13 +24,20 @@
 //! | `ablation_unrecorded` | A4 — estimator accuracy vs ground truth |
 //! | `ablation_beacon` | A5 — beacon-reliability metric vs busy-time |
 //!
-//! Set `CONG_QUICK=1` to shrink runs for smoke-testing.
+//! Set `CONG_QUICK=1` to shrink runs for smoke-testing. Every target also
+//! accepts `--threads N` (sweep parallelism) and `--seeds N` (seeds per
+//! configuration) — see [`sweep::SweepArgs`] — and writes a run report to
+//! `results/<target>.run.json`.
 
 #![warn(missing_docs)]
+
+pub mod sweep;
 
 use congestion::persec::SecondStats;
 use congestion::{analyze, UtilizationBins};
 use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, ScenarioResult, SessionScale};
+pub use sweep::{run_cells, Cell, SweepArgs};
+use wifi_sim::runner::RunReport;
 
 /// True when the `CONG_QUICK` environment variable asks for smoke-scale
 /// runs.
@@ -47,47 +54,96 @@ pub fn scaled(full: u64, quick_value: u64) -> u64 {
     }
 }
 
-/// The pooled per-second dataset behind Figures 6–15: load-ramp sweeps (to
-/// populate every utilization bin) plus the day and plenary sessions —
-/// mirroring the paper's pooling of both sessions.
-pub fn figure_dataset() -> Vec<SecondStats> {
-    let mut seconds = Vec::new();
-    let ramp_users = scaled(320, 60) as usize;
-    let ramp_dur = scaled(700, 60);
-    for seed in [11u64, 12, 13] {
-        let result = load_ramp(seed, ramp_users, ramp_dur, 1.7).run();
-        seconds.extend(analyze(&result.traces[0]));
-        if quick() {
-            break;
-        }
-    }
-    let mut day = SessionScale::day_default(21);
-    let mut plenary = SessionScale::plenary_default(22);
+/// The day-session scale at the requested seed, shrunk in quick mode.
+pub fn day_scale(seed: u64) -> SessionScale {
+    let mut day = SessionScale::day_default(seed);
     if quick() {
         day.users = 40;
         day.duration_s = 20;
+    }
+    day
+}
+
+/// The plenary-session scale at the requested seed, shrunk in quick mode.
+pub fn plenary_scale(seed: u64) -> SessionScale {
+    let mut plenary = SessionScale::plenary_default(seed);
+    if quick() {
         plenary.users = 40;
         plenary.duration_s = 20;
     }
-    for result in [ietf_day(day).run(), ietf_plenary(plenary).run()] {
+    plenary
+}
+
+/// Base seed of the day session (plenary uses the next base).
+pub const DAY_SEED: u64 = 21;
+/// Base seed of the plenary session.
+pub const PLENARY_SEED: u64 = 22;
+/// Base seed of the load-ramp sweep behind Figures 6–15.
+pub const RAMP_SEED: u64 = 11;
+
+/// The pooled per-second dataset behind Figures 6–15: load-ramp sweeps (to
+/// populate every utilization bin) plus the day and plenary sessions —
+/// mirroring the paper's pooling of both sessions. The ramp runs
+/// `args.seeds` seeds (one in quick mode); all cells execute on the sweep
+/// engine's thread pool, and pooling happens in fixed cell order so the
+/// dataset is identical for every `--threads` value.
+pub fn figure_dataset(name: &str, args: &SweepArgs) -> (Vec<SecondStats>, RunReport) {
+    let ramp_users = scaled(320, 60) as usize;
+    let ramp_dur = scaled(700, 60);
+    let ramp_seeds = if quick() {
+        vec![RAMP_SEED]
+    } else {
+        args.seed_list(RAMP_SEED)
+    };
+    let mut cells: Vec<Cell> = ramp_seeds
+        .into_iter()
+        .map(|seed| {
+            Cell::new(format!("ramp seed={seed}"), seed, move || {
+                load_ramp(seed, ramp_users, ramp_dur, 1.7)
+            })
+        })
+        .collect();
+    cells.push(Cell::new(format!("day seed={DAY_SEED}"), DAY_SEED, || {
+        ietf_day(day_scale(DAY_SEED))
+    }));
+    cells.push(Cell::new(
+        format!("plenary seed={PLENARY_SEED}"),
+        PLENARY_SEED,
+        || ietf_plenary(plenary_scale(PLENARY_SEED)),
+    ));
+    let (results, report) = run_cells(name, args, cells);
+    let mut seconds = Vec::new();
+    for result in &results {
         for trace in &result.traces {
             seconds.extend(analyze(trace));
         }
     }
-    seconds
+    (seconds, report)
 }
 
-/// Runs the two sessions and returns their results (Figure 4 / 5 inputs).
-pub fn session_results() -> (ScenarioResult, ScenarioResult) {
-    let mut day = SessionScale::day_default(21);
-    let mut plenary = SessionScale::plenary_default(22);
-    if quick() {
-        day.users = 40;
-        day.duration_s = 20;
-        plenary.users = 40;
-        plenary.duration_s = 20;
+/// Runs the two sessions across `args.seeds` seeds each and returns
+/// `(day runs, plenary runs, report)` — the Figure 4 / 5 inputs. The first
+/// element of each vector is the canonical seed
+/// ([`DAY_SEED`] / [`PLENARY_SEED`]); further seeds feed the cross-seed
+/// mean ± CI summaries.
+pub fn session_results(
+    name: &str,
+    args: &SweepArgs,
+) -> (Vec<ScenarioResult>, Vec<ScenarioResult>, RunReport) {
+    let mut cells = Vec::new();
+    for seed in args.seed_list(DAY_SEED) {
+        cells.push(Cell::new(format!("day seed={seed}"), seed, move || {
+            ietf_day(day_scale(seed))
+        }));
     }
-    (ietf_day(day).run(), ietf_plenary(plenary).run())
+    for seed in args.seed_list(PLENARY_SEED) {
+        cells.push(Cell::new(format!("plenary seed={seed}"), seed, move || {
+            ietf_plenary(plenary_scale(seed))
+        }));
+    }
+    let (mut results, report) = run_cells(name, args, cells);
+    let plenary = results.split_off(args.seeds);
+    (results, plenary, report)
 }
 
 /// Builds utilization bins over a pooled dataset.

@@ -11,6 +11,7 @@
 //! instant (the saturation argument of Section 5.1).
 
 use wifi_frames::fc::{FrameClass, FrameKind};
+use wifi_frames::frame::MGMT_OVERHEAD_BYTES;
 use wifi_frames::record::FrameRecord;
 use wifi_frames::timing::{cbt, Micros, SECOND};
 
@@ -23,7 +24,9 @@ use wifi_frames::timing::{cbt, Micros, SECOND};
 /// * ACK: `D_SIFS + D_ACK`;
 /// * beacons: `D_DIFS + D_BEACON`;
 /// * other management frames are charged like data frames (they contend for
-///   the channel the same way and carry a body).
+///   the channel the same way and carry a body); their body size is the
+///   recorded frame size minus the management header + FCS
+///   ([`MGMT_OVERHEAD_BYTES`]).
 pub fn cbt_us(record: &FrameRecord) -> Micros {
     match record.kind {
         FrameKind::Rts => cbt::rts(),
@@ -34,8 +37,7 @@ pub fn cbt_us(record: &FrameRecord) -> Micros {
             cbt::data(record.payload_bytes as u64, record.rate)
         }
         kind if kind.class() == FrameClass::Management => {
-            // Body bytes = frame minus header+FCS.
-            let body = record.mac_bytes.saturating_sub(28);
+            let body = record.mac_bytes.saturating_sub(MGMT_OVERHEAD_BYTES as u32);
             cbt::data(body as u64, record.rate)
         }
         _ => cbt::data(record.payload_bytes as u64, record.rate),

@@ -8,10 +8,9 @@
 //! the utilization at which smoothed throughput peaks before collapsing.
 
 use crate::bins::UtilizationBins;
-use serde::{Deserialize, Serialize};
 
 /// The three congestion classes of Section 5.3.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CongestionLevel {
     /// Below the low threshold (30 % at the IETF).
     Uncongested,
@@ -22,7 +21,7 @@ pub enum CongestionLevel {
 }
 
 /// A congestion classifier: two utilization thresholds in percent.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CongestionClassifier {
     /// Uncongested below this utilization (percent).
     pub low_pct: f64,

@@ -56,6 +56,6 @@ pub use categories::{Category, SizeClass};
 pub use congestion::{find_knee, CongestionClassifier, CongestionLevel};
 pub use merge::merge_traces;
 pub use persec::{analyze, DelayAgg, SecondStats};
-pub use stats::{jain_index, Reservoir};
+pub use stats::{jain_index, mean_ci95, MeanCi, Reservoir};
 pub use theory::{bianchi, tmt_bps, Bianchi};
 pub use unrecorded::{estimate as estimate_unrecorded, UnrecordedEstimate};

@@ -59,10 +59,12 @@ pub mod geometry;
 pub mod medium;
 pub mod radio;
 pub mod rate;
+pub mod runner;
 pub mod sim;
 pub mod sniffer;
 pub mod station;
 pub mod traffic;
 
 pub use config::SimConfig;
+pub use runner::{run_parallel, CellReport, RunReport};
 pub use sim::{ClientConfig, GroundTruth, Simulator};

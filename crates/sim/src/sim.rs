@@ -107,6 +107,7 @@ pub struct Simulator {
     rng: SmallRng,
     /// Ground truth.
     pub ground_truth: GroundTruth,
+    events_processed: u64,
     next_mac_id: u32,
     /// Cumulative transmission air time per channel, µs (drives dynamic
     /// channel assignment).
@@ -128,6 +129,7 @@ impl Simulator {
             media,
             mac_index: HashMap::new(),
             ground_truth: GroundTruth::default(),
+            events_processed: 0,
             next_mac_id: 1,
             chan_airtime_us,
         }
@@ -136,6 +138,12 @@ impl Simulator {
     /// Current simulation time, microseconds.
     pub fn now(&self) -> Micros {
         self.now
+    }
+
+    /// Discrete events handled so far — the denominator of the
+    /// events-per-second throughput figure in run reports.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// The stations (APs and clients).
@@ -288,6 +296,7 @@ impl Simulator {
             }
             let (at, ev) = self.queue.pop().expect("peeked");
             self.now = at;
+            self.events_processed += 1;
             self.handle(ev);
         }
         self.now = until;

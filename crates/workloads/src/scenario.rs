@@ -112,6 +112,12 @@ pub struct ScenarioResult {
     pub medium_stats: Vec<(u64, u64)>,
     /// Per-station outcomes.
     pub stations: Vec<StationSummary>,
+    /// Discrete events the simulator processed — the cost denominator run
+    /// reports use for events-per-second throughput.
+    pub events_processed: u64,
+    /// Frames that actually went on air (ground-truth transmission count,
+    /// independent of `record_ground_truth`).
+    pub frames_on_air: u64,
 }
 
 impl Scenario {
@@ -147,6 +153,8 @@ impl Scenario {
             ground_truth: std::mem::take(&mut self.sim.ground_truth.records),
             medium_stats: self.sim.medium_stats(),
             stations,
+            events_processed: self.sim.events_processed(),
+            frames_on_air: self.sim.ground_truth.transmissions,
         }
     }
 }
