@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the streaming per-second accumulator against the
+//! batch analyzer — the two must cost the same per frame (the batch path is
+//! a thin wrapper), and the streaming path must not regress as the window
+//! grows, since it holds only the open second plus one pending record.
+
+use congestion::{analyze, SecondAccumulator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
+use wifi_frames::phy::{Channel, Rate};
+use wifi_frames::record::FrameRecord;
+
+/// Data/ACK exchanges with periodic beacons, in time order (the same shape
+/// as the busy-time bench trace).
+fn synthetic_trace(n: usize) -> Vec<FrameRecord> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0u64;
+    let rates = [Rate::R1, Rate::R2, Rate::R5_5, Rate::R11];
+    let mut i = 0usize;
+    while out.len() < n {
+        let rate = rates[i % 4];
+        let payload = [64u32, 400, 900, 1472][(i / 4) % 4];
+        let src = 1 + (i % 40) as u32;
+        t += 800;
+        out.push(FrameRecord {
+            timestamp_us: t,
+            kind: FrameKind::Data,
+            rate,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(99),
+            src: Some(MacAddr::from_id(src)),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: i % 7 == 0,
+            seq: Some((i % 4096) as u16),
+            mac_bytes: payload + 28,
+            payload_bytes: payload,
+            signal_dbm: -60,
+            duration_us: 314,
+        });
+        t += 314;
+        out.push(FrameRecord {
+            timestamp_us: t,
+            kind: FrameKind::Ack,
+            rate: Rate::R1,
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(src),
+            src: None,
+            bssid: None,
+            retry: false,
+            seq: None,
+            mac_bytes: 14,
+            payload_bytes: 0,
+            signal_dbm: -60,
+            duration_us: 0,
+        });
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut g = c.benchmark_group("persec");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("streaming_100k_frames", |b| {
+        b.iter(|| {
+            let mut acc = SecondAccumulator::new();
+            for r in &trace {
+                acc.push(black_box(*r));
+            }
+            black_box(acc.finish())
+        })
+    });
+    g.bench_function("batch_100k_frames", |b| {
+        b.iter(|| black_box(analyze(black_box(&trace))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -59,5 +59,26 @@ fn bench_ietf_ramp_10s(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_saturated_second, bench_ietf_ramp_10s);
+fn bench_dense_cell(c: &mut Criterion) {
+    // The sensing-topology stress case: every transmission used to pay an
+    // O(stations) path-loss loop; with the cached matrix it pays one bitset
+    // AND, so this bench is the direct witness of that optimization.
+    let mut g = c.benchmark_group("dense");
+    g.sample_size(10);
+    g.bench_function("sim_dense_cell_200sta_1s", |b| {
+        b.iter(|| {
+            let mut sim = saturated_cell(13, 200);
+            sim.run_until(1_000_000);
+            black_box(sim.sniffers()[0].trace.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_saturated_second,
+    bench_ietf_ramp_10s,
+    bench_dense_cell
+);
 criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Pinned perf baseline: one mid-congestion scenario, one JSON artifact.
+//!
+//! Runs a fixed load-ramp cell (the knee region the paper's figures live
+//! in) and writes `BENCH_sim.json` with events/s, frames/s, a peak-RSS
+//! proxy, and wall-clock, so every future PR has a number to compare
+//! against:
+//!
+//! ```text
+//! cargo run --release -p congestion-bench --bin bench_baseline
+//! cargo run --release -p congestion-bench --bin bench_baseline -- \
+//!     --quick --check BENCH_sim_quick.json    # CI smoke: fail on >30% drop
+//! ```
+//!
+//! `--check <file>` re-runs the same pinned scenario and exits non-zero if
+//! events/s fell below 70 % of the committed baseline (after verifying the
+//! baseline's scenario fingerprint matches, so a stale file can't silently
+//! gate against the wrong workload).
+
+use congestion_bench::streaming::run_streaming;
+use ietf_workloads::load_ramp;
+
+/// The pinned scenario: seed and load are part of the baseline contract.
+struct Pin {
+    seed: u64,
+    users: usize,
+    duration_s: u64,
+    per_user_fps: f64,
+    quick: bool,
+}
+
+impl Pin {
+    fn new(quick: bool) -> Pin {
+        if quick {
+            // CI smoke scale: long enough that the wall-clock measurement is
+            // not dominated by startup noise, small enough for every PR.
+            Pin {
+                seed: 11,
+                users: 48,
+                duration_s: 60,
+                per_user_fps: 1.7,
+                quick,
+            }
+        } else {
+            // Mid-congestion: dense enough that the medium saturates and the
+            // sensing loop dominates, short enough to run on every PR.
+            Pin {
+                seed: 11,
+                users: 320,
+                duration_s: 30,
+                per_user_fps: 1.7,
+                quick,
+            }
+        }
+    }
+
+    fn default_out(&self) -> &'static str {
+        if self.quick {
+            "BENCH_sim_quick.json"
+        } else {
+            "BENCH_sim.json"
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = Some(it.next().expect("--check needs a file")),
+            "--out" => out = Some(it.next().expect("--out needs a file")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_baseline [--quick] [--out FILE] [--check BASELINE]\n\
+                     \n\
+                     Runs the pinned mid-congestion scenario and writes a perf\n\
+                     baseline JSON (default BENCH_sim.json; BENCH_sim_quick.json\n\
+                     with --quick). --check compares events/s against a committed\n\
+                     baseline and exits 1 on a >30% regression."
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pin = Pin::new(quick);
+    let out = out.unwrap_or_else(|| pin.default_out().to_string());
+
+    let mut scenario = load_ramp(pin.seed, pin.users, pin.duration_s, pin.per_user_fps);
+    // Perf run: skip the ground-truth tape (it is O(frames) memory and no
+    // figure reads it here); the on-air counter still runs.
+    scenario.sim.config.record_ground_truth = false;
+
+    let start = std::time::Instant::now();
+    let run = run_streaming(scenario, 1_000_000);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let events_per_sec = run.events_processed as f64 / (wall_ms / 1e3).max(1e-9);
+    let frames_per_sec = run.frames_on_air as f64 / (wall_ms / 1e3).max(1e-9);
+    let seconds_analyzed: usize = run.per_sniffer_seconds.iter().map(|s| s.len()).sum();
+
+    let json = format!(
+        "{{\n  \"scenario\": \"ramp\",\n  \"quick\": {},\n  \"seed\": {},\n  \
+         \"users\": {},\n  \"duration_s\": {},\n  \"per_user_fps\": {},\n  \
+         \"events\": {},\n  \"frames_on_air\": {},\n  \"seconds_analyzed\": {},\n  \
+         \"wall_ms\": {:.1},\n  \"events_per_sec\": {:.0},\n  \
+         \"frames_per_sec\": {:.0},\n  \"peak_rss_kb\": {}\n}}\n",
+        pin.quick,
+        pin.seed,
+        pin.users,
+        pin.duration_s,
+        pin.per_user_fps,
+        run.events_processed,
+        run.frames_on_air,
+        seconds_analyzed,
+        wall_ms,
+        events_per_sec,
+        frames_per_sec,
+        peak_rss_kb(),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bench_baseline: {} events in {:.1} ms -> {:.0} events/s, {:.0} frames/s ({out})",
+        run.events_processed, wall_ms, events_per_sec, frames_per_sec
+    );
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        // The fingerprint fields must match — a baseline from a different
+        // pinned scenario would make the ratio meaningless.
+        for (field, want) in [
+            ("seed", pin.seed as f64),
+            ("users", pin.users as f64),
+            ("duration_s", pin.duration_s as f64),
+            ("per_user_fps", pin.per_user_fps),
+            ("events", run.events_processed as f64),
+        ] {
+            let got = json_number(&baseline, field).unwrap_or_else(|| {
+                eprintln!("error: baseline {baseline_path} missing field {field:?}");
+                std::process::exit(1);
+            });
+            if got != want {
+                eprintln!(
+                    "error: baseline fingerprint mismatch on {field:?}: \
+                     baseline has {got}, this run has {want}"
+                );
+                std::process::exit(1);
+            }
+        }
+        let base_eps = json_number(&baseline, "events_per_sec").unwrap_or_else(|| {
+            eprintln!("error: baseline {baseline_path} missing events_per_sec");
+            std::process::exit(1);
+        });
+        let floor = 0.7 * base_eps;
+        if events_per_sec < floor {
+            eprintln!(
+                "FAIL: events/s regressed >30%: {events_per_sec:.0} < 0.7 x \
+                 baseline {base_eps:.0}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check ok: {:.0} events/s vs baseline {:.0} ({:+.0}%)",
+            events_per_sec,
+            base_eps,
+            (events_per_sec / base_eps - 1.0) * 100.0
+        );
+    }
+}
+
+/// Pulls a numeric field out of the flat baseline JSON (no serde in the
+/// offline workspace; the file is machine-written, one `"key": value` pair
+/// per line).
+fn json_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`); 0 where
+/// procfs is unavailable, so the field is informational, never a gate.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}

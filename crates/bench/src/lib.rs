@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod streaming;
 pub mod sweep;
 
 use congestion::persec::SecondStats;

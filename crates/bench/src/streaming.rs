@@ -1,0 +1,109 @@
+//! Chunked scenario execution with streaming per-second analysis.
+//!
+//! [`Scenario::run`] buffers every captured frame until the end and analyzes
+//! post hoc — O(frames) peak memory, which at congestion-knee scale is the
+//! dominant allocation. [`run_streaming`] instead advances the simulator one
+//! time chunk at a time (repeated `run_until` calls are pure continuations
+//! of the same event queue, so results are identical), drains each sniffer's
+//! trace into its [`SecondAccumulator`] after every chunk, and returns the
+//! finished per-second statistics: peak memory is O(chunk + seconds), however
+//! long the run.
+
+use congestion::persec::{SecondAccumulator, SecondStats};
+use ietf_workloads::Scenario;
+use wifi_frames::timing::Micros;
+use wifi_sim::sniffer::SnifferStats;
+
+/// What a streaming run yields: the analysis, plus the counters the run
+/// reports and perf baselines need. Raw traces are intentionally absent —
+/// not buffering them is the point.
+pub struct StreamedRun {
+    /// Scenario name.
+    pub name: String,
+    /// Per-sniffer per-second statistics (same order as the sniffers).
+    pub per_sniffer_seconds: Vec<Vec<SecondStats>>,
+    /// Capture-performance counters per sniffer.
+    pub sniffer_stats: Vec<SnifferStats>,
+    /// `(transmissions, collisions)` per channel.
+    pub medium_stats: Vec<(u64, u64)>,
+    /// Discrete events processed.
+    pub events_processed: u64,
+    /// Ground-truth transmission count (independent of trace recording).
+    pub frames_on_air: u64,
+}
+
+/// Runs `scenario` to completion in `chunk_us` steps, folding captured
+/// frames into per-sniffer accumulators as they appear.
+pub fn run_streaming(mut scenario: Scenario, chunk_us: Micros) -> StreamedRun {
+    let chunk_us = chunk_us.max(1);
+    let mut accs: Vec<SecondAccumulator> = scenario
+        .sim
+        .sniffers()
+        .iter()
+        .map(|_| SecondAccumulator::new())
+        .collect();
+    let mut now: Micros = 0;
+    while now < scenario.duration_us {
+        now = (now + chunk_us).min(scenario.duration_us);
+        scenario.sim.run_until(now);
+        for (sniffer, acc) in scenario.sim.sniffers_mut().iter_mut().zip(&mut accs) {
+            for record in sniffer.trace.drain(..) {
+                acc.push(record);
+            }
+        }
+    }
+    StreamedRun {
+        name: scenario.name,
+        per_sniffer_seconds: accs.into_iter().map(SecondAccumulator::finish).collect(),
+        sniffer_stats: scenario.sim.sniffers().iter().map(|s| s.stats).collect(),
+        medium_stats: scenario.sim.medium_stats(),
+        events_processed: scenario.sim.events_processed(),
+        frames_on_air: scenario.sim.ground_truth.transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congestion::analyze;
+    use ietf_workloads::load_ramp;
+
+    /// The streaming path must reproduce the batch path exactly: same
+    /// events, same captures, same per-second statistics.
+    #[test]
+    fn streaming_matches_batch_run() {
+        let batch = load_ramp(7, 8, 6, 1.5).run();
+        let streamed = run_streaming(load_ramp(7, 8, 6, 1.5), 750_000);
+        assert_eq!(streamed.events_processed, batch.events_processed);
+        assert_eq!(streamed.frames_on_air, batch.frames_on_air);
+        assert_eq!(streamed.medium_stats, batch.medium_stats);
+        assert_eq!(streamed.sniffer_stats.len(), batch.sniffer_stats.len());
+        for (s, b) in streamed.sniffer_stats.iter().zip(&batch.sniffer_stats) {
+            assert_eq!(s.captured, b.captured);
+            assert_eq!(s.total_on_air(), b.total_on_air());
+        }
+        for (seconds, trace) in streamed.per_sniffer_seconds.iter().zip(&batch.traces) {
+            let expect = analyze(trace);
+            assert_eq!(seconds.len(), expect.len());
+            for (got, want) in seconds.iter().zip(&expect) {
+                assert_eq!(format!("{got:?}"), format!("{want:?}"));
+            }
+        }
+    }
+
+    /// Chunk size must not matter — continuations are exact.
+    #[test]
+    fn chunk_size_is_invisible() {
+        let coarse = run_streaming(load_ramp(9, 6, 5, 1.5), 5_000_000);
+        let fine = run_streaming(load_ramp(9, 6, 5, 1.5), 100_000);
+        assert_eq!(coarse.events_processed, fine.events_processed);
+        assert_eq!(coarse.frames_on_air, fine.frames_on_air);
+        for (c, f) in coarse
+            .per_sniffer_seconds
+            .iter()
+            .zip(&fine.per_sniffer_seconds)
+        {
+            assert_eq!(format!("{c:?}"), format!("{f:?}"));
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub use busy_time::{cbt_us, BusyTimeAccumulator};
 pub use categories::{Category, SizeClass};
 pub use congestion::{find_knee, CongestionClassifier, CongestionLevel};
 pub use merge::merge_traces;
-pub use persec::{analyze, DelayAgg, SecondStats};
+pub use persec::{analyze, DelayAgg, SecondAccumulator, SecondStats};
 pub use stats::{jain_index, mean_ci95, MeanCi, Reservoir};
 pub use theory::{bianchi, tmt_bps, Bianchi};
 pub use unrecorded::{estimate as estimate_unrecorded, UnrecordedEstimate};

@@ -150,37 +150,77 @@ impl SecondStats {
     }
 }
 
-/// Walks a time-ordered trace and produces per-second statistics.
+/// Incremental per-second analysis: feed [`FrameRecord`]s as they are
+/// captured, read the same statistics [`analyze`] produces.
 ///
-/// Seconds with no captured frames are still emitted (all-zero), so a quiet
-/// channel reads as 0 % utilization rather than a gap.
-pub fn analyze(records: &[FrameRecord]) -> Vec<SecondStats> {
-    let mut out: Vec<SecondStats> = Vec::new();
-    // (transmitter, seq) -> first transmission-attempt timestamp.
-    let mut first_tx: HashMap<(MacAddr, u16), Micros> = HashMap::new();
-    let mut last_evict: Micros = 0;
+/// ACK matching needs one frame of lookahead (DATA→ACK adjacency), so the
+/// accumulator holds exactly one pending record and folds it when its
+/// successor arrives; [`SecondAccumulator::finish`] folds the last record
+/// with no successor. State is O(lookback window + seconds emitted) — a
+/// streaming run never buffers the trace.
+#[derive(Debug, Default)]
+pub struct SecondAccumulator {
+    out: Vec<SecondStats>,
+    /// `(transmitter, seq)` → first transmission-attempt timestamp.
+    first_tx: HashMap<(MacAddr, u16), Micros>,
+    last_evict: Micros,
+    /// The record awaiting its successor (for ACK adjacency).
+    pending: Option<FrameRecord>,
+}
 
-    let get_second = |out: &mut Vec<SecondStats>, sec: u64| -> usize {
-        if let Some(last) = out.last() {
+impl SecondAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> SecondAccumulator {
+        SecondAccumulator::default()
+    }
+
+    /// Feeds the next captured record. Records must arrive in trace
+    /// (timestamp) order, exactly as a sniffer captures them.
+    pub fn push(&mut self, r: FrameRecord) {
+        if let Some(prev) = self.pending.take() {
+            self.fold(&prev, Some(&r));
+        }
+        self.pending = Some(r);
+    }
+
+    /// The seconds fully folded so far (the pending record's contribution
+    /// is not yet visible).
+    pub fn seconds(&self) -> &[SecondStats] {
+        &self.out
+    }
+
+    /// Folds the last pending record and returns the completed statistics.
+    pub fn finish(mut self) -> Vec<SecondStats> {
+        if let Some(prev) = self.pending.take() {
+            self.fold(&prev, None);
+        }
+        self.out
+    }
+
+    /// Index of `sec`'s stats entry, filling gaps so quiet seconds exist
+    /// with zero stats.
+    fn get_second(&mut self, sec: u64) -> usize {
+        if let Some(last) = self.out.last() {
             if last.second == sec {
-                return out.len() - 1;
+                return self.out.len() - 1;
             }
-            // Fill gaps so quiet seconds exist with zero stats.
             let mut next = last.second + 1;
             while next <= sec {
-                out.push(SecondStats::new(next));
+                self.out.push(SecondStats::new(next));
                 next += 1;
             }
-            out.len() - 1
+            self.out.len() - 1
         } else {
-            out.push(SecondStats::new(sec));
+            self.out.push(SecondStats::new(sec));
             0
         }
-    };
+    }
 
-    for (i, r) in records.iter().enumerate() {
-        let idx = get_second(&mut out, r.second());
-        let s = &mut out[idx];
+    /// Accounts one record, with its successor (when one exists) for ACK
+    /// adjacency — the loop body of the original batch `analyze`.
+    fn fold(&mut self, r: &FrameRecord, next: Option<&FrameRecord>) {
+        let idx = self.get_second(r.second());
+        let s = &mut self.out[idx];
         s.frames += 1;
         s.busy_us += cbt_us(r);
         s.throughput_bits += 8 * r.mac_bytes as u64;
@@ -213,27 +253,28 @@ pub fn analyze(records: &[FrameRecord]) -> Vec<SecondStats> {
                 // Track the first attempt for acceptance delay.
                 let key = r.src.map(|src| (src, r.seq.unwrap_or(0)));
                 if let Some(key) = key {
-                    first_tx.entry(key).or_insert(r.timestamp_us);
+                    self.first_tx.entry(key).or_insert(r.timestamp_us);
                 }
 
                 // DATA→ACK atomicity: is the next frame our ACK?
-                let acked = records.get(i + 1).is_some_and(|n| {
+                let acked = next.is_some_and(|n| {
                     n.kind == FrameKind::Ack
                         && Some(n.dst) == r.src
                         && n.timestamp_us >= r.timestamp_us
                         && n.timestamp_us - r.timestamp_us <= ACK_MATCH_WINDOW_US
                 });
                 if acked {
+                    let s = &mut self.out[idx];
                     s.acked_data += 1;
                     s.goodput_bits += 8 * r.mac_bytes as u64;
                     if !r.retry {
                         s.first_ack_by_rate[ri] += 1;
                     }
                     // Acceptance delay from the first attempt.
-                    let ack_ts = records[i + 1].timestamp_us;
+                    let ack_ts = next.unwrap().timestamp_us;
                     if let Some(key) = key {
-                        let first = first_tx.remove(&key).unwrap_or(r.timestamp_us);
-                        s.acc_delay[si][ri].add(ack_ts.saturating_sub(first));
+                        let first = self.first_tx.remove(&key).unwrap_or(r.timestamp_us);
+                        self.out[idx].acc_delay[si][ri].add(ack_ts.saturating_sub(first));
                     }
                 }
             }
@@ -244,13 +285,25 @@ pub fn analyze(records: &[FrameRecord]) -> Vec<SecondStats> {
         }
 
         // Periodic eviction keeps the first-tx map bounded on long traces.
-        if r.timestamp_us.saturating_sub(last_evict) > FIRST_TX_TTL_US {
+        if r.timestamp_us.saturating_sub(self.last_evict) > FIRST_TX_TTL_US {
             let cutoff = r.timestamp_us - FIRST_TX_TTL_US;
-            first_tx.retain(|_, t| *t >= cutoff);
-            last_evict = r.timestamp_us;
+            self.first_tx.retain(|_, t| *t >= cutoff);
+            self.last_evict = r.timestamp_us;
         }
     }
-    out
+}
+
+/// Walks a time-ordered trace and produces per-second statistics.
+///
+/// Seconds with no captured frames are still emitted (all-zero), so a quiet
+/// channel reads as 0 % utilization rather than a gap. Thin wrapper over
+/// [`SecondAccumulator`]; streaming callers use the accumulator directly.
+pub fn analyze(records: &[FrameRecord]) -> Vec<SecondStats> {
+    let mut acc = SecondAccumulator::new();
+    for r in records {
+        acc.push(*r);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]

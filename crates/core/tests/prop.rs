@@ -2,7 +2,9 @@
 //! laws of the single-pass analyzer, the busy-time metric, binning, and the
 //! unrecorded-frame estimator against synthetic traces with known losses.
 
-use congestion::{analyze, cbt_us, estimate_unrecorded, SizeClass, UtilizationBins};
+use congestion::{
+    analyze, cbt_us, estimate_unrecorded, SecondAccumulator, SizeClass, UtilizationBins,
+};
 use proptest::prelude::*;
 use wifi_frames::fc::FrameKind;
 use wifi_frames::mac::MacAddr;
@@ -257,5 +259,67 @@ proptest! {
     fn size_class_total_order(bytes_a in 0u32..3000, bytes_b in 0u32..3000) {
         let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
         prop_assert!(SizeClass::of(lo) <= SizeClass::of(hi));
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_batch(exchanges in proptest::collection::vec(arb_exchange(), 0..120)) {
+        let trace = build_trace(&exchanges);
+        let batch = analyze(&trace);
+        let mut acc = SecondAccumulator::new();
+        for r in &trace {
+            acc.push(*r);
+        }
+        // SecondStats carries floats, so equality is checked on the full
+        // Debug rendering — the same representation the golden digests use.
+        prop_assert_eq!(format!("{:?}", acc.finish()), format!("{batch:?}"));
+    }
+
+    #[test]
+    fn streaming_matches_batch_across_quiet_seconds(
+        exchanges in proptest::collection::vec(arb_exchange(), 1..60),
+        gaps in proptest::collection::vec(0u64..4_000_000, 60),
+    ) {
+        // Stretch the trace with multi-second quiet gaps: the accumulator
+        // must produce the same (sparse) seconds as the batch pass, and the
+        // first-transmission table must evict identically across the idle
+        // stretches.
+        let mut trace = build_trace(&exchanges);
+        let mut shift = 0u64;
+        let mut g = gaps.iter().cycle();
+        for r in trace.iter_mut() {
+            shift += g.next().unwrap();
+            r.timestamp_us += shift;
+        }
+        let batch = analyze(&trace);
+        let mut acc = SecondAccumulator::new();
+        for r in &trace {
+            acc.push(*r);
+        }
+        prop_assert_eq!(format!("{:?}", acc.finish()), format!("{batch:?}"));
+    }
+
+    #[test]
+    fn streaming_handles_cross_second_ack_adjacency(offset in 0u64..400) {
+        // DATA frames just before each second boundary, ACKs landing either
+        // side of it depending on `offset`: the accumulator's one-record
+        // lookahead must see the ACK even when it falls in the next second.
+        let mut trace = Vec::new();
+        for i in 0..6u64 {
+            let data_ts = (i + 1) * 1_000_000 - 200 + offset;
+            trace.push(rec(FrameKind::Data, data_ts, Some(1 + (i as u32 % 3)), 99, 700, Rate::R11));
+            let ack_ts = data_ts + 314;
+            trace.push(rec(FrameKind::Ack, ack_ts, None, 1 + (i as u32 % 3), 0, Rate::R1));
+            let last = trace.last_mut().unwrap();
+            last.mac_bytes = 14;
+            last.payload_bytes = 0;
+        }
+        let batch = analyze(&trace);
+        let acked: u64 = batch.iter().map(|s| s.acked_data).sum();
+        prop_assert_eq!(acked, 6, "every DATA is acknowledged, boundary or not");
+        let mut acc = SecondAccumulator::new();
+        for r in &trace {
+            acc.push(*r);
+        }
+        prop_assert_eq!(format!("{:?}", acc.finish()), format!("{batch:?}"));
     }
 }

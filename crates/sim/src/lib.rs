@@ -63,6 +63,7 @@ pub mod runner;
 pub mod sim;
 pub mod sniffer;
 pub mod station;
+pub mod topology;
 pub mod traffic;
 
 pub use config::SimConfig;

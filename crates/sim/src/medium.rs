@@ -4,10 +4,17 @@
 //! that overlapped it in time — the interferer set from which receivers
 //! compute SINR. Propagation delay is neglected (a conference hall is well
 //! under one microsecond across).
+//!
+//! Interferers are stored as node ids only: positions are fixed per
+//! scenario, so receivers look the interferer path loss up in the cached
+//! [`SensingTopology`](crate::topology::SensingTopology) instead of
+//! carrying positions around. The `sensed_by` listener set is a pooled
+//! [`NodeSet`] bitset, and interferer lists are pooled too — ending a
+//! transmission recycles both, so steady-state operation allocates nothing.
 
 use crate::events::NodeId;
 use crate::frame_info::SimFrame;
-use crate::geometry::Pos;
+use crate::topology::NodeSet;
 use wifi_frames::phy::Rate;
 use wifi_frames::timing::Micros;
 
@@ -18,8 +25,6 @@ pub struct Transmission {
     pub tx_id: u64,
     /// Transmitting node.
     pub node: NodeId,
-    /// Transmitter position at start of transmission.
-    pub pos: Pos,
     /// The frame.
     pub frame: SimFrame,
     /// PHY rate.
@@ -28,12 +33,12 @@ pub struct Transmission {
     pub start: Micros,
     /// Air end time.
     pub end: Micros,
-    /// `(node, position)` of every other transmission that overlapped this
-    /// one (grown as overlaps occur).
-    pub interferer_pos: Vec<(NodeId, Pos)>,
-    /// Stations whose carrier sense this transmission raised (set by the
-    /// simulator at start; used to release carrier sense at end).
-    pub sensed_by: Vec<NodeId>,
+    /// Node of every other transmission that overlapped this one (grown as
+    /// overlaps occur; receivers resolve path loss via the topology cache).
+    pub interferers: Vec<NodeId>,
+    /// Stations whose carrier sense this transmission raised (computed by
+    /// the simulator at start; used to release carrier sense at end).
+    pub sensed_by: NodeSet,
     /// Whether the busy indication has already been applied at listeners
     /// (set when the carrier-sense detection delay elapses).
     pub cs_applied: bool,
@@ -48,6 +53,10 @@ pub struct Medium {
     pub collisions: u64,
     /// Running count of all transmissions.
     pub transmissions: u64,
+    /// Recycled listener bitsets (returned by [`Medium::recycle`]).
+    set_pool: Vec<NodeSet>,
+    /// Recycled interferer lists.
+    list_pool: Vec<Vec<NodeId>>,
 }
 
 impl Medium {
@@ -56,54 +65,68 @@ impl Medium {
         Medium::default()
     }
 
+    /// A cleared listener set from the pool (or a fresh one), for the
+    /// caller to fill and hand to [`Medium::start_tx`].
+    pub fn take_set(&mut self) -> NodeSet {
+        self.set_pool.pop().unwrap_or_default()
+    }
+
     /// Registers a transmission; returns its id. Every already-active
-    /// transmission becomes a mutual interferer.
+    /// transmission becomes a mutual interferer. `sensed_by` is the
+    /// listener set the simulator computed for this transmission.
     pub fn start_tx(
         &mut self,
         node: NodeId,
-        pos: Pos,
         frame: SimFrame,
         rate: Rate,
         start: Micros,
         end: Micros,
+        sensed_by: NodeSet,
     ) -> u64 {
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let mut interferer_pos = Vec::new();
+        let mut interferers = self.list_pool.pop().unwrap_or_default();
+        interferers.clear();
         for other in &mut self.active {
-            other.interferer_pos.push((node, pos));
-            interferer_pos.push((other.node, other.pos));
+            other.interferers.push(node);
+            interferers.push(other.node);
         }
-        if !interferer_pos.is_empty() {
+        if !interferers.is_empty() {
             self.collisions += 1;
         }
         self.transmissions += 1;
         self.active.push(Transmission {
             tx_id,
             node,
-            pos,
             frame,
             rate,
             start,
             end,
-            interferer_pos,
-            sensed_by: Vec::new(),
+            interferers,
+            sensed_by,
             cs_applied: false,
         });
         tx_id
     }
 
-    /// Records which stations sensed this transmission.
-    pub fn set_sensed_by(&mut self, tx_id: u64, sensed_by: Vec<NodeId>) {
-        if let Some(t) = self.active.iter_mut().find(|t| t.tx_id == tx_id) {
-            t.sensed_by = sensed_by;
-        }
-    }
-
-    /// Removes and returns a completed transmission.
+    /// Removes and returns a completed transmission. Hand it back via
+    /// [`Medium::recycle`] when done to keep the pools warm.
     pub fn end_tx(&mut self, tx_id: u64) -> Option<Transmission> {
         let idx = self.active.iter().position(|t| t.tx_id == tx_id)?;
         Some(self.active.swap_remove(idx))
+    }
+
+    /// Returns a finished transmission's buffers to the pools.
+    pub fn recycle(&mut self, tx: Transmission) {
+        let Transmission {
+            mut sensed_by,
+            mut interferers,
+            ..
+        } = tx;
+        sensed_by.clear();
+        self.set_pool.push(sensed_by);
+        interferers.clear();
+        self.list_pool.push(interferers);
     }
 
     /// Active transmissions (for carrier-sense queries).
@@ -139,15 +162,20 @@ mod tests {
         SimFrame::ack(MacAddr::from_id(1))
     }
 
+    fn start(m: &mut Medium, node: NodeId, start: Micros, end: Micros) -> u64 {
+        let set = m.take_set();
+        m.start_tx(node, frame(), Rate::R1, start, end, set)
+    }
+
     #[test]
     fn single_tx_lifecycle() {
         let mut m = Medium::new();
         assert!(!m.is_transmitting());
-        let id = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 304);
+        let id = start(&mut m, 0, 0, 304);
         assert!(m.is_transmitting());
         assert_eq!(m.active().len(), 1);
         let tx = m.end_tx(id).unwrap();
-        assert!(tx.interferer_pos.is_empty());
+        assert!(tx.interferers.is_empty());
         assert!(!m.is_transmitting());
         assert_eq!(m.collisions, 0);
         assert_eq!(m.transmissions, 1);
@@ -156,27 +184,45 @@ mod tests {
     #[test]
     fn overlap_registers_mutual_interference() {
         let mut m = Medium::new();
-        let a = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 1000);
-        let b = m.start_tx(1, Pos::new(10.0, 0.0), frame(), Rate::R1, 500, 900);
+        let a = start(&mut m, 0, 0, 1000);
+        let b = start(&mut m, 1, 500, 900);
         let tb = m.end_tx(b).unwrap();
-        assert_eq!(tb.interferer_pos.len(), 1);
-        assert_eq!(tb.interferer_pos[0], (0, Pos::new(0.0, 0.0)));
+        assert_eq!(tb.interferers, vec![0]);
         let ta = m.end_tx(a).unwrap();
-        assert_eq!(ta.interferer_pos.len(), 1);
-        assert_eq!(ta.interferer_pos[0], (1, Pos::new(10.0, 0.0)));
+        assert_eq!(ta.interferers, vec![1]);
         assert_eq!(m.collisions, 1);
     }
 
     #[test]
     fn interference_accumulates_across_sequential_overlaps() {
         let mut m = Medium::new();
-        let long = m.start_tx(0, Pos::new(0.0, 0.0), frame(), Rate::R1, 0, 10_000);
+        let long = start(&mut m, 0, 0, 10_000);
         for i in 1..4 {
-            let id = m.start_tx(i, Pos::new(i as f64, 0.0), frame(), Rate::R11, 0, 100);
-            m.end_tx(id).unwrap();
+            let id = start(&mut m, i, 0, 100);
+            let tx = m.end_tx(id).unwrap();
+            m.recycle(tx);
         }
         let t = m.end_tx(long).unwrap();
-        assert_eq!(t.interferer_pos.len(), 3, "keeps ended interferers");
+        assert_eq!(t.interferers, vec![1, 2, 3], "keeps ended interferers");
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_empty() {
+        let mut m = Medium::new();
+        let a = start(&mut m, 0, 0, 1000);
+        let b = start(&mut m, 1, 0, 900);
+        let mut tx = m.end_tx(b).unwrap();
+        tx.sensed_by.insert(5);
+        assert!(!tx.interferers.is_empty());
+        m.recycle(tx);
+        let set = m.take_set();
+        assert!(set.is_empty(), "pooled set is cleared");
+        let c = m.start_tx(2, frame(), Rate::R1, 0, 10, set);
+        let tc = m.end_tx(c).unwrap();
+        // The pooled interferer list was cleared before reuse: only the
+        // still-active transmission shows up.
+        assert_eq!(tc.interferers, vec![0]);
+        let _ = m.end_tx(a);
     }
 
     #[test]
@@ -188,8 +234,8 @@ mod tests {
     #[test]
     fn tx_ids_are_unique_and_monotone() {
         let mut m = Medium::new();
-        let a = m.start_tx(0, Pos::default(), frame(), Rate::R1, 0, 1);
-        let b = m.start_tx(1, Pos::default(), frame(), Rate::R1, 0, 1);
+        let a = start(&mut m, 0, 0, 1);
+        let b = start(&mut m, 1, 0, 1);
         assert!(b > a);
     }
 }

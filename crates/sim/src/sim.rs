@@ -30,6 +30,7 @@ use crate::radio::{effective_sinr_db, processing_gain_db};
 use crate::rate::RateAdaptation;
 use crate::sniffer::{MissReason, Sniffer, SnifferConfig};
 use crate::station::{MacState, Msdu, MsduKind, Role, RtsPolicy, Station, TxOp, TxPhase};
+use crate::topology::{NodeSet, SensingTopology};
 use crate::traffic::TrafficProfile;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +113,22 @@ pub struct Simulator {
     /// Cumulative transmission air time per channel, µs (drives dynamic
     /// channel assignment).
     chan_airtime_us: Vec<u64>,
+    /// Cached pairwise RSSI / carrier-sense reachability (rebuilt lazily
+    /// when the population changes; see [`crate::topology`]).
+    topology: SensingTopology,
+    /// Which stations are tuned to each channel (kept in lockstep with
+    /// `Station::channel_idx`), for masking cached sensing rows.
+    channel_members: Vec<NodeSet>,
+    /// Scratch: sampled MSDU sizes of one traffic batch.
+    sizes_scratch: Vec<u32>,
+    /// Scratch: listener snapshot while applying carrier-sense busy.
+    cs_scratch: Vec<NodeId>,
+    /// Scratch: per-channel air-time deltas of one channel evaluation.
+    eval_deltas: Vec<u64>,
+    /// Scratch: clients following an AP's channel switch.
+    followers_scratch: Vec<NodeId>,
+    /// Scratch: interferer RSSI values of one reception.
+    interferer_rssi: Vec<f64>,
 }
 
 impl Simulator {
@@ -119,6 +136,7 @@ impl Simulator {
     pub fn new(config: SimConfig) -> Simulator {
         let media = config.channels.iter().map(|_| Medium::new()).collect();
         let chan_airtime_us = vec![0; config.channels.len()];
+        let channel_members = config.channels.iter().map(|_| NodeSet::new()).collect();
         Simulator {
             rng: SmallRng::seed_from_u64(config.seed),
             config,
@@ -132,6 +150,13 @@ impl Simulator {
             events_processed: 0,
             next_mac_id: 1,
             chan_airtime_us,
+            topology: SensingTopology::default(),
+            channel_members,
+            sizes_scratch: Vec::new(),
+            cs_scratch: Vec::new(),
+            eval_deltas: Vec::new(),
+            followers_scratch: Vec::new(),
+            interferer_rssi: Vec::new(),
         }
     }
 
@@ -169,14 +194,56 @@ impl Simulator {
             .collect()
     }
 
-    /// Path-loss RSSI plus the current slow-fade of the `tx → rx` link.
-    fn faded_rssi(&self, tx_node: NodeId, rx_link: u64, tx_pos: Pos, rx_pos: Pos) -> f64 {
-        self.config.radio.rssi_dbm(tx_pos, rx_pos)
+    /// Cached path-loss RSSI plus the current slow-fade of the `tx → rx`
+    /// station link.
+    #[inline]
+    fn faded_rssi(&self, tx_node: NodeId, rx_node: NodeId) -> f64 {
+        self.topology.rssi(tx_node, rx_node)
             + self
                 .config
                 .radio
                 .fading
-                .fade_db(tx_node as u64, rx_link, self.now)
+                .fade_db(tx_node as u64, rx_node as u64, self.now)
+    }
+
+    /// SINR of transmission `tx` at station `rx_node`: cached+faded RSSI
+    /// against the interferer set, summed in medium registration order via
+    /// the reusable scratch buffer (no per-reception allocation).
+    fn station_sinr(
+        &mut self,
+        rssi: f64,
+        tx: &crate::medium::Transmission,
+        rx_node: NodeId,
+    ) -> f64 {
+        let mut interf = std::mem::take(&mut self.interferer_rssi);
+        interf.clear();
+        for &nid in &tx.interferers {
+            interf.push(self.faded_rssi(nid, rx_node));
+        }
+        let sinr = effective_sinr_db(
+            rssi,
+            &interf,
+            self.config.radio.noise_floor_dbm,
+            processing_gain_db(tx.rate),
+        );
+        self.interferer_rssi = interf;
+        sinr
+    }
+
+    /// Rebuilds the sensing-topology cache if stations or sniffers were
+    /// added since the last run. Population changes only happen between
+    /// `run_until` calls, so one check per call suffices.
+    fn ensure_topology(&mut self) {
+        if self
+            .topology
+            .matches(self.stations.len(), self.sniffers.len())
+        {
+            return;
+        }
+        let station_pos: Vec<Pos> = self.stations.iter().map(|s| s.pos).collect();
+        let sniffer_pos: Vec<Pos> = self.sniffers.iter().map(|s| s.config.pos).collect();
+        self.topology
+            .rebuild(&station_pos, &sniffer_pos, &self.config.radio);
     }
 
     fn fresh_mac(&mut self) -> MacAddr {
@@ -213,6 +280,7 @@ impl Simulator {
         st.queue_cap = self.config.queue_cap;
         st.joined = true;
         self.stations.push(st);
+        self.channel_members[channel_idx].insert(id);
         self.mac_index.insert(mac, id);
         let offset = self.rng.gen_range(0..self.config.beacon_interval_us);
         self.queue.push(offset, Event::BeaconDue { node: id });
@@ -265,6 +333,7 @@ impl Simulator {
         st.power_save_interval_us = cfg.power_save_interval_us;
         st.frag_threshold = cfg.frag_threshold;
         self.stations.push(st);
+        self.channel_members[cfg.channel_idx].insert(id);
         self.mac_index.insert(mac, id);
         self.queue
             .push(cfg.join_at_us, Event::UserJoin { node: id });
@@ -290,6 +359,7 @@ impl Simulator {
 
     /// Runs the simulation until `until` (microseconds).
     pub fn run_until(&mut self, until: Micros) {
+        self.ensure_topology();
         while let Some(at) = self.queue.peek_time() {
             if at > until {
                 break;
@@ -379,7 +449,6 @@ impl Simulator {
             return; // already associated, or left for good (stale retry)
         }
         let channel_idx = st.channel_idx;
-        let pos = st.pos;
         let first_join = !st.joined;
         self.stations[node].joined = true;
         // Active scanning: a broadcast probe request precedes the first
@@ -393,12 +462,12 @@ impl Simulator {
                 enqueued_at: self.now,
             });
         }
-        // Pick the strongest AP on our channel.
+        // Pick the strongest AP on our channel (cached path loss).
         let best_on = |sim: &Simulator, ch: Option<usize>| -> Option<(NodeId, f64)> {
             let mut best: Option<(NodeId, f64)> = None;
             for (i, ap) in sim.stations.iter().enumerate() {
                 if ap.is_ap() && ch.map_or(true, |c| ap.channel_idx == c) {
-                    let rssi = sim.config.radio.rssi_dbm(ap.pos, pos);
+                    let rssi = sim.topology.rssi(i, node);
                     if best.map_or(true, |(_, b)| rssi > b) {
                         best = Some((i, rssi));
                     }
@@ -490,33 +559,59 @@ impl Simulator {
         };
         let ap_mac = self.stations[ap].mac;
         let client_mac = st.mac;
+        let now = self.now;
         // One arrival event delivers a (possibly bursty) batch of MSDUs.
-        let flow_cfg = if flow == 0 {
-            &self.stations[node].traffic.uplink
-        } else {
-            &self.stations[node].traffic.downlink
+        // Borrow-split so the flow config (whose size distribution is
+        // heap-backed) is sampled in place instead of cloned per event; the
+        // RNG draw order — batch, sizes, backoff (in try_dequeue), gap — is
+        // unchanged.
+        {
+            let Simulator {
+                stations,
+                rng,
+                sizes_scratch,
+                ..
+            } = self;
+            let flow_cfg = if flow == 0 {
+                &stations[node].traffic.uplink
+            } else {
+                &stations[node].traffic.downlink
+            };
+            let batch = flow_cfg.batch_size(rng);
+            sizes_scratch.clear();
+            for _ in 0..batch {
+                sizes_scratch.push(flow_cfg.sizes.sample(rng));
+            }
         }
-        .clone();
-        let batch = flow_cfg.batch_size(&mut self.rng);
         let (enqueue_on, dst, to_ds) = if flow == 0 {
             (node, ap_mac, true)
         } else {
             (ap, client_mac, false)
         };
-        for _ in 0..batch {
-            let size = flow_cfg.sizes.sample(&mut self.rng);
+        for i in 0..self.sizes_scratch.len() {
+            let size = self.sizes_scratch[i];
             self.stations[enqueue_on].enqueue(Msdu {
                 dst,
                 bssid: ap_mac,
                 payload: size,
                 kind: MsduKind::Data { to_ds },
-                enqueued_at: self.now,
+                enqueued_at: now,
             });
         }
         self.try_dequeue(enqueue_on);
-        if let Some(g) = flow_cfg.next_gap(&mut self.rng) {
-            self.queue
-                .push(self.now + g, Event::TrafficArrival { node, flow });
+        let Simulator {
+            stations,
+            rng,
+            queue,
+            ..
+        } = self;
+        let flow_cfg = if flow == 0 {
+            &stations[node].traffic.uplink
+        } else {
+            &stations[node].traffic.downlink
+        };
+        if let Some(g) = flow_cfg.next_gap(rng) {
+            queue.push(now + g, Event::TrafficArrival { node, flow });
         }
     }
 
@@ -813,26 +908,20 @@ impl Simulator {
         let air = frame_airtime_us(frame.mac_bytes as u64, rate, preamble);
         let end = now + air;
         let channel = self.stations[node].channel_idx;
-        let pos = self.stations[node].pos;
         {
             let st = &mut self.stations[node];
             st.state = MacState::Transmitting { phase };
             st.tx_until = end;
         }
-        let tx_id = self.media[channel].start_tx(node, pos, frame, rate, now, end);
-        // Decide who will sense this transmission; the busy indication lands
-        // one detection delay later (the CSMA vulnerability window).
-        let mut sensed_by = Vec::new();
-        for i in 0..self.stations.len() {
-            if i == node || self.stations[i].channel_idx != channel {
-                continue;
-            }
-            let rssi = self.config.radio.rssi_dbm(pos, self.stations[i].pos);
-            if rssi >= self.config.radio.cs_threshold_dbm {
-                sensed_by.push(i);
-            }
-        }
-        self.media[channel].set_sensed_by(tx_id, sensed_by);
+        // Decide who will sense this transmission: the cached carrier-sense
+        // row masked by the channel's membership — a few word ANDs where the
+        // unoptimized loop did O(stations) path-loss math per frame. The
+        // busy indication lands one detection delay later (the CSMA
+        // vulnerability window).
+        let mut sensed_by = self.media[channel].take_set();
+        self.topology
+            .sensed_into(node, &self.channel_members[channel], &mut sensed_by);
+        let tx_id = self.media[channel].start_tx(node, frame, rate, now, end, sensed_by);
         self.queue.push(
             now + self.config.cs_delay_us.min(air.saturating_sub(1)),
             Event::CsBusy { channel, tx_id },
@@ -843,22 +932,30 @@ impl Simulator {
     /// One detection delay into a transmission: listeners now sense energy.
     fn on_cs_busy(&mut self, channel: usize, tx_id: u64) {
         let now = self.now;
-        let Some(sensed_by) = self.media[channel]
+        // Snapshot the listener bitset into a reused scratch list (the set
+        // itself stays on the transmission for the release at TxEnd).
+        let mut listeners = std::mem::take(&mut self.cs_scratch);
+        listeners.clear();
+        match self.media[channel]
             .active()
             .iter()
             .find(|t| t.tx_id == tx_id)
-            .map(|t| t.sensed_by.clone())
-        else {
-            return; // transmission already ended (degenerate cs delay)
-        };
+        {
+            Some(t) => listeners.extend(t.sensed_by.iter()),
+            None => {
+                self.cs_scratch = listeners;
+                return; // transmission already ended (degenerate cs delay)
+            }
+        }
         self.media[channel].mark_cs_applied(tx_id);
-        for i in sensed_by {
+        for &i in &listeners {
             let was_busy = self.stations[i].channel_busy(now);
             self.stations[i].sensed += 1;
             if !was_busy {
                 self.on_channel_busy(i);
             }
         }
+        self.cs_scratch = listeners;
     }
 
     fn fire_sifs_response(&mut self, node: NodeId) {
@@ -942,19 +1039,28 @@ impl Simulator {
                 .push(tx.frame.to_record(tx.end, tx.rate, ch, sig));
         }
 
-        // 6. Release carrier sense.
-        for &i in &tx.sensed_by {
-            let st = &mut self.stations[i];
-            debug_assert!(st.sensed > 0);
-            st.sensed -= 1;
-            if !st.channel_busy(now) {
-                self.on_channel_idle(i);
+        // 6. Release carrier sense. Bitset iteration is ascending, matching
+        // the station order the listener set was built in.
+        if tx.cs_applied {
+            let mut listeners = std::mem::take(&mut self.cs_scratch);
+            listeners.clear();
+            listeners.extend(tx.sensed_by.iter());
+            for &i in &listeners {
+                let st = &mut self.stations[i];
+                debug_assert!(st.sensed > 0);
+                st.sensed -= 1;
+                if !st.channel_busy(now) {
+                    self.on_channel_idle(i);
+                }
             }
+            self.cs_scratch = listeners;
         }
         // The transmitter itself: its own channel went quiet from its side.
         if !self.stations[tx.node].channel_busy(now) {
             self.stations[tx.node].idle_since = now;
         }
+        // 7. Recycle the transmission's listener set and interferer list.
+        self.media[channel].recycle(tx);
     }
 
     fn advance_transmitter(&mut self, tx: &crate::medium::Transmission) {
@@ -1017,22 +1123,11 @@ impl Simulator {
         if self.stations[rx_node].was_transmitting_during(tx.start, tx.end) {
             return; // half-duplex
         }
-        let rx_pos = self.stations[rx_node].pos;
-        let rssi = self.faded_rssi(tx.node, rx_node as u64, tx.pos, rx_pos);
+        let rssi = self.faded_rssi(tx.node, rx_node);
         if rssi < self.config.radio.sensitivity_dbm {
             return; // out of range
         }
-        let interferers: Vec<f64> = tx
-            .interferer_pos
-            .iter()
-            .map(|&(n, p)| self.faded_rssi(n, rx_node as u64, p, rx_pos))
-            .collect();
-        let sinr = effective_sinr_db(
-            rssi,
-            &interferers,
-            self.config.radio.noise_floor_dbm,
-            processing_gain_db(tx.rate),
-        );
+        let sinr = self.station_sinr(rssi, tx, rx_node);
         let p = self
             .config
             .error
@@ -1061,22 +1156,11 @@ impl Simulator {
             if self.stations[i].was_transmitting_during(tx.start, tx.end) {
                 continue;
             }
-            let rx_pos = self.stations[i].pos;
-            let rssi = self.faded_rssi(tx.node, i as u64, tx.pos, rx_pos);
+            let rssi = self.faded_rssi(tx.node, i);
             if rssi < self.config.radio.sensitivity_dbm {
                 continue;
             }
-            let interferers: Vec<f64> = tx
-                .interferer_pos
-                .iter()
-                .map(|&(n, p)| self.faded_rssi(n, i as u64, p, rx_pos))
-                .collect();
-            let sinr = effective_sinr_db(
-                rssi,
-                &interferers,
-                self.config.radio.noise_floor_dbm,
-                processing_gain_db(tx.rate),
-            );
+            let sinr = self.station_sinr(rssi, tx, i);
             let p = self
                 .config
                 .error
@@ -1253,22 +1337,11 @@ impl Simulator {
             if self.stations[i].was_transmitting_during(tx.start, tx.end) {
                 continue;
             }
-            let rx_pos = self.stations[i].pos;
-            let rssi = self.faded_rssi(tx.node, i as u64, tx.pos, rx_pos);
+            let rssi = self.faded_rssi(tx.node, i);
             if rssi < self.config.radio.sensitivity_dbm {
                 continue;
             }
-            let interferers: Vec<f64> = tx
-                .interferer_pos
-                .iter()
-                .map(|&(n, p)| self.faded_rssi(n, i as u64, p, rx_pos))
-                .collect();
-            let sinr = effective_sinr_db(
-                rssi,
-                &interferers,
-                self.config.radio.noise_floor_dbm,
-                processing_gain_db(tx.rate),
-            );
+            let sinr = self.station_sinr(rssi, tx, i);
             let p = self
                 .config
                 .error
@@ -1291,42 +1364,47 @@ impl Simulator {
             if self.sniffers[idx].config.channel_idx != channel {
                 continue;
             }
-            let pos = self.sniffers[idx].config.pos;
             // Sniffer links get their own fade realizations, keyed past the
             // station id space, and a sniffer-specific fade scale.
             let sniffer_link = SNIFFER_LINK_BASE + idx as u64;
             let fade_scale = self.sniffers[idx].config.fade_scale;
-            let faded = |tx_node: NodeId, tx_pos: Pos| {
-                self.config.radio.rssi_dbm(tx_pos, pos)
-                    + fade_scale
-                        * self
-                            .config
-                            .radio
-                            .fading
-                            .fade_db(tx_node as u64, sniffer_link, self.now)
-            };
-            let rssi = faded(tx.node, tx.pos);
+            let rssi = self.topology.sniffer_rssi(idx, tx.node)
+                + fade_scale
+                    * self
+                        .config
+                        .radio
+                        .fading
+                        .fade_db(tx.node as u64, sniffer_link, now);
             if rssi < self.config.radio.sensitivity_dbm {
                 self.sniffers[idx].miss(MissReason::OutOfRange);
                 continue;
             }
-            let interferers: Vec<f64> = tx
-                .interferer_pos
-                .iter()
-                .map(|&(n, p)| faded(n, p))
-                .collect();
+            let mut interf = std::mem::take(&mut self.interferer_rssi);
+            interf.clear();
+            for &nid in &tx.interferers {
+                interf.push(
+                    self.topology.sniffer_rssi(idx, nid)
+                        + fade_scale
+                            * self
+                                .config
+                                .radio
+                                .fading
+                                .fade_db(nid as u64, sniffer_link, now),
+                );
+            }
             let sinr = effective_sinr_db(
                 rssi,
-                &interferers,
+                &interf,
                 self.config.radio.noise_floor_dbm,
                 processing_gain_db(tx.rate),
             );
+            self.interferer_rssi = interf;
             let p = self
                 .config
                 .error
                 .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
             if self.rng.gen::<f64>() >= p {
-                if tx.interferer_pos.is_empty() {
+                if tx.interferers.is_empty() {
                     self.sniffers[idx].stats.missed_clean += 1;
                 }
                 self.sniffers[idx].miss(MissReason::BitError);
@@ -1357,27 +1435,42 @@ impl Simulator {
         if !self.stations[node].is_ap() {
             return;
         }
-        // First evaluation only takes the baseline snapshot.
+        // First evaluation only takes the baseline snapshot (into the
+        // station's reusable snapshot buffer).
         if self.stations[node].chan_airtime_snapshot.is_empty() {
-            self.stations[node].chan_airtime_snapshot = self.chan_airtime_us.clone();
+            let snap = &mut self.stations[node].chan_airtime_snapshot;
+            snap.extend_from_slice(&self.chan_airtime_us);
             return;
         }
-        let deltas: Vec<u64> = self
-            .chan_airtime_us
-            .iter()
-            .zip(&self.stations[node].chan_airtime_snapshot)
-            .map(|(now_v, then_v)| now_v.saturating_sub(*then_v))
-            .collect();
-        self.stations[node].chan_airtime_snapshot = self.chan_airtime_us.clone();
-        let cur = self.stations[node].channel_idx;
-        let Some((best, &best_load)) = deltas.iter().enumerate().min_by_key(|&(_, load)| *load)
-        else {
-            return;
+        let (best, best_load, cur, cur_load) = {
+            let Simulator {
+                stations,
+                chan_airtime_us,
+                eval_deltas,
+                ..
+            } = self;
+            let st = &mut stations[node];
+            eval_deltas.clear();
+            eval_deltas.extend(
+                chan_airtime_us
+                    .iter()
+                    .zip(&st.chan_airtime_snapshot)
+                    .map(|(now_v, then_v)| now_v.saturating_sub(*then_v)),
+            );
+            st.chan_airtime_snapshot.copy_from_slice(chan_airtime_us);
+            let cur = st.channel_idx;
+            let Some((best, &best_load)) = eval_deltas
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, load)| *load)
+            else {
+                return;
+            };
+            (best, best_load, cur, eval_deltas[cur] as f64)
         };
         if best == cur {
             return;
         }
-        let cur_load = deltas[cur] as f64;
         if cur_load <= cm.switch_ratio * best_load as f64 + 1.0 {
             return; // not imbalanced enough
         }
@@ -1385,13 +1478,15 @@ impl Simulator {
             return; // mid-exchange; try again next interval
         }
         // Associated clients notice the beacon loss and follow.
-        let followers: Vec<NodeId> = self
-            .stations
-            .iter()
-            .filter(|s| s.associated_ap == Some(node))
-            .map(|s| s.id)
-            .collect();
-        for c in followers {
+        let mut followers = std::mem::take(&mut self.followers_scratch);
+        followers.clear();
+        followers.extend(
+            self.stations
+                .iter()
+                .filter(|s| s.associated_ap == Some(node))
+                .map(|s| s.id),
+        );
+        for &c in &followers {
             self.stations[c].associated_ap = None;
             let delay = self
                 .rng
@@ -1404,6 +1499,7 @@ impl Simulator {
                 },
             );
         }
+        self.followers_scratch = followers;
     }
 
     /// A client moves to its AP's new channel and re-associates.
@@ -1440,13 +1536,10 @@ impl Simulator {
         let now = self.now;
         // Detach from the old channel's in-flight transmissions.
         for tx in self.media[old_idx].active_mut() {
-            if let Some(p) = tx.sensed_by.iter().position(|&n| n == node) {
-                tx.sensed_by.swap_remove(p);
-                if tx.cs_applied {
-                    let st = &mut self.stations[node];
-                    debug_assert!(st.sensed > 0);
-                    st.sensed = st.sensed.saturating_sub(1);
-                }
+            if tx.sensed_by.remove(node) && tx.cs_applied {
+                let st = &mut self.stations[node];
+                debug_assert!(st.sensed > 0);
+                st.sensed = st.sensed.saturating_sub(1);
             }
         }
         // Pause any contention countdown; NAV from the old channel is void.
@@ -1457,15 +1550,21 @@ impl Simulator {
             st.use_eifs = false;
             st.channel_idx = new_idx;
         }
-        // Attach to the new channel's in-flight transmissions.
-        let pos = self.stations[node].pos;
+        self.channel_members[old_idx].remove(node);
+        self.channel_members[new_idx].insert(node);
+        // Attach to the new channel's in-flight transmissions (carrier-sense
+        // reachability comes straight from the cached topology row).
         let mut sensed_gain = 0u32;
-        for tx in self.media[new_idx].active_mut() {
-            let rssi = self.config.radio.rssi_dbm(tx.pos, pos);
-            if rssi >= self.config.radio.cs_threshold_dbm {
-                tx.sensed_by.push(node);
-                if tx.cs_applied {
-                    sensed_gain += 1;
+        {
+            let Simulator {
+                media, topology, ..
+            } = self;
+            for tx in media[new_idx].active_mut() {
+                if topology.sensed(tx.node, node) {
+                    tx.sensed_by.insert(node);
+                    if tx.cs_applied {
+                        sensed_gain += 1;
+                    }
                 }
             }
         }

@@ -1,0 +1,266 @@
+//! Cached sensing topology: pairwise RSSI and carrier-sense reachability.
+//!
+//! Station positions are fixed for the life of a scenario and
+//! [`RadioConfig::rssi_dbm`](crate::radio::RadioConfig::rssi_dbm) is a pure
+//! function of the two positions, so the per-transmission "who can sense
+//! this?" loop — O(stations) of `log10` path-loss math on every frame — can
+//! be computed once into an index-based matrix. [`SensingTopology`] holds:
+//!
+//! * the full pairwise RSSI matrix (`tx × rx`), bit-identical to calling
+//!   `rssi_dbm` afresh (it *is* the same call, memoized);
+//! * one carrier-sense row per transmitter: a bitset of the listeners whose
+//!   cached RSSI clears the CS threshold (self excluded) — a transmission's
+//!   `sensed_by` set becomes one word-wise AND with the channel-membership
+//!   bitset instead of an O(stations) float loop;
+//! * a sniffer RSSI matrix (`sniffer × tx`) for the capture path.
+//!
+//! The simulator rebuilds the cache lazily whenever the station or sniffer
+//! population changes (only possible between `run_until` calls); fading is
+//! time-varying and deliberately *not* cached — callers add the current
+//! fade on top of the cached path loss.
+
+use crate::events::NodeId;
+use crate::geometry::Pos;
+use crate::radio::RadioConfig;
+
+/// A set of node ids as a bitset. Iteration is ascending, matching the
+/// `0..stations.len()` order of the loops it replaces, so replacing a
+/// `Vec<NodeId>` built by such a loop preserves event order exactly.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// An empty set.
+    pub fn new() -> NodeSet {
+        NodeSet::default()
+    }
+
+    /// Adds `id`, growing the backing storage as needed.
+    pub fn insert(&mut self, id: NodeId) {
+        let word = id / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (id % 64);
+    }
+
+    /// Removes `id`; returns whether it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let word = id / 64;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1 << (id % 64);
+        let was = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.words
+            .get(id / 64)
+            .is_some_and(|w| w & (1 << (id % 64)) != 0)
+    }
+
+    /// Removes every element, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// True when no id is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of ids present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// The precomputed pairwise radio geometry of the current population.
+#[derive(Default)]
+pub struct SensingTopology {
+    /// Stations covered (matrix dimension).
+    n: usize,
+    /// Sniffers covered.
+    sniffers: usize,
+    /// Words per carrier-sense row.
+    wpr: usize,
+    /// Path-loss RSSI, `[tx * n + rx]`, dBm.
+    rssi: Vec<f64>,
+    /// Carrier-sense reachability rows, `wpr` words per transmitter: bit
+    /// `rx` set when `rssi[tx][rx] >= cs_threshold_dbm` and `rx != tx`.
+    sensed: Vec<u64>,
+    /// Path-loss RSSI at each sniffer, `[sniffer * n + tx]`, dBm.
+    sniffer_rssi: Vec<f64>,
+}
+
+impl SensingTopology {
+    /// True when the cache still describes a population of `stations`
+    /// stations and `sniffers` sniffers.
+    pub fn matches(&self, stations: usize, sniffers: usize) -> bool {
+        self.n == stations && self.sniffers == sniffers && (stations == 0 || !self.rssi.is_empty())
+    }
+
+    /// Recomputes the full cache for the given populations.
+    pub fn rebuild(&mut self, station_pos: &[Pos], sniffer_pos: &[Pos], radio: &RadioConfig) {
+        let n = station_pos.len();
+        self.n = n;
+        self.sniffers = sniffer_pos.len();
+        self.wpr = n.div_ceil(64).max(1);
+        self.rssi.clear();
+        self.rssi.reserve(n * n);
+        self.sensed.clear();
+        self.sensed.resize(n * self.wpr, 0);
+        for tx in 0..n {
+            for rx in 0..n {
+                let rssi = radio.rssi_dbm(station_pos[tx], station_pos[rx]);
+                self.rssi.push(rssi);
+                if rx != tx && rssi >= radio.cs_threshold_dbm {
+                    self.sensed[tx * self.wpr + rx / 64] |= 1 << (rx % 64);
+                }
+            }
+        }
+        self.sniffer_rssi.clear();
+        self.sniffer_rssi.reserve(sniffer_pos.len() * n);
+        for &sp in sniffer_pos {
+            for &tp in station_pos {
+                self.sniffer_rssi.push(radio.rssi_dbm(tp, sp));
+            }
+        }
+    }
+
+    /// Cached path-loss RSSI of the `tx → rx` station link, dBm.
+    #[inline]
+    pub fn rssi(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.rssi[tx * self.n + rx]
+    }
+
+    /// Cached path-loss RSSI of station `tx` at sniffer `sniffer`, dBm.
+    #[inline]
+    pub fn sniffer_rssi(&self, sniffer: usize, tx: NodeId) -> f64 {
+        self.sniffer_rssi[sniffer * self.n + tx]
+    }
+
+    /// Whether `rx` carrier-senses transmissions from `tx` (always false
+    /// for `rx == tx`; the row excludes self).
+    #[inline]
+    pub fn sensed(&self, tx: NodeId, rx: NodeId) -> bool {
+        self.sensed[tx * self.wpr + rx / 64] & (1 << (rx % 64)) != 0
+    }
+
+    /// Fills `out` with the stations that sense a transmission from `tx`,
+    /// restricted to `members` (the transmission channel's population):
+    /// one word-wise AND over the cached row.
+    pub fn sensed_into(&self, tx: NodeId, members: &NodeSet, out: &mut NodeSet) {
+        out.words.clear();
+        out.words.resize(self.wpr, 0);
+        let row = &self.sensed[tx * self.wpr..(tx + 1) * self.wpr];
+        for ((o, &r), &m) in out.words.iter_mut().zip(row).zip(members.words()) {
+            *o = r & m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radio() -> RadioConfig {
+        RadioConfig {
+            cs_threshold_dbm: -85.0,
+            ..RadioConfig::default()
+        }
+    }
+
+    #[test]
+    fn nodeset_insert_remove_iter() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        for id in [3usize, 64, 200, 0] {
+            s.insert(id);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 200]);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 200]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn matrix_matches_direct_computation() {
+        let radio = radio();
+        let pos: Vec<Pos> = (0..5)
+            .map(|i| Pos::new(i as f64 * 20.0, (i % 2) as f64 * 7.0))
+            .collect();
+        let mut topo = SensingTopology::default();
+        topo.rebuild(&pos, &[Pos::new(10.0, 3.0)], &radio);
+        for tx in 0..pos.len() {
+            for rx in 0..pos.len() {
+                // Bit-identical: the cache stores the same pure function's
+                // output.
+                assert_eq!(topo.rssi(tx, rx), radio.rssi_dbm(pos[tx], pos[rx]));
+                let expect = tx != rx && topo.rssi(tx, rx) >= radio.cs_threshold_dbm;
+                assert_eq!(topo.sensed(tx, rx), expect, "sensed({tx},{rx})");
+            }
+            assert_eq!(
+                topo.sniffer_rssi(0, tx),
+                radio.rssi_dbm(pos[tx], Pos::new(10.0, 3.0))
+            );
+        }
+    }
+
+    #[test]
+    fn sensed_into_masks_by_membership() {
+        let radio = radio();
+        // Three co-located stations: everyone senses everyone.
+        let pos = vec![Pos::new(0.0, 0.0), Pos::new(1.0, 0.0), Pos::new(2.0, 0.0)];
+        let mut topo = SensingTopology::default();
+        topo.rebuild(&pos, &[], &radio);
+        let mut members = NodeSet::new();
+        members.insert(0);
+        members.insert(2);
+        let mut out = NodeSet::new();
+        topo.sensed_into(0, &members, &mut out);
+        // Self is excluded by the row, node 1 by membership.
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn rebuild_tracks_population_changes() {
+        let radio = radio();
+        let mut topo = SensingTopology::default();
+        assert!(topo.matches(0, 0));
+        topo.rebuild(&[Pos::new(0.0, 0.0)], &[], &radio);
+        assert!(topo.matches(1, 0));
+        assert!(!topo.matches(2, 0));
+        assert!(!topo.matches(1, 1));
+    }
+}
