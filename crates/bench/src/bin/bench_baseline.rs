@@ -1,85 +1,141 @@
-//! Pinned perf baseline: one mid-congestion scenario, one JSON artifact.
+//! Pinned perf baselines: three scenarios, one append-only trajectory each.
 //!
-//! Runs a fixed load-ramp cell (the knee region the paper's figures live
-//! in) and writes `BENCH_sim.json` with events/s, frames/s, a peak-RSS
-//! proxy, and wall-clock, so every future PR has a number to compare
-//! against:
+//! Each *pin* is a fixed scenario (seed, scale, duration are part of the
+//! contract) whose throughput is tracked across the life of the repository
+//! in a JSON trajectory file — every blessed optimization appends an entry,
+//! so the file reads as the perf history of the simulator:
+//!
+//! * `ramp-quick`   — 48-user load ramp, 60 s (CI smoke scale) → `BENCH_sim_quick.json`
+//! * `ramp-320`     — 320-user mid-congestion ramp, 30 s       → `BENCH_sim.json`
+//! * `plenary-523`  — the paper's full IETF-62 plenary peak:
+//!   523 concurrent users at plenary activity, 30 s            → `BENCH_sim_plenary.json`
 //!
 //! ```text
-//! cargo run --release -p congestion-bench --bin bench_baseline
+//! cargo run --release -p congestion-bench --bin bench_baseline -- --pin ramp-320
 //! cargo run --release -p congestion-bench --bin bench_baseline -- \
-//!     --quick --check BENCH_sim_quick.json    # CI smoke: fail on >30% drop
+//!     --pin ramp-quick --out bench_ci.json --check BENCH_sim_quick.json
 //! ```
 //!
-//! `--check <file>` re-runs the same pinned scenario and exits non-zero if
-//! events/s fell below 70 % of the committed baseline (after verifying the
-//! baseline's scenario fingerprint matches, so a stale file can't silently
-//! gate against the wrong workload).
+//! The run uses the pipelined sim→analysis path (event loop and per-second
+//! congestion analysis overlapped on two threads; results byte-identical to
+//! the serial path — `crates/bench/tests/golden.rs` pins that down).
+//!
+//! `--check <file>` compares events/s against the *last* trajectory entry of
+//! a committed baseline and exits non-zero on a >30 % drop — after verifying
+//! the entry's scenario fingerprint (seed/users/duration/event count), so a
+//! stale file can't silently gate against the wrong workload.
 
-use congestion_bench::streaming::run_streaming;
-use ietf_workloads::load_ramp;
+use congestion_bench::streaming::run_streaming_pipelined;
+use ietf_workloads::{ietf_plenary, load_ramp, Scenario, SessionScale};
 
-/// The pinned scenario: seed and load are part of the baseline contract.
+/// The pinned scenarios: identity and scale are part of the baseline
+/// contract; changing any number here invalidates the trajectory file.
+#[derive(Clone, Copy, PartialEq)]
+enum PinName {
+    RampQuick,
+    Ramp320,
+    Plenary523,
+}
+
 struct Pin {
+    name: PinName,
     seed: u64,
     users: usize,
     duration_s: u64,
-    per_user_fps: f64,
-    quick: bool,
 }
 
 impl Pin {
-    fn new(quick: bool) -> Pin {
-        if quick {
-            // CI smoke scale: long enough that the wall-clock measurement is
-            // not dominated by startup noise, small enough for every PR.
-            Pin {
+    fn by_name(name: &str) -> Option<Pin> {
+        let pin = match name {
+            // CI smoke scale: long enough that the wall-clock measurement
+            // is not dominated by startup noise, small enough for every PR.
+            "ramp-quick" => Pin {
+                name: PinName::RampQuick,
                 seed: 11,
                 users: 48,
                 duration_s: 60,
-                per_user_fps: 1.7,
-                quick,
-            }
-        } else {
-            // Mid-congestion: dense enough that the medium saturates and the
-            // sensing loop dominates, short enough to run on every PR.
-            Pin {
+            },
+            // Mid-congestion: dense enough that the medium saturates and
+            // contention dominates, short enough to run on every PR.
+            "ramp-320" => Pin {
+                name: PinName::Ramp320,
                 seed: 11,
                 users: 320,
                 duration_s: 30,
-                per_user_fps: 1.7,
-                quick,
-            }
+            },
+            // The paper's venue at its peak: 523 concurrent users in the
+            // merged plenary ballroom (Section 2 of the paper).
+            "plenary-523" => Pin {
+                name: PinName::Plenary523,
+                seed: 11,
+                users: 523,
+                duration_s: 30,
+            },
+            _ => return None,
+        };
+        Some(pin)
+    }
+
+    fn label(&self) -> &'static str {
+        match self.name {
+            PinName::RampQuick => "ramp-quick",
+            PinName::Ramp320 => "ramp-320",
+            PinName::Plenary523 => "plenary-523",
         }
     }
 
     fn default_out(&self) -> &'static str {
-        if self.quick {
-            "BENCH_sim_quick.json"
-        } else {
-            "BENCH_sim.json"
+        match self.name {
+            PinName::RampQuick => "BENCH_sim_quick.json",
+            PinName::Ramp320 => "BENCH_sim.json",
+            PinName::Plenary523 => "BENCH_sim_plenary.json",
         }
+    }
+
+    fn build(&self) -> Scenario {
+        let mut scenario = match self.name {
+            PinName::RampQuick | PinName::Ramp320 => {
+                load_ramp(self.seed, self.users, self.duration_s, 1.7)
+            }
+            PinName::Plenary523 => ietf_plenary(SessionScale {
+                seed: self.seed,
+                users: self.users,
+                duration_s: self.duration_s,
+                activity: 3.0,
+                rts_fraction: 0.02,
+            }),
+        };
+        // Perf run: skip the ground-truth tape (it is O(frames) memory and
+        // no figure reads it here); the on-air counter still runs.
+        scenario.sim.config.record_ground_truth = false;
+        scenario
     }
 }
 
 fn main() {
-    let mut quick = false;
+    let mut pin_name = "ramp-320".to_string();
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut entry_label = "current".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
+            "--pin" => pin_name = it.next().expect("--pin needs a name"),
+            "--quick" => pin_name = "ramp-quick".to_string(),
             "--check" => check = Some(it.next().expect("--check needs a file")),
             "--out" => out = Some(it.next().expect("--out needs a file")),
+            "--label" => entry_label = it.next().expect("--label needs a string"),
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_baseline [--quick] [--out FILE] [--check BASELINE]\n\
+                    "usage: bench_baseline [--pin NAME] [--label L] [--out FILE] [--check BASELINE]\n\
                      \n\
-                     Runs the pinned mid-congestion scenario and writes a perf\n\
-                     baseline JSON (default BENCH_sim.json; BENCH_sim_quick.json\n\
-                     with --quick). --check compares events/s against a committed\n\
-                     baseline and exits 1 on a >30% regression."
+                     Pins: ramp-quick (48u/60s), ramp-320 (320u/30s, default),\n\
+                     plenary-523 (523u plenary/30s). Runs the pinned scenario on\n\
+                     the pipelined sim->analysis path and appends one entry\n\
+                     (tagged --label) to the pin's trajectory JSON (default\n\
+                     BENCH_sim[_quick|_plenary].json). --quick = --pin ramp-quick.\n\
+                     --check compares events/s against the last entry of a\n\
+                     committed trajectory and exits 1 on a >30% regression."
                 );
                 return;
             }
@@ -90,65 +146,80 @@ fn main() {
         }
     }
 
-    let pin = Pin::new(quick);
+    let Some(pin) = Pin::by_name(&pin_name) else {
+        eprintln!("error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523)");
+        std::process::exit(2);
+    };
     let out = out.unwrap_or_else(|| pin.default_out().to_string());
-
-    let mut scenario = load_ramp(pin.seed, pin.users, pin.duration_s, pin.per_user_fps);
-    // Perf run: skip the ground-truth tape (it is O(frames) memory and no
-    // figure reads it here); the on-air counter still runs.
-    scenario.sim.config.record_ground_truth = false;
+    // Read the check baseline *before* writing anything, so `--out` and
+    // `--check` may name the same trajectory file.
+    let baseline = check.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        })
+    });
 
     let start = std::time::Instant::now();
-    let run = run_streaming(scenario, 1_000_000);
+    let run = run_streaming_pipelined(pin.build(), 1_000_000);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let events_per_sec = run.events_processed as f64 / (wall_ms / 1e3).max(1e-9);
     let frames_per_sec = run.frames_on_air as f64 / (wall_ms / 1e3).max(1e-9);
     let seconds_analyzed: usize = run.per_sniffer_seconds.iter().map(|s| s.len()).sum();
 
-    let json = format!(
-        "{{\n  \"scenario\": \"ramp\",\n  \"quick\": {},\n  \"seed\": {},\n  \
-         \"users\": {},\n  \"duration_s\": {},\n  \"per_user_fps\": {},\n  \
-         \"events\": {},\n  \"frames_on_air\": {},\n  \"seconds_analyzed\": {},\n  \
-         \"wall_ms\": {:.1},\n  \"events_per_sec\": {:.0},\n  \
-         \"frames_per_sec\": {:.0},\n  \"peak_rss_kb\": {}\n}}\n",
-        pin.quick,
+    let entry = format!(
+        "    {{\"label\": \"{}\", \"pin\": \"{}\", \"seed\": {}, \"users\": {}, \
+         \"duration_s\": {}, \"events\": {}, \"frames_on_air\": {}, \
+         \"seconds_analyzed\": {}, \"queue_pushed\": {}, \"queue_popped\": {}, \
+         \"queue_stale_dropped\": {}, \"queue_cascaded\": {}, \"wall_ms\": {:.1}, \
+         \"events_per_sec\": {:.0}, \"frames_per_sec\": {:.0}, \"peak_rss_kb\": {}}}",
+        entry_label.replace(['"', '\\'], "_"),
+        pin.label(),
         pin.seed,
         pin.users,
         pin.duration_s,
-        pin.per_user_fps,
         run.events_processed,
         run.frames_on_air,
         seconds_analyzed,
+        run.queue.pushed,
+        run.queue.popped,
+        run.queue.stale_dropped,
+        run.queue.cascaded,
         wall_ms,
         events_per_sec,
         frames_per_sec,
         peak_rss_kb(),
     );
-    std::fs::write(&out, &json).unwrap_or_else(|e| {
+    if let Err(e) = append_entry(&out, pin.label(), &entry) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
-    });
+    }
     eprintln!(
-        "bench_baseline: {} events in {:.1} ms -> {:.0} events/s, {:.0} frames/s ({out})",
-        run.events_processed, wall_ms, events_per_sec, frames_per_sec
+        "bench_baseline[{}]: {} events in {:.1} ms -> {:.0} events/s, {:.0} frames/s ({out})",
+        pin.label(),
+        run.events_processed,
+        wall_ms,
+        events_per_sec,
+        frames_per_sec
     );
 
-    if let Some(baseline_path) = check {
-        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+    if let Some(baseline) = baseline {
+        let baseline_path = check.as_deref().unwrap_or("");
+        let entry = last_entry(&baseline).unwrap_or_else(|| {
+            eprintln!("error: baseline {baseline_path} has no trajectory entries");
             std::process::exit(1);
         });
         // The fingerprint fields must match — a baseline from a different
-        // pinned scenario would make the ratio meaningless.
+        // pinned scenario (or a semantics-changing build) would make the
+        // throughput ratio meaningless.
         for (field, want) in [
             ("seed", pin.seed as f64),
             ("users", pin.users as f64),
             ("duration_s", pin.duration_s as f64),
-            ("per_user_fps", pin.per_user_fps),
             ("events", run.events_processed as f64),
         ] {
-            let got = json_number(&baseline, field).unwrap_or_else(|| {
+            let got = json_number(entry, field).unwrap_or_else(|| {
                 eprintln!("error: baseline {baseline_path} missing field {field:?}");
                 std::process::exit(1);
             });
@@ -160,7 +231,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        let base_eps = json_number(&baseline, "events_per_sec").unwrap_or_else(|| {
+        let base_eps = json_number(entry, "events_per_sec").unwrap_or_else(|| {
             eprintln!("error: baseline {baseline_path} missing events_per_sec");
             std::process::exit(1);
         });
@@ -181,9 +252,34 @@ fn main() {
     }
 }
 
-/// Pulls a numeric field out of the flat baseline JSON (no serde in the
-/// offline workspace; the file is machine-written, one `"key": value` pair
-/// per line).
+/// Appends `entry` to the trajectory array in `path`, creating the document
+/// if the file does not exist (or predates the trajectory format). Entries
+/// are one line each, so the line-oriented field scanner below stays valid.
+fn append_entry(path: &str, pin_label: &str, entry: &str) -> std::io::Result<()> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.contains("\"trajectory\"") => {
+            let end = existing.rfind("\n  ]").ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{path}: trajectory array terminator not found"),
+                )
+            })?;
+            format!("{},\n{}{}", &existing[..end], entry, &existing[end..])
+        }
+        _ => format!("{{\n  \"pin\": \"{pin_label}\",\n  \"trajectory\": [\n{entry}\n  ]\n}}\n"),
+    };
+    std::fs::write(path, doc)
+}
+
+/// The last trajectory entry line (entries are one `{...}` per line).
+fn last_entry(json: &str) -> Option<&str> {
+    json.lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{') && l.contains("\"events\""))
+}
+
+/// Pulls a numeric field out of a flat JSON fragment (no serde in the
+/// offline workspace; the files are machine-written `"key": value` pairs).
 fn json_number(json: &str, field: &str) -> Option<f64> {
     let needle = format!("\"{field}\":");
     let rest = &json[json.find(&needle)? + needle.len()..];

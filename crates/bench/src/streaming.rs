@@ -8,11 +8,25 @@
 //! trace into its [`SecondAccumulator`] after every chunk, and returns the
 //! finished per-second statistics: peak memory is O(chunk + seconds), however
 //! long the run.
+//!
+//! [`run_streaming_pipelined`] additionally overlaps the two: the event loop
+//! stays on the calling thread and hands each chunk's captured frames
+//! through a bounded SPSC channel to an analysis thread folding them into
+//! the accumulators. Frame order through the channel is exactly the drain
+//! order of the serial path, so the results are byte-identical — the only
+//! difference is that analysis of chunk *n* runs while chunk *n + 1*
+//! simulates.
 
 use congestion::persec::{SecondAccumulator, SecondStats};
 use ietf_workloads::Scenario;
+use wifi_frames::record::FrameRecord;
 use wifi_frames::timing::Micros;
+use wifi_sim::events::QueueStats;
 use wifi_sim::sniffer::SnifferStats;
+use wifi_sim::spsc;
+
+/// Chunks buffered in the sim→analysis channel before the producer blocks.
+const PIPELINE_DEPTH: usize = 4;
 
 /// What a streaming run yields: the analysis, plus the counters the run
 /// reports and perf baselines need. Raw traces are intentionally absent —
@@ -30,6 +44,8 @@ pub struct StreamedRun {
     pub events_processed: u64,
     /// Ground-truth transmission count (independent of trace recording).
     pub frames_on_air: u64,
+    /// Event-queue churn counters (pushed/popped/stale-dropped/cascaded).
+    pub queue: QueueStats,
 }
 
 /// Runs `scenario` to completion in `chunk_us` steps, folding captured
@@ -59,6 +75,63 @@ pub fn run_streaming(mut scenario: Scenario, chunk_us: Micros) -> StreamedRun {
         medium_stats: scenario.sim.medium_stats(),
         events_processed: scenario.sim.events_processed(),
         frames_on_air: scenario.sim.ground_truth.transmissions,
+        queue: scenario.sim.queue_stats(),
+    }
+}
+
+/// [`run_streaming`] with simulation and analysis overlapped on two threads.
+///
+/// The simulator (which is not `Send` and never migrates) runs chunks on the
+/// calling thread; after each chunk the captured frames are drained into a
+/// per-sniffer batch and sent through a bounded [`spsc`] channel to a scoped
+/// analysis thread that folds them into the [`SecondAccumulator`]s. Every
+/// frame reaches its accumulator in the same order as the serial path, so
+/// the returned [`StreamedRun`] is byte-identical to `run_streaming`'s; the
+/// channel bound keeps at most `PIPELINE_DEPTH` (4) chunks of frames alive.
+pub fn run_streaming_pipelined(mut scenario: Scenario, chunk_us: Micros) -> StreamedRun {
+    let chunk_us = chunk_us.max(1);
+    let n_sniffers = scenario.sim.sniffers().len();
+    let (tx, rx) = spsc::channel::<Vec<Vec<FrameRecord>>>(PIPELINE_DEPTH);
+    let per_sniffer_seconds = std::thread::scope(|scope| {
+        let consumer = scope.spawn(move || {
+            let mut accs: Vec<SecondAccumulator> =
+                (0..n_sniffers).map(|_| SecondAccumulator::new()).collect();
+            while let Some(chunk) = rx.recv() {
+                for (records, acc) in chunk.into_iter().zip(&mut accs) {
+                    for record in records {
+                        acc.push(record);
+                    }
+                }
+            }
+            accs.into_iter()
+                .map(SecondAccumulator::finish)
+                .collect::<Vec<_>>()
+        });
+        let mut now: Micros = 0;
+        while now < scenario.duration_us {
+            now = (now + chunk_us).min(scenario.duration_us);
+            scenario.sim.run_until(now);
+            let chunk: Vec<Vec<FrameRecord>> = scenario
+                .sim
+                .sniffers_mut()
+                .iter_mut()
+                .map(|s| s.trace.drain(..).collect())
+                .collect();
+            if tx.send(chunk).is_err() {
+                break; // consumer died; its join below propagates the panic
+            }
+        }
+        drop(tx);
+        consumer.join().expect("analysis thread panicked")
+    });
+    StreamedRun {
+        name: scenario.name,
+        per_sniffer_seconds,
+        sniffer_stats: scenario.sim.sniffers().iter().map(|s| s.stats).collect(),
+        medium_stats: scenario.sim.medium_stats(),
+        events_processed: scenario.sim.events_processed(),
+        frames_on_air: scenario.sim.ground_truth.transmissions,
+        queue: scenario.sim.queue_stats(),
     }
 }
 
@@ -87,6 +160,31 @@ mod tests {
             assert_eq!(seconds.len(), expect.len());
             for (got, want) in seconds.iter().zip(&expect) {
                 assert_eq!(format!("{got:?}"), format!("{want:?}"));
+            }
+        }
+    }
+
+    /// The pipelined path must be byte-identical to the serial streaming
+    /// path: same analysis, same counters, whatever the chunk size.
+    #[test]
+    fn pipelined_matches_serial_streaming() {
+        for chunk_us in [750_000u64, 5_000_000] {
+            let serial = run_streaming(load_ramp(7, 8, 6, 1.5), chunk_us);
+            let piped = run_streaming_pipelined(load_ramp(7, 8, 6, 1.5), chunk_us);
+            assert_eq!(piped.events_processed, serial.events_processed);
+            assert_eq!(piped.frames_on_air, serial.frames_on_air);
+            assert_eq!(piped.medium_stats, serial.medium_stats);
+            assert_eq!(piped.queue, serial.queue);
+            assert_eq!(
+                format!("{:?}", piped.sniffer_stats),
+                format!("{:?}", serial.sniffer_stats)
+            );
+            for (p, s) in piped
+                .per_sniffer_seconds
+                .iter()
+                .zip(&serial.per_sniffer_seconds)
+            {
+                assert_eq!(format!("{p:?}"), format!("{s:?}"));
             }
         }
     }

@@ -137,6 +137,11 @@ impl Cell {
             build: Box::new(build),
         }
     }
+
+    /// Builds a fresh scenario instance for this cell.
+    pub fn build_scenario(&self) -> Scenario {
+        (self.build)()
+    }
 }
 
 /// Runs the cells on `args.threads` workers and returns their results in
@@ -161,6 +166,7 @@ pub fn run_cells(
             wall_ms,
             events: result.events_processed,
             frames_on_air: result.frames_on_air,
+            queue: result.queue,
             frames_captured: result.sniffer_stats.iter().map(|s| s.captured).sum(),
             frames_missed: result
                 .sniffer_stats

@@ -18,6 +18,7 @@
 //! golden` — but only when a change is *supposed* to alter simulated output;
 //! a perf PR that needs a re-bless is a broken perf PR.
 
+use congestion_bench::streaming::{run_streaming, run_streaming_pipelined};
 use congestion_bench::{run_cells, Cell, SweepArgs};
 use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, ScenarioResult, SessionScale};
 
@@ -158,4 +159,42 @@ fn output_matches_preoptimization_goldens_across_threads() {
         "simulated output drifted from the pre-optimization goldens; if the \
          change is meant to alter results, re-bless with GOLDEN_BLESS=1"
     );
+}
+
+/// The pipelined sim→analysis path must match the serial streaming path
+/// byte-for-byte on the golden cell set — same per-second statistics, same
+/// counters — and both must match the batch `Scenario::run` denominators.
+#[test]
+fn pipelined_streaming_matches_serial_on_golden_cells() {
+    for cell in golden_cells() {
+        let batch = cell.build_scenario().run();
+        let serial = run_streaming(cell.build_scenario(), 1_000_000);
+        let piped = run_streaming_pipelined(cell.build_scenario(), 1_000_000);
+        assert_eq!(
+            piped.events_processed, serial.events_processed,
+            "{}: pipelined event count diverged",
+            cell.label
+        );
+        assert_eq!(piped.frames_on_air, serial.frames_on_air, "{}", cell.label);
+        assert_eq!(piped.medium_stats, serial.medium_stats, "{}", cell.label);
+        assert_eq!(piped.queue, serial.queue, "{}", cell.label);
+        assert_eq!(
+            format!("{:?}", piped.sniffer_stats),
+            format!("{:?}", serial.sniffer_stats),
+            "{}",
+            cell.label
+        );
+        assert_eq!(
+            format!("{:?}", piped.per_sniffer_seconds),
+            format!("{:?}", serial.per_sniffer_seconds),
+            "{}: pipelined per-second analysis diverged",
+            cell.label
+        );
+        assert_eq!(
+            serial.events_processed, batch.events_processed,
+            "{}",
+            cell.label
+        );
+        assert_eq!(serial.frames_on_air, batch.frames_on_air, "{}", cell.label);
+    }
 }

@@ -1,18 +1,45 @@
-//! Deterministic discrete-event queue.
+//! Deterministic discrete-event queue on a hierarchical timing wheel.
 //!
 //! Events at equal timestamps pop in insertion order (a monotone sequence
 //! number breaks ties), so a simulation is a pure function of its
-//! configuration and seed.
+//! configuration and seed. The original implementation was one global
+//! `BinaryHeap`; at plenary scale the scheduler itself became the hot path —
+//! every DIFS/backoff/SIFS/NAV re-arm paid an O(log n) sift against a heap
+//! inflated by dead generation-mismatched timers. The wheel replaces that
+//! with O(1) bucket pushes and batched, cache-friendly pops:
+//!
+//! * **Near future** (one 65.536 ms window of 4096 × 16 µs slots): an event
+//!   is appended to its slot's FIFO bucket. Pops drain one slot at a time
+//!   into a scratch buffer, stable-sorted by timestamp — stability preserves
+//!   the sequence-number tie-break, so the pop stream is byte-identical to
+//!   the heap's `(time, seq)` order.
+//! * **Far future**: events overflow to a sorted spill level (a `BTreeMap`
+//!   keyed by timestamp) and cascade into the wheel, at most once each, when
+//!   their window arrives. An empty wheel jumps straight to the spill's
+//!   first window instead of revolving through idle time.
+//! * **Timers** ([`EventQueue::arm_timer`]): each node has at most one live
+//!   contention timer, tracked in a per-node slot. Re-arming overwrites the
+//!   slot — the previous entry is physically removed instead of lingering as
+//!   a dead heap entry — and [`EventQueue::cancel_timer`] drops it outright.
+//!   Cancelled fire times are kept in a tiny min-heap of "ghosts" so
+//!   [`EventQueue::drain_ghosts`] can reproduce the historical
+//!   events-processed denominator exactly (committed perf baselines
+//!   fingerprint it); see the method docs.
+//!
+//! Queue churn is observable through [`EventQueue::stats`]:
+//! pushed/popped/stale-dropped/cascaded counters that run reports surface
+//! per cell.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 use wifi_frames::timing::Micros;
 
 /// Identifies a node (station, AP, or sniffer) inside one simulation.
 pub type NodeId = usize;
 
-/// Timer kinds a station can arm. Stale timers are ignored via the
-/// generation counter carried alongside.
+/// Timer kinds a station can arm. Contention timers (the first four) are
+/// cancellable: arming via [`EventQueue::arm_timer`] overwrites the node's
+/// single timer slot. `SifsResponse` and `NavExpired` are condition-validated
+/// plain events and may coexist with a contention timer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TimerKind {
     /// DIFS (or EIFS) wait finished; begin or resume backoff countdown.
@@ -27,6 +54,19 @@ pub enum TimerKind {
     AckTimeout,
     /// NAV expired.
     NavExpired,
+}
+
+impl TimerKind {
+    /// Whether this kind lives in the node's cancellable timer slot.
+    pub fn is_cancellable(self) -> bool {
+        matches!(
+            self,
+            TimerKind::DeferDone
+                | TimerKind::BackoffDone
+                | TimerKind::CtsTimeout
+                | TimerKind::AckTimeout
+        )
+    }
 }
 
 /// A simulation event.
@@ -50,7 +90,8 @@ pub enum Event {
         tx_id: u64,
     },
     /// A station timer fires. `gen` must match the station's current timer
-    /// generation or the event is stale and dropped.
+    /// generation or the event is stale and dropped (for cancellable kinds
+    /// this is a belt-and-braces check — the queue removes them eagerly).
     Timer {
         /// The station.
         node: NodeId,
@@ -101,67 +142,407 @@ pub enum Event {
     },
 }
 
-#[derive(PartialEq, Eq)]
+/// Queue-churn counters, surfaced per sweep cell through run reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events inserted (plain pushes and timer arms).
+    pub pushed: u64,
+    /// Events delivered to the simulator.
+    pub popped: u64,
+    /// Timers dropped at cancellation/re-arm time instead of popping dead.
+    pub stale_dropped: u64,
+    /// Far-future events cascaded from the spill level into the wheel.
+    pub cascaded: u64,
+}
+
+/// Width of one wheel slot, as a power-of-two shift (16 µs).
+const SLOT_SHIFT: u32 = 4;
+/// Number of slots per wheel window (must be a power of two).
+const NUM_SLOTS: usize = 4096;
+/// Shift from a timestamp to its window index.
+const WINDOW_SHIFT: u32 = SLOT_SHIFT + NUM_SLOTS.trailing_zeros();
+/// Span of one wheel window in microseconds (65.536 ms).
+const WINDOW_US: Micros = (NUM_SLOTS as Micros) << SLOT_SHIFT;
+
+#[derive(Clone, Copy, Debug)]
 struct Entry {
     at: Micros,
     seq: u64,
     event: Event,
+    /// Tombstone: cancelled while already drained into the scratch buffer.
+    dead: bool,
 }
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// A node's armed cancellable timer: enough to locate the entry for removal.
+#[derive(Clone, Copy)]
+struct ArmedTimer {
+    seq: u64,
+    at: Micros,
 }
 
 /// The event queue.
-#[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    /// The wheel: fixed-width FIFO buckets covering one window.
+    slots: Vec<Vec<Entry>>,
+    /// One bit per slot; makes "next non-empty slot" a few word scans.
+    occupancy: Vec<u64>,
+    /// Start time of `slots[0]` in the current window (window-aligned).
+    wheel_base: Micros,
+    /// Next slot index to drain.
+    cursor: usize,
+    /// Live entries resident in the wheel.
+    wheel_len: usize,
+    /// The drained slot, sorted by `(at, seq)`, consumed from `current_pos`.
+    current: Vec<Entry>,
+    current_pos: usize,
+    /// Exclusive upper bound of the drained region: pushes below it merge
+    /// into `current`, keeping the pop stream totally ordered.
+    current_end: Micros,
+    /// Far-future overflow, keyed by timestamp; each value vec is in
+    /// insertion (sequence) order.
+    spill: BTreeMap<Micros, Vec<Entry>>,
+    spill_len: usize,
+    /// Per-node armed cancellable timer.
+    armed: Vec<Option<ArmedTimer>>,
+    /// Fire times of cancelled timers, for events-processed parity (see
+    /// [`EventQueue::drain_ghosts`]). Unordered: timers are short-lived, so
+    /// nearly every ghost is swept by the next drain — a flat retain scan
+    /// beats heap sifts on the ~⅓ of pushes that end up cancelled.
+    ghosts: Vec<Micros>,
     next_seq: u64,
+    /// Live entries (excludes tombstones).
+    live: usize,
+    /// Physical entries (includes tombstones not yet skipped).
+    raw: usize,
+    stats: QueueStats,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        Self::default()
+        EventQueue {
+            slots: (0..NUM_SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: vec![0u64; NUM_SLOTS / 64],
+            wheel_base: 0,
+            cursor: 0,
+            wheel_len: 0,
+            current: Vec::new(),
+            current_pos: 0,
+            current_end: 0,
+            spill: BTreeMap::new(),
+            spill_len: 0,
+            armed: Vec::new(),
+            ghosts: Vec::new(),
+            next_seq: 0,
+            live: 0,
+            raw: 0,
+            stats: QueueStats::default(),
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
     pub fn push(&mut self, at: Micros, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.stats.pushed += 1;
+        self.insert(Entry {
+            at,
+            seq,
+            event,
+            dead: false,
+        });
+    }
+
+    /// Arms `node`'s single cancellable timer at `at`, overwriting (and
+    /// physically removing) any previously armed one.
+    pub fn arm_timer(&mut self, node: NodeId, gen: u64, kind: TimerKind, at: Micros) {
+        debug_assert!(kind.is_cancellable());
+        self.cancel_timer(node);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.pushed += 1;
+        if self.armed.len() <= node {
+            self.armed.resize(node + 1, None);
+        }
+        self.armed[node] = Some(ArmedTimer { seq, at });
+        self.insert(Entry {
+            at,
+            seq,
+            event: Event::Timer { node, gen, kind },
+            dead: false,
+        });
+    }
+
+    /// Cancels `node`'s armed timer, removing its entry from the queue. The
+    /// fire time is recorded as a ghost so the events-processed denominator
+    /// stays identical to the lazy-deletion scheme this replaced.
+    pub fn cancel_timer(&mut self, node: NodeId) {
+        let Some(timer) = self.armed.get_mut(node).and_then(Option::take) else {
+            return;
+        };
+        self.stats.stale_dropped += 1;
+        self.live -= 1;
+        self.ghosts.push(timer.at);
+        if timer.at < self.current_end {
+            // Already drained: tombstone in place so consume indices hold.
+            for e in self.current[self.current_pos..].iter_mut() {
+                if e.seq == timer.seq {
+                    e.dead = true;
+                    return;
+                }
+            }
+            unreachable!("armed timer not found in drained buffer");
+        } else if timer.at < self.wheel_base + WINDOW_US {
+            let idx = ((timer.at - self.wheel_base) >> SLOT_SHIFT) as usize;
+            let slot = &mut self.slots[idx];
+            let pos = slot
+                .iter()
+                .position(|e| e.seq == timer.seq)
+                .expect("armed timer not found in wheel slot");
+            slot.remove(pos);
+            if slot.is_empty() {
+                self.occupancy[idx >> 6] &= !(1u64 << (idx & 63));
+            }
+            self.wheel_len -= 1;
+            self.raw -= 1;
+        } else {
+            let entries = self
+                .spill
+                .get_mut(&timer.at)
+                .expect("armed timer not found in spill");
+            let pos = entries
+                .iter()
+                .position(|e| e.seq == timer.seq)
+                .expect("armed timer not found in spill bucket");
+            entries.remove(pos);
+            if entries.is_empty() {
+                self.spill.remove(&timer.at);
+            }
+            self.spill_len -= 1;
+            self.raw -= 1;
+        }
+    }
+
+    fn insert(&mut self, e: Entry) {
+        self.live += 1;
+        self.raw += 1;
+        if e.at < self.current_end {
+            // The drained region: merge at the entry's (at, seq) position,
+            // never before the consume cursor.
+            let pos = self.current_pos
+                + self.current[self.current_pos..]
+                    .partition_point(|x| (x.at, x.seq) <= (e.at, e.seq));
+            self.current.insert(pos, e);
+        } else if e.at < self.wheel_base + WINDOW_US {
+            let idx = ((e.at - self.wheel_base) >> SLOT_SHIFT) as usize;
+            self.slots[idx].push(e);
+            self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+        } else {
+            self.spill.entry(e.at).or_default().push(e);
+            self.spill_len += 1;
+        }
+    }
+
+    /// Moves every spill entry belonging to the current window into its
+    /// wheel slot. Called once per window advance, so each far-future event
+    /// cascades at most once.
+    fn cascade_window(&mut self) {
+        let window_end = self.wheel_base + WINDOW_US;
+        match self.spill.keys().next() {
+            Some(&first) if first < window_end => {}
+            _ => return,
+        }
+        let rest = self.spill.split_off(&window_end);
+        let take = std::mem::replace(&mut self.spill, rest);
+        for (at, entries) in take {
+            let idx = ((at - self.wheel_base) >> SLOT_SHIFT) as usize;
+            let n = entries.len();
+            self.slots[idx].extend(entries);
+            self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += n;
+            self.spill_len -= n;
+            self.stats.cascaded += n as u64;
+        }
+    }
+
+    /// The first occupied slot at or after `cursor`, via the bitmap.
+    fn next_occupied_slot(&self) -> Option<usize> {
+        let mut word_idx = self.cursor >> 6;
+        if word_idx >= self.occupancy.len() {
+            return None;
+        }
+        let mut word = self.occupancy[word_idx] & (!0u64 << (self.cursor & 63));
+        loop {
+            if word != 0 {
+                return Some((word_idx << 6) + word.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            if word_idx >= self.occupancy.len() {
+                return None;
+            }
+            word = self.occupancy[word_idx];
+        }
+    }
+
+    /// Ensures `current[current_pos]` is the earliest live entry, draining
+    /// slots, advancing windows, and cascading the spill as needed. Returns
+    /// false when the queue is empty.
+    fn prepare_next(&mut self) -> bool {
+        loop {
+            while self.current_pos < self.current.len() {
+                if self.current[self.current_pos].dead {
+                    self.current_pos += 1;
+                    self.raw -= 1;
+                } else {
+                    return true;
+                }
+            }
+            self.current.clear();
+            self.current_pos = 0;
+            if self.live == 0 {
+                return false;
+            }
+            if self.wheel_len == 0 {
+                // Nothing in this window: jump straight to the spill's first
+                // window instead of revolving through idle time.
+                let &first = self.spill.keys().next().expect("live entries exist");
+                self.wheel_base = (first >> WINDOW_SHIFT) << WINDOW_SHIFT;
+                self.cursor = 0;
+                self.current_end = self.wheel_base;
+                self.cascade_window();
+            }
+            match self.next_occupied_slot() {
+                Some(s) => {
+                    std::mem::swap(&mut self.current, &mut self.slots[s]);
+                    self.occupancy[s >> 6] &= !(1u64 << (s & 63));
+                    self.wheel_len -= self.current.len();
+                    // Stable sort: equal timestamps keep insertion (seq)
+                    // order, reproducing the heap's (time, seq) tie-break.
+                    self.current.sort_by_key(|e| e.at);
+                    self.cursor = s + 1;
+                    self.current_end = self.wheel_base + (((s + 1) as Micros) << SLOT_SHIFT);
+                }
+                None => {
+                    self.wheel_base += WINDOW_US;
+                    self.cursor = 0;
+                    self.current_end = self.wheel_base;
+                    self.cascade_window();
+                }
+            }
+        }
+    }
+
+    /// Clears the armed-timer slot when its entry is delivered.
+    #[inline]
+    fn note_materialized(&mut self, e: &Entry) {
+        if let Event::Timer { node, kind, .. } = e.event {
+            if kind.is_cancellable() {
+                if let Some(Some(t)) = self.armed.get(node) {
+                    if t.seq == e.seq {
+                        self.armed[node] = None;
+                    }
+                }
+            }
+        }
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(Micros, Event)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        if !self.prepare_next() {
+            return None;
+        }
+        let e = self.current[self.current_pos];
+        self.current_pos += 1;
+        self.live -= 1;
+        self.raw -= 1;
+        self.stats.popped += 1;
+        self.note_materialized(&e);
+        Some((e.at, e.event))
+    }
+
+    /// Pops every event sharing the earliest timestamp, provided that
+    /// timestamp is `<= until`, appending them to `out` in sequence order.
+    /// Returns the batch timestamp, or `None` (touching nothing) when the
+    /// queue is empty or the next event is later than `until`. Events pushed
+    /// at the same timestamp *during* batch processing carry higher sequence
+    /// numbers, so re-calling yields them as a follow-up batch — identical
+    /// to one-at-a-time popping.
+    pub fn pop_batch(&mut self, until: Micros, out: &mut Vec<Event>) -> Option<Micros> {
+        if !self.prepare_next() {
+            return None;
+        }
+        let at = self.current[self.current_pos].at;
+        if at > until {
+            return None;
+        }
+        while self.current_pos < self.current.len() {
+            let e = self.current[self.current_pos];
+            if e.dead {
+                self.current_pos += 1;
+                self.raw -= 1;
+                continue;
+            }
+            if e.at != at {
+                break;
+            }
+            self.current_pos += 1;
+            self.live -= 1;
+            self.raw -= 1;
+            self.stats.popped += 1;
+            self.note_materialized(&e);
+            out.push(e.event);
+        }
+        Some(at)
     }
 
     /// The timestamp of the next event without removing it.
-    pub fn peek_time(&self) -> Option<Micros> {
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<Micros> {
+        if !self.prepare_next() {
+            return None;
+        }
+        Some(self.current[self.current_pos].at)
     }
 
-    /// Number of pending events.
+    /// Counts (and forgets) cancelled timers whose fire time is `<= now`.
+    ///
+    /// Under lazy deletion these entries would have popped as stale events
+    /// and been counted into the simulator's events-processed figure — the
+    /// denominator committed perf baselines fingerprint. Eager cancellation
+    /// removes the entries; this hands the simulator the exact count the
+    /// lazy scheme would have produced by the time `now` is reached.
+    pub fn drain_ghosts(&mut self, now: Micros) -> u64 {
+        let before = self.ghosts.len();
+        self.ghosts.retain(|&t| t > now);
+        (before - self.ghosts.len()) as u64
+    }
+
+    /// Physical entries present, including cancelled-but-unskipped
+    /// tombstones in the drained buffer. Under the heap this also counted
+    /// dead generation-mismatched timers; see [`EventQueue::live_len`].
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.raw
     }
 
-    /// True when no events remain.
+    /// Pending events that will actually be delivered.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Churn counters since construction.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -202,5 +583,123 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_spills_and_cascades_in_order() {
+        let mut q = EventQueue::new();
+        // Far beyond the first window, interleaved with near events.
+        q.push(10 * WINDOW_US + 7, Event::BeaconDue { node: 4 });
+        q.push(3, Event::BeaconDue { node: 1 });
+        q.push(WINDOW_US + 1, Event::BeaconDue { node: 3 });
+        q.push(WINDOW_US - 1, Event::BeaconDue { node: 2 });
+        q.push(40 * WINDOW_US, Event::BeaconDue { node: 5 });
+        let order: Vec<(Micros, NodeId)> = std::iter::from_fn(|| {
+            q.pop().map(|(t, e)| match e {
+                Event::BeaconDue { node } => (t, node),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(
+            order,
+            vec![
+                (3, 1),
+                (WINDOW_US - 1, 2),
+                (WINDOW_US + 1, 3),
+                (10 * WINDOW_US + 7, 4),
+                (40 * WINDOW_US, 5),
+            ]
+        );
+        assert!(q.stats().cascaded >= 3);
+    }
+
+    #[test]
+    fn push_into_drained_region_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::BeaconDue { node: 1 });
+        q.push(9, Event::BeaconDue { node: 3 });
+        assert_eq!(q.pop().map(|(t, _)| t), Some(5));
+        // 5 and 9 share the 16 µs slot, already drained; a push at 7 must
+        // still pop before 9.
+        q.push(7, Event::BeaconDue { node: 2 });
+        assert_eq!(q.pop().map(|(t, _)| t), Some(7));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(9));
+    }
+
+    #[test]
+    fn rearm_overwrites_and_cancel_removes() {
+        let mut q = EventQueue::new();
+        q.arm_timer(2, 1, TimerKind::DeferDone, 100);
+        assert_eq!((q.len(), q.live_len()), (1, 1));
+        // Re-arm: the old entry is gone, not lingering as a dead one.
+        q.arm_timer(2, 2, TimerKind::BackoffDone, 300);
+        assert_eq!((q.len(), q.live_len()), (1, 1));
+        assert_eq!(q.stats().stale_dropped, 1);
+        q.cancel_timer(2);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // Ghosts reproduce the lazy-deletion pop count: both cancelled
+        // timers would have popped (stale) by t=300.
+        assert_eq!(q.drain_ghosts(99), 0);
+        assert_eq!(q.drain_ghosts(300), 2);
+        assert_eq!(q.drain_ghosts(1_000_000), 0);
+    }
+
+    #[test]
+    fn cancel_finds_entries_in_every_region() {
+        let mut q = EventQueue::new();
+        // Spill region.
+        q.arm_timer(0, 1, TimerKind::AckTimeout, 5 * WINDOW_US);
+        q.cancel_timer(0);
+        assert!(q.is_empty());
+        // Wheel region.
+        q.arm_timer(0, 2, TimerKind::AckTimeout, 50);
+        q.cancel_timer(0);
+        assert!(q.is_empty());
+        // Drained (current) region: same slot as an already-popped event.
+        q.push(3, Event::BeaconDue { node: 9 });
+        q.arm_timer(0, 3, TimerKind::AckTimeout, 4);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(3));
+        q.cancel_timer(0);
+        assert_eq!(q.live_len(), 0);
+        assert!(q.len() > 0, "tombstone still physically present");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0, "tombstone reclaimed on pop");
+    }
+
+    #[test]
+    fn batch_pop_returns_equal_timestamp_runs() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::UserJoin { node: 0 });
+        q.push(10, Event::UserJoin { node: 1 });
+        q.push(20, Event::UserJoin { node: 2 });
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(100, &mut out), Some(10));
+        assert_eq!(
+            out,
+            vec![Event::UserJoin { node: 0 }, Event::UserJoin { node: 1 }]
+        );
+        out.clear();
+        // Bounded by `until`: nothing at 20 is touched.
+        assert_eq!(q.pop_batch(15, &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(q.pop_batch(20, &mut out), Some(20));
+        assert_eq!(out, vec![Event::UserJoin { node: 2 }]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_account_for_all_flows() {
+        let mut q = EventQueue::new();
+        q.push(1, Event::BeaconDue { node: 0 });
+        q.arm_timer(1, 1, TimerKind::DeferDone, 30);
+        q.arm_timer(1, 2, TimerKind::DeferDone, 60); // re-arm drops one
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.pushed, 3);
+        assert_eq!(s.popped, 2);
+        assert_eq!(s.stale_dropped, 1);
+        assert_eq!(s.pushed, s.popped + s.stale_dropped);
     }
 }

@@ -62,6 +62,7 @@ pub mod rate;
 pub mod runner;
 pub mod sim;
 pub mod sniffer;
+pub mod spsc;
 pub mod station;
 pub mod topology;
 pub mod traffic;

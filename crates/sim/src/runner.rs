@@ -16,6 +16,7 @@
 //! The JSON is hand-rolled (the build environment vendors no serializer);
 //! the format is flat enough that this costs a few lines.
 
+use crate::events::QueueStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -92,6 +93,9 @@ pub struct CellReport {
     /// Frames missed (out of range + bit error + hardware drop), summed
     /// over the cell's sniffers.
     pub frames_missed: u64,
+    /// Event-queue churn (pushed/popped/stale-dropped/cascaded) — the
+    /// scheduler-side cost structure behind `events`.
+    pub queue: QueueStats,
 }
 
 impl CellReport {
@@ -183,7 +187,8 @@ impl RunReport {
             out.push_str(&format!(
                 "    {{\"label\": {}, \"seed\": {}, \"wall_ms\": {}, \"events\": {}, \
                  \"frames_on_air\": {}, \"frames_captured\": {}, \"frames_missed\": {}, \
-                 \"events_per_sec\": {}}}{}\n",
+                 \"queue_pushed\": {}, \"queue_popped\": {}, \"queue_stale_dropped\": {}, \
+                 \"queue_cascaded\": {}, \"events_per_sec\": {}}}{}\n",
                 json_str(&c.label),
                 c.seed,
                 json_f64(c.wall_ms),
@@ -191,6 +196,10 @@ impl RunReport {
                 c.frames_on_air,
                 c.frames_captured,
                 c.frames_missed,
+                c.queue.pushed,
+                c.queue.popped,
+                c.queue.stale_dropped,
+                c.queue.cascaded,
                 json_f64(c.events_per_sec()),
                 if i + 1 < self.cells.len() { "," } else { "" },
             ));
@@ -286,6 +295,12 @@ mod tests {
                     frames_on_air: 100,
                     frames_captured: 90,
                     frames_missed: 10,
+                    queue: QueueStats {
+                        pushed: 4100,
+                        popped: 4000,
+                        stale_dropped: 100,
+                        cascaded: 5,
+                    },
                 },
                 CellReport {
                     label: "b".into(),
@@ -295,6 +310,7 @@ mod tests {
                     frames_on_air: 50,
                     frames_captured: 50,
                     frames_missed: 0,
+                    queue: QueueStats::default(),
                 },
             ],
         };
@@ -305,6 +321,8 @@ mod tests {
         assert!(json.contains("\"test \\\"sweep\\\"\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"events\": 4000"));
+        assert!(json.contains("\"queue_stale_dropped\": 100"));
+        assert!(json.contains("\"queue_cascaded\": 5"));
         // Exactly one comma between the two cell objects, none trailing.
         assert_eq!(json.matches("},\n").count(), 1);
         assert!(report.summary().contains("2 cells on 2 thread(s)"));

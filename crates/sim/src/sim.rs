@@ -22,7 +22,7 @@
 //!   first peer an ACK. Real hardware behaves comparably under collision.
 
 use crate::config::SimConfig;
-use crate::events::{Event, EventQueue, NodeId, TimerKind};
+use crate::events::{Event, EventQueue, NodeId, QueueStats, TimerKind};
 use crate::frame_info::SimFrame;
 use crate::geometry::Pos;
 use crate::medium::Medium;
@@ -121,14 +121,26 @@ pub struct Simulator {
     channel_members: Vec<NodeSet>,
     /// Scratch: sampled MSDU sizes of one traffic batch.
     sizes_scratch: Vec<u32>,
-    /// Scratch: listener snapshot while applying carrier-sense busy.
-    cs_scratch: Vec<NodeId>,
+    /// Scratch: listener-bitset word snapshot while applying or releasing
+    /// carrier-sense busy (bits are walked in place; extracting ~N ids per
+    /// frame into a `Vec<NodeId>` dominated the 320-user profile).
+    cs_scratch: Vec<u64>,
     /// Scratch: per-channel air-time deltas of one channel evaluation.
     eval_deltas: Vec<u64>,
     /// Scratch: clients following an AP's channel switch.
     followers_scratch: Vec<NodeId>,
     /// Scratch: interferer RSSI values of one reception.
     interferer_rssi: Vec<f64>,
+    /// Scratch: one same-timestamp event batch from the queue.
+    batch_scratch: Vec<Event>,
+    /// Memoized slow-fade draws per directed station link, `[tx * n + rx]`,
+    /// tagged with the coherence bucket they were drawn in (`u64::MAX` =
+    /// never drawn). `Fading::fade_db` is a pure function of
+    /// `(link, bucket, seed)`, so a hit returns the exact value a fresh
+    /// call would compute — results stay bit-identical.
+    fade_cache: Vec<(u64, f64)>,
+    /// Memoized sniffer-link fades, `[sniffer * n + tx]`, same tagging.
+    sniffer_fade_cache: Vec<(u64, f64)>,
 }
 
 impl Simulator {
@@ -157,6 +169,9 @@ impl Simulator {
             eval_deltas: Vec::new(),
             followers_scratch: Vec::new(),
             interferer_rssi: Vec::new(),
+            batch_scratch: Vec::new(),
+            fade_cache: Vec::new(),
+            sniffer_fade_cache: Vec::new(),
         }
     }
 
@@ -169,6 +184,16 @@ impl Simulator {
     /// events-per-second throughput figure in run reports.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Event-queue churn counters (pushed/popped/stale-dropped/cascaded).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Pending events that will actually fire (cancelled timers excluded).
+    pub fn pending_events(&self) -> usize {
+        self.queue.live_len()
     }
 
     /// The stations (APs and clients).
@@ -197,13 +222,47 @@ impl Simulator {
     /// Cached path-loss RSSI plus the current slow-fade of the `tx → rx`
     /// station link.
     #[inline]
-    fn faded_rssi(&self, tx_node: NodeId, rx_node: NodeId) -> f64 {
-        self.topology.rssi(tx_node, rx_node)
-            + self
-                .config
-                .radio
-                .fading
-                .fade_db(tx_node as u64, rx_node as u64, self.now)
+    fn faded_rssi(&mut self, tx_node: NodeId, rx_node: NodeId) -> f64 {
+        self.topology.rssi(tx_node, rx_node) + self.link_fade(tx_node, rx_node)
+    }
+
+    /// Memoized `fade_db` for a station → station link: one Box–Muller
+    /// draw (hash + `ln`/`sqrt`/`cos`) per link per coherence interval
+    /// instead of per frame. Hits return the stored bits unchanged.
+    #[inline]
+    fn link_fade(&mut self, tx_node: NodeId, rx_node: NodeId) -> f64 {
+        let fading = self.config.radio.fading;
+        if fading.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let bucket = self.now / fading.coherence_us.max(1);
+        let slot = &mut self.fade_cache[tx_node * self.stations.len() + rx_node];
+        if slot.0 != bucket {
+            *slot = (
+                bucket,
+                fading.fade_db(tx_node as u64, rx_node as u64, self.now),
+            );
+        }
+        slot.1
+    }
+
+    /// Memoized `fade_db` of station `tx_node` at sniffer `idx`
+    /// (unscaled; callers apply the sniffer's `fade_scale`).
+    #[inline]
+    fn sniffer_fade(&mut self, idx: usize, tx_node: NodeId) -> f64 {
+        let fading = self.config.radio.fading;
+        if fading.sigma_db == 0.0 {
+            return 0.0;
+        }
+        let bucket = self.now / fading.coherence_us.max(1);
+        let slot = &mut self.sniffer_fade_cache[idx * self.stations.len() + tx_node];
+        if slot.0 != bucket {
+            *slot = (
+                bucket,
+                fading.fade_db(tx_node as u64, SNIFFER_LINK_BASE + idx as u64, self.now),
+            );
+        }
+        slot.1
     }
 
     /// SINR of transmission `tx` at station `rx_node`: cached+faded RSSI
@@ -234,10 +293,20 @@ impl Simulator {
     /// added since the last run. Population changes only happen between
     /// `run_until` calls, so one check per call suffices.
     fn ensure_topology(&mut self) {
-        if self
-            .topology
-            .matches(self.stations.len(), self.sniffers.len())
-        {
+        let (n, sniffers) = (self.stations.len(), self.sniffers.len());
+        // Size the fade memos alongside the topology matrix; a population
+        // change invalidates every slot (the `u64::MAX` tag means "never
+        // drawn", a bucket value no reachable timestamp produces).
+        if self.fade_cache.len() != n * n {
+            self.fade_cache.clear();
+            self.fade_cache.resize(n * n, (u64::MAX, 0.0));
+        }
+        if self.sniffer_fade_cache.len() != sniffers * n {
+            self.sniffer_fade_cache.clear();
+            self.sniffer_fade_cache
+                .resize(sniffers * n, (u64::MAX, 0.0));
+        }
+        if self.topology.matches(n, sniffers) {
             return;
         }
         let station_pos: Vec<Pos> = self.stations.iter().map(|s| s.pos).collect();
@@ -358,18 +427,33 @@ impl Simulator {
     }
 
     /// Runs the simulation until `until` (microseconds).
+    ///
+    /// Events are drained in same-timestamp batches: one queue operation
+    /// yields every event sharing the earliest time, in sequence order.
+    /// Handlers that push at the current timestamp produce higher sequence
+    /// numbers, which the next batch picks up — delivery order is identical
+    /// to popping one event at a time.
     pub fn run_until(&mut self, until: Micros) {
         self.ensure_topology();
-        while let Some(at) = self.queue.peek_time() {
-            if at > until {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        loop {
+            batch.clear();
+            let Some(at) = self.queue.pop_batch(until, &mut batch) else {
                 break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked");
+            };
             self.now = at;
-            self.events_processed += 1;
-            self.handle(ev);
+            self.events_processed += batch.len() as u64;
+            for i in 0..batch.len() {
+                self.handle(batch[i]);
+            }
         }
+        self.batch_scratch = batch;
         self.now = until;
+        // Timers cancelled eagerly would have popped (and been counted) as
+        // stale events under the lazy scheme; fold their ghosts back in so
+        // the events-per-second denominator stays comparable across the
+        // committed baseline trajectory.
+        self.events_processed += self.queue.drain_ghosts(until);
     }
 
     // ------------------------------------------------------------------
@@ -391,9 +475,13 @@ impl Simulator {
         }
     }
 
+    /// Arms the station's single contention timer. The generation bump
+    /// invalidates any previous arm (a cross-check retained in `on_timer`);
+    /// the queue additionally removes the superseded entry outright, so
+    /// re-arming never leaves a dead event behind.
     fn arm_timer(&mut self, node: NodeId, kind: TimerKind, at: Micros) {
         let gen = self.stations[node].bump_timer_gen();
-        self.queue.push(at, Event::Timer { node, gen, kind });
+        self.queue.arm_timer(node, gen, kind, at);
     }
 
     /// NavExpired is validated by condition, not generation, so it must not
@@ -788,18 +876,25 @@ impl Simulator {
     fn on_channel_busy(&mut self, node: NodeId) {
         let now = self.now;
         let slot = self.config.dcf.slot_us;
-        let st = &mut self.stations[node];
-        match st.state {
-            MacState::WaitDefer => {
-                st.bump_timer_gen();
-                st.state = MacState::Frozen;
+        let cancelled = {
+            let st = &mut self.stations[node];
+            match st.state {
+                MacState::WaitDefer => {
+                    st.bump_timer_gen();
+                    st.state = MacState::Frozen;
+                    true
+                }
+                MacState::Backoff { started, .. } => {
+                    st.bump_timer_gen();
+                    st.consume_backoff(now - started, slot);
+                    st.state = MacState::Frozen;
+                    true
+                }
+                _ => false,
             }
-            MacState::Backoff { started, .. } => {
-                st.bump_timer_gen();
-                st.consume_backoff(now - started, slot);
-                st.state = MacState::Frozen;
-            }
-            _ => {}
+        };
+        if cancelled {
+            self.queue.cancel_timer(node);
         }
     }
 
@@ -932,30 +1027,36 @@ impl Simulator {
     /// One detection delay into a transmission: listeners now sense energy.
     fn on_cs_busy(&mut self, channel: usize, tx_id: u64) {
         let now = self.now;
-        // Snapshot the listener bitset into a reused scratch list (the set
-        // itself stays on the transmission for the release at TxEnd).
-        let mut listeners = std::mem::take(&mut self.cs_scratch);
-        listeners.clear();
+        // Snapshot the listener bitset's words into a reused scratch buffer
+        // (the set itself stays on the transmission for the release at
+        // TxEnd) and walk the bits in place, ascending — same station order
+        // as the id list this replaces, at a fraction of the copy cost.
+        let mut words = std::mem::take(&mut self.cs_scratch);
         match self.media[channel]
             .active()
             .iter()
             .find(|t| t.tx_id == tx_id)
         {
-            Some(t) => listeners.extend(t.sensed_by.iter()),
+            Some(t) => t.sensed_by.copy_words_into(&mut words),
             None => {
-                self.cs_scratch = listeners;
+                self.cs_scratch = words;
                 return; // transmission already ended (degenerate cs delay)
             }
         }
         self.media[channel].mark_cs_applied(tx_id);
-        for &i in &listeners {
-            let was_busy = self.stations[i].channel_busy(now);
-            self.stations[i].sensed += 1;
-            if !was_busy {
-                self.on_channel_busy(i);
+        for (wi, &w) in words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let i = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let was_busy = self.stations[i].channel_busy(now);
+                self.stations[i].sensed += 1;
+                if !was_busy {
+                    self.on_channel_busy(i);
+                }
             }
         }
-        self.cs_scratch = listeners;
+        self.cs_scratch = words;
     }
 
     fn fire_sifs_response(&mut self, node: NodeId) {
@@ -1042,18 +1143,22 @@ impl Simulator {
         // 6. Release carrier sense. Bitset iteration is ascending, matching
         // the station order the listener set was built in.
         if tx.cs_applied {
-            let mut listeners = std::mem::take(&mut self.cs_scratch);
-            listeners.clear();
-            listeners.extend(tx.sensed_by.iter());
-            for &i in &listeners {
-                let st = &mut self.stations[i];
-                debug_assert!(st.sensed > 0);
-                st.sensed -= 1;
-                if !st.channel_busy(now) {
-                    self.on_channel_idle(i);
+            let mut words = std::mem::take(&mut self.cs_scratch);
+            tx.sensed_by.copy_words_into(&mut words);
+            for (wi, &w) in words.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let i = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let st = &mut self.stations[i];
+                    debug_assert!(st.sensed > 0);
+                    st.sensed -= 1;
+                    if !st.channel_busy(now) {
+                        self.on_channel_idle(i);
+                    }
                 }
             }
-            self.cs_scratch = listeners;
+            self.cs_scratch = words;
         }
         // The transmitter itself: its own channel went quiet from its side.
         if !self.stations[tx.node].channel_busy(now) {
@@ -1191,6 +1296,7 @@ impl Simulator {
             FrameKind::Ack => {
                 if self.stations[rx_node].state == MacState::AwaitAck {
                     self.stations[rx_node].bump_timer_gen(); // cancel AckTimeout
+                    self.queue.cancel_timer(rx_node);
                     let has_more = self.stations[rx_node]
                         .current
                         .as_ref()
@@ -1205,6 +1311,7 @@ impl Simulator {
             FrameKind::Cts => {
                 if self.stations[rx_node].state == MacState::AwaitCts {
                     self.stations[rx_node].bump_timer_gen(); // cancel CtsTimeout
+                    self.queue.cancel_timer(rx_node);
                     if let Some(op) = self.stations[rx_node].current.as_mut() {
                         op.cts_received = true;
                     }
@@ -1366,15 +1473,9 @@ impl Simulator {
             }
             // Sniffer links get their own fade realizations, keyed past the
             // station id space, and a sniffer-specific fade scale.
-            let sniffer_link = SNIFFER_LINK_BASE + idx as u64;
             let fade_scale = self.sniffers[idx].config.fade_scale;
             let rssi = self.topology.sniffer_rssi(idx, tx.node)
-                + fade_scale
-                    * self
-                        .config
-                        .radio
-                        .fading
-                        .fade_db(tx.node as u64, sniffer_link, now);
+                + fade_scale * self.sniffer_fade(idx, tx.node);
             if rssi < self.config.radio.sensitivity_dbm {
                 self.sniffers[idx].miss(MissReason::OutOfRange);
                 continue;
@@ -1383,13 +1484,7 @@ impl Simulator {
             interf.clear();
             for &nid in &tx.interferers {
                 interf.push(
-                    self.topology.sniffer_rssi(idx, nid)
-                        + fade_scale
-                            * self
-                                .config
-                                .radio
-                                .fading
-                                .fade_db(nid as u64, sniffer_link, now),
+                    self.topology.sniffer_rssi(idx, nid) + fade_scale * self.sniffer_fade(idx, nid),
                 );
             }
             let sinr = effective_sinr_db(

@@ -199,7 +199,11 @@ pub struct Station {
     pub backoff_slots: u32,
     /// Current contention-window size.
     pub cw: u32,
-    /// Timer generation; a bumped generation invalidates armed timers.
+    /// Timer generation stamp. The event queue removes cancelled
+    /// contention timers eagerly (`EventQueue::cancel_timer`); the
+    /// generation survives as a belt-and-braces cross-check at delivery —
+    /// a popped timer whose stamp mismatches is stale and dropped. Bump
+    /// sites pair with a queue-side cancellation.
     pub timer_gen: u64,
     /// Number of carrier-sensed in-flight transmissions.
     pub sensed: u32,

@@ -95,6 +95,15 @@ impl NodeSet {
         })
     }
 
+    /// Snapshots the backing words into `out` (cleared first). Callers on
+    /// the carrier-sense hot path walk the bits of the copy directly —
+    /// ascending, exactly like [`NodeSet::iter`] — instead of extracting
+    /// every set bit into a `Vec<NodeId>` per transmission.
+    pub fn copy_words_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.words);
+    }
+
     fn words(&self) -> &[u64] {
         &self.words
     }

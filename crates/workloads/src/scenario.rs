@@ -17,6 +17,7 @@ use wifi_frames::mac::MacAddr;
 use wifi_frames::phy::Rate;
 use wifi_frames::record::FrameRecord;
 use wifi_frames::timing::{Micros, SECOND};
+use wifi_sim::events::QueueStats;
 use wifi_sim::geometry::Pos;
 use wifi_sim::radio::{Fading, RadioConfig};
 use wifi_sim::rate::RateAdaptation;
@@ -118,6 +119,8 @@ pub struct ScenarioResult {
     /// Frames that actually went on air (ground-truth transmission count,
     /// independent of `record_ground_truth`).
     pub frames_on_air: u64,
+    /// Event-queue churn counters (pushed/popped/stale-dropped/cascaded).
+    pub queue: QueueStats,
 }
 
 impl Scenario {
@@ -155,6 +158,7 @@ impl Scenario {
             stations,
             events_processed: self.sim.events_processed(),
             frames_on_air: self.sim.ground_truth.transmissions,
+            queue: self.sim.queue_stats(),
         }
     }
 }
