@@ -9,24 +9,35 @@
 //! * `ramp-320`     — 320-user mid-congestion ramp, 30 s       → `BENCH_sim.json`
 //! * `plenary-523`  — the paper's full IETF-62 plenary peak:
 //!   523 concurrent users at plenary activity, 30 s            → `BENCH_sim_plenary.json`
+//! * `venue-5k`     — the whole conference campus: ≈5,000 users, 39 APs over
+//!   channels 1/6/11 in 13 RF-isolated halls, 10 s, run on the sharded
+//!   intra-scenario parallel path (`--threads`)   → `BENCH_sim_venue.json`
 //!
 //! ```text
 //! cargo run --release -p congestion-bench --bin bench_baseline -- --pin ramp-320
 //! cargo run --release -p congestion-bench --bin bench_baseline -- \
 //!     --pin ramp-quick --out bench_ci.json --check BENCH_sim_quick.json
+//! cargo run --release -p congestion-bench --bin bench_baseline -- \
+//!     --pin venue-5k --threads 8
 //! ```
 //!
-//! The run uses the pipelined sim→analysis path (event loop and per-second
-//! congestion analysis overlapped on two threads; results byte-identical to
-//! the serial path — `crates/bench/tests/golden.rs` pins that down).
+//! The serial pins use the pipelined sim→analysis path (event loop and
+//! per-second congestion analysis overlapped on two threads; results
+//! byte-identical to the serial path — `crates/bench/tests/golden.rs` pins
+//! that down). The venue pin runs `run_sharded`: one event loop per
+//! RF-isolation shard on a `--threads`-wide work queue, merged output again
+//! identical for every thread count. Its trajectory entries carry
+//! `threads`/`shards`/`components`/`host_cpus` so scaling claims can be read
+//! against the hardware that produced them — an entry at `--threads 8` on a
+//! one-CPU host measures scheduling overhead, not speedup.
 //!
 //! `--check <file>` compares events/s against the *last* trajectory entry of
 //! a committed baseline and exits non-zero on a >30 % drop — after verifying
 //! the entry's scenario fingerprint (seed/users/duration/event count), so a
 //! stale file can't silently gate against the wrong workload.
 
-use congestion_bench::streaming::run_streaming_pipelined;
-use ietf_workloads::{ietf_plenary, load_ramp, Scenario, SessionScale};
+use congestion_bench::streaming::{run_sharded, run_streaming_pipelined, StreamedRun};
+use ietf_workloads::{ietf_plenary, load_ramp, venue_campus, CampusScale, Scenario, SessionScale};
 
 /// The pinned scenarios: identity and scale are part of the baseline
 /// contract; changing any number here invalidates the trajectory file.
@@ -35,6 +46,7 @@ enum PinName {
     RampQuick,
     Ramp320,
     Plenary523,
+    Venue5k,
 }
 
 struct Pin {
@@ -71,6 +83,15 @@ impl Pin {
                 users: 523,
                 duration_s: 30,
             },
+            // The whole conference campus: the venue-scale pin for the
+            // sharded intra-scenario parallel path (13 halls × 3 channels
+            // of RF isolation).
+            "venue-5k" => Pin {
+                name: PinName::Venue5k,
+                seed: 11,
+                users: 5_000,
+                duration_s: 10,
+            },
             _ => return None,
         };
         Some(pin)
@@ -81,6 +102,7 @@ impl Pin {
             PinName::RampQuick => "ramp-quick",
             PinName::Ramp320 => "ramp-320",
             PinName::Plenary523 => "plenary-523",
+            PinName::Venue5k => "venue-5k",
         }
     }
 
@@ -89,6 +111,7 @@ impl Pin {
             PinName::RampQuick => "BENCH_sim_quick.json",
             PinName::Ramp320 => "BENCH_sim.json",
             PinName::Plenary523 => "BENCH_sim_plenary.json",
+            PinName::Venue5k => "BENCH_sim_venue.json",
         }
     }
 
@@ -104,11 +127,29 @@ impl Pin {
                 activity: 3.0,
                 rts_fraction: 0.02,
             }),
+            PinName::Venue5k => unreachable!("venue-5k runs the sharded path"),
         };
         // Perf run: skip the ground-truth tape (it is O(frames) memory and
         // no figure reads it here); the on-air counter still runs.
         scenario.sim.config.record_ground_truth = false;
         scenario
+    }
+
+    /// Runs the pin. The serial pins take the pipelined two-thread path;
+    /// venue-5k partitions into RF-isolation shards and runs them on a
+    /// `threads`-wide work queue. Returns the merged run plus
+    /// `(shards, components)` for the sharded pin.
+    fn run(&self, threads: usize) -> (StreamedRun, Option<(usize, usize)>) {
+        if self.name == PinName::Venue5k {
+            let scale = CampusScale::venue_5k(self.seed);
+            debug_assert!(scale.users == self.users && scale.duration_s == self.duration_s);
+            let mut scenario = venue_campus(scale);
+            scenario.spec.config_mut().record_ground_truth = false;
+            let sharded = run_sharded(scenario, 1_000_000, threads, usize::MAX);
+            (sharded.run, Some((sharded.shards, sharded.components)))
+        } else {
+            (run_streaming_pipelined(self.build(), 1_000_000), None)
+        }
     }
 }
 
@@ -117,6 +158,7 @@ fn main() {
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
     let mut entry_label = "current".to_string();
+    let mut threads = 1usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -125,17 +167,27 @@ fn main() {
             "--check" => check = Some(it.next().expect("--check needs a file")),
             "--out" => out = Some(it.next().expect("--out needs a file")),
             "--label" => entry_label = it.next().expect("--label needs a string"),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .expect("--threads needs a positive integer")
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_baseline [--pin NAME] [--label L] [--out FILE] [--check BASELINE]\n\
+                    "usage: bench_baseline [--pin NAME] [--label L] [--threads N] \
+                     [--out FILE] [--check BASELINE]\n\
                      \n\
                      Pins: ramp-quick (48u/60s), ramp-320 (320u/30s, default),\n\
-                     plenary-523 (523u plenary/30s). Runs the pinned scenario on\n\
-                     the pipelined sim->analysis path and appends one entry\n\
-                     (tagged --label) to the pin's trajectory JSON (default\n\
-                     BENCH_sim[_quick|_plenary].json). --quick = --pin ramp-quick.\n\
-                     --check compares events/s against the last entry of a\n\
-                     committed trajectory and exits 1 on a >30% regression."
+                     plenary-523 (523u plenary/30s), venue-5k (5000u campus/10s,\n\
+                     sharded over RF-isolation domains on --threads workers).\n\
+                     Runs the pinned scenario and appends one entry (tagged\n\
+                     --label) to the pin's trajectory JSON (default\n\
+                     BENCH_sim[_quick|_plenary|_venue].json). --quick =\n\
+                     --pin ramp-quick. --check compares events/s against the\n\
+                     last entry of a committed trajectory and exits 1 on a\n\
+                     >30% regression."
                 );
                 return;
             }
@@ -147,7 +199,9 @@ fn main() {
     }
 
     let Some(pin) = Pin::by_name(&pin_name) else {
-        eprintln!("error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523)");
+        eprintln!(
+            "error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523 | venue-5k)"
+        );
         std::process::exit(2);
     };
     let out = out.unwrap_or_else(|| pin.default_out().to_string());
@@ -161,19 +215,33 @@ fn main() {
     });
 
     let start = std::time::Instant::now();
-    let run = run_streaming_pipelined(pin.build(), 1_000_000);
+    let (run, sharding) = pin.run(threads);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let events_per_sec = run.events_processed as f64 / (wall_ms / 1e3).max(1e-9);
     let frames_per_sec = run.frames_on_air as f64 / (wall_ms / 1e3).max(1e-9);
     let seconds_analyzed: usize = run.per_sniffer_seconds.iter().map(|s| s.len()).sum();
 
+    // Sharded entries record how the run was cut and what hardware ran it:
+    // events/s at `threads` only means speedup when `host_cpus` can supply
+    // that many workers.
+    let sharding_fields = sharding
+        .map(|(shards, components)| {
+            format!(
+                ", \"threads\": {}, \"shards\": {}, \"components\": {}, \"host_cpus\": {}",
+                threads,
+                shards,
+                components,
+                std::thread::available_parallelism().map_or(0, usize::from),
+            )
+        })
+        .unwrap_or_default();
     let entry = format!(
         "    {{\"label\": \"{}\", \"pin\": \"{}\", \"seed\": {}, \"users\": {}, \
          \"duration_s\": {}, \"events\": {}, \"frames_on_air\": {}, \
          \"seconds_analyzed\": {}, \"queue_pushed\": {}, \"queue_popped\": {}, \
          \"queue_stale_dropped\": {}, \"queue_cascaded\": {}, \"wall_ms\": {:.1}, \
-         \"events_per_sec\": {:.0}, \"frames_per_sec\": {:.0}, \"peak_rss_kb\": {}}}",
+         \"events_per_sec\": {:.0}, \"frames_per_sec\": {:.0}, \"peak_rss_kb\": {}{}}}",
         entry_label.replace(['"', '\\'], "_"),
         pin.label(),
         pin.seed,
@@ -190,13 +258,20 @@ fn main() {
         events_per_sec,
         frames_per_sec,
         peak_rss_kb(),
+        sharding_fields,
     );
     if let Err(e) = append_entry(&out, pin.label(), &entry) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
     }
+    let sharding_note = sharding
+        .map(|(shards, components)| {
+            format!(" [{shards} shards / {components} components @ {threads} threads]")
+        })
+        .unwrap_or_default();
     eprintln!(
-        "bench_baseline[{}]: {} events in {:.1} ms -> {:.0} events/s, {:.0} frames/s ({out})",
+        "bench_baseline[{}]: {} events in {:.1} ms -> {:.0} events/s, {:.0} frames/s \
+         ({out}){sharding_note}",
         pin.label(),
         run.events_processed,
         wall_ms,

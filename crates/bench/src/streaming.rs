@@ -18,12 +18,15 @@
 //! simulates.
 
 use congestion::persec::{SecondAccumulator, SecondStats};
-use ietf_workloads::Scenario;
+use ietf_workloads::{Scenario, ShardScenario};
 use wifi_frames::record::FrameRecord;
 use wifi_frames::timing::Micros;
 use wifi_sim::events::QueueStats;
+use wifi_sim::runner::run_parallel;
+use wifi_sim::shard::Shard;
 use wifi_sim::sniffer::SnifferStats;
 use wifi_sim::spsc;
+use wifi_sim::Simulator;
 
 /// Chunks buffered in the sim→analysis channel before the producer blocks.
 const PIPELINE_DEPTH: usize = 4;
@@ -135,6 +138,162 @@ pub fn run_streaming_pipelined(mut scenario: Scenario, chunk_us: Micros) -> Stre
     }
 }
 
+/// What a sharded run yields: the merged [`StreamedRun`] plus how the
+/// scenario was cut up.
+pub struct ShardedRun {
+    /// The merged result — field-for-field comparable with an unsharded
+    /// [`run_streaming`] of the same scenario (`queue` excepted: timing-
+    /// wheel churn like cascade counts depends on how events distribute
+    /// over wheels, so it is observability, not output).
+    pub run: StreamedRun,
+    /// Sub-simulators the scenario ran as (1 when sharding declined).
+    pub shards: usize,
+    /// RF-isolation components found (the parallelism ceiling).
+    pub components: usize,
+}
+
+/// Everything one shard's sub-simulator produced.
+struct ShardOut {
+    /// `(global sniffer index, per-second stats, counters)`.
+    sniffers: Vec<(usize, Vec<SecondStats>, SnifferStats)>,
+    medium_stats: Vec<(u64, u64)>,
+    events_processed: u64,
+    frames_on_air: u64,
+    queue: QueueStats,
+}
+
+/// Runs one sub-simulator to `duration_us` in chunks, folding its sniffer
+/// traces into per-second accumulators — the per-shard half of
+/// [`run_streaming`].
+fn run_shard_streaming(
+    mut sim: Simulator,
+    sniffer_indices: Vec<usize>,
+    duration_us: Micros,
+    chunk_us: Micros,
+) -> ShardOut {
+    let mut accs: Vec<SecondAccumulator> = sniffer_indices
+        .iter()
+        .map(|_| SecondAccumulator::new())
+        .collect();
+    let mut now: Micros = 0;
+    while now < duration_us {
+        now = (now + chunk_us).min(duration_us);
+        sim.run_until(now);
+        for (sniffer, acc) in sim.sniffers_mut().iter_mut().zip(&mut accs) {
+            for record in sniffer.trace.drain(..) {
+                acc.push(record);
+            }
+        }
+    }
+    let sniffers = sniffer_indices
+        .into_iter()
+        .zip(accs)
+        .zip(sim.sniffers().iter())
+        .map(|((gi, acc), s)| (gi, acc.finish(), s.stats))
+        .collect();
+    ShardOut {
+        sniffers,
+        medium_stats: sim.medium_stats(),
+        events_processed: sim.events_processed(),
+        frames_on_air: sim.ground_truth.transmissions,
+        queue: sim.queue_stats(),
+    }
+}
+
+/// Runs a recorded scenario with intra-scenario parallelism: the station
+/// graph is partitioned into RF-isolation shards ([`wifi_sim::shard`]),
+/// each shard's event loop runs on the [`run_parallel`] work queue across
+/// `threads` workers, and the per-shard results merge into one
+/// [`StreamedRun`].
+///
+/// Every sniffer lives in exactly one shard (the planner merges everything
+/// a sniffer can hear into its component), so per-sniffer seconds and
+/// counters need no cross-shard merging — they are placed by global sniffer
+/// index. Channel-level medium stats and the scalar counters sum. The
+/// merged output is identical to the unsharded run for any `max_shards` and
+/// `threads` (`tests/shard_prop.rs` pins this): determinism comes from
+/// per-entity RNG streams keyed by scenario-wide build indices, not from
+/// the schedule.
+///
+/// When the scenario cannot be sharded (dynamic channel management, or a
+/// client whose channel has no AP), it falls back to one unsharded shard.
+pub fn run_sharded(
+    scenario: ShardScenario,
+    chunk_us: Micros,
+    threads: usize,
+    max_shards: usize,
+) -> ShardedRun {
+    let chunk_us = chunk_us.max(1);
+    let ShardScenario {
+        name,
+        duration_us,
+        spec,
+    } = scenario;
+    let Some(plan) = spec.partition(max_shards) else {
+        let run = run_streaming(
+            Scenario {
+                name,
+                duration_us,
+                sim: spec.build_unsharded(),
+            },
+            chunk_us,
+        );
+        return ShardedRun {
+            run,
+            shards: 1,
+            components: 1,
+        };
+    };
+    let outs: Vec<ShardOut> = run_parallel(&plan.shards, threads, |shard: &Shard| {
+        // Sub-simulators are built inside the worker (a Simulator is not
+        // Send; the spec is).
+        let sim = spec.build_shard(shard);
+        run_shard_streaming(
+            sim,
+            shard.sniffer_indices().collect(),
+            duration_us,
+            chunk_us,
+        )
+    });
+    let channels = spec.config().channels.len();
+    let mut per_sniffer_seconds: Vec<Vec<SecondStats>> =
+        (0..spec.sniffer_count()).map(|_| Vec::new()).collect();
+    let mut sniffer_stats: Vec<SnifferStats> = vec![SnifferStats::default(); spec.sniffer_count()];
+    let mut medium_stats = vec![(0u64, 0u64); channels];
+    let mut events_processed = 0u64;
+    let mut frames_on_air = 0u64;
+    let mut queue = QueueStats::default();
+    for out in outs {
+        for (gi, seconds, stats) in out.sniffers {
+            per_sniffer_seconds[gi] = seconds;
+            sniffer_stats[gi] = stats;
+        }
+        for (ch, (tx, coll)) in out.medium_stats.into_iter().enumerate() {
+            medium_stats[ch].0 += tx;
+            medium_stats[ch].1 += coll;
+        }
+        events_processed += out.events_processed;
+        frames_on_air += out.frames_on_air;
+        queue.pushed += out.queue.pushed;
+        queue.popped += out.queue.popped;
+        queue.stale_dropped += out.queue.stale_dropped;
+        queue.cascaded += out.queue.cascaded;
+    }
+    ShardedRun {
+        run: StreamedRun {
+            name,
+            per_sniffer_seconds,
+            sniffer_stats,
+            medium_stats,
+            events_processed,
+            frames_on_air,
+            queue,
+        },
+        shards: plan.shards.len(),
+        components: plan.components,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +344,62 @@ mod tests {
                 .zip(&serial.per_sniffer_seconds)
             {
                 assert_eq!(format!("{p:?}"), format!("{s:?}"));
+            }
+        }
+    }
+
+    /// A sharded campus run must merge to exactly the unsharded streaming
+    /// result — for every shard cap and worker count (queue churn excepted;
+    /// see [`ShardedRun::run`]).
+    #[test]
+    fn sharded_campus_matches_unsharded() {
+        use ietf_workloads::{venue_campus, CampusScale};
+        let scale = CampusScale {
+            seed: 5,
+            halls: 3,
+            users: 24,
+            duration_s: 6,
+            activity: 1.0,
+        };
+        let reference = venue_campus(scale);
+        let baseline = run_streaming(
+            Scenario {
+                name: reference.name.clone(),
+                duration_us: reference.duration_us,
+                sim: reference.spec.build_unsharded(),
+            },
+            1_000_000,
+        );
+        for (threads, max_shards) in [(1, 1), (1, 16), (4, 16), (4, 3)] {
+            let sharded = run_sharded(venue_campus(scale), 1_000_000, threads, max_shards);
+            assert!(
+                sharded.shards <= max_shards,
+                "shard cap violated (got {} shards, cap {max_shards})",
+                sharded.shards
+            );
+            if max_shards > 1 {
+                assert!(
+                    sharded.shards > 1,
+                    "campus should actually shard (got {} shards, cap {max_shards})",
+                    sharded.shards
+                );
+            }
+            // 3 halls × 3 channels of mutually isolated cells.
+            assert_eq!(sharded.components, 9);
+            let run = &sharded.run;
+            assert_eq!(run.events_processed, baseline.events_processed);
+            assert_eq!(run.frames_on_air, baseline.frames_on_air);
+            assert_eq!(run.medium_stats, baseline.medium_stats);
+            assert_eq!(
+                format!("{:?}", run.sniffer_stats),
+                format!("{:?}", baseline.sniffer_stats)
+            );
+            for (s, b) in run
+                .per_sniffer_seconds
+                .iter()
+                .zip(&baseline.per_sniffer_seconds)
+            {
+                assert_eq!(format!("{s:?}"), format!("{b:?}"));
             }
         }
     }

@@ -1,0 +1,78 @@
+//! Property: `run_sharded` merges to exactly `run_streaming`'s result for
+//! any campus shape, shard cap, and worker count.
+//!
+//! This is the end-to-end counterpart of `wifi-sim/tests/shard_equiv.rs`:
+//! that test pins raw simulator state (traces, station counters, ground
+//! truth); this one pins the full sharded *pipeline* — partition, parallel
+//! per-shard streaming analysis, merge — against the serial unsharded path,
+//! across `max_shards ∈ {1, auto}` and `threads ∈ {1, 4}`. Queue churn is
+//! excluded (see `ShardedRun::run`).
+
+use congestion_bench::streaming::{run_sharded, run_streaming, StreamedRun};
+use ietf_workloads::{venue_campus, CampusScale, Scenario};
+use proptest::prelude::*;
+
+fn assert_runs_match(got: &StreamedRun, want: &StreamedRun, label: &str) {
+    assert_eq!(
+        got.events_processed, want.events_processed,
+        "{label}: events"
+    );
+    assert_eq!(got.frames_on_air, want.frames_on_air, "{label}: frames");
+    assert_eq!(got.medium_stats, want.medium_stats, "{label}: medium");
+    assert_eq!(
+        format!("{:?}", got.sniffer_stats),
+        format!("{:?}", want.sniffer_stats),
+        "{label}: sniffer stats"
+    );
+    assert_eq!(
+        got.per_sniffer_seconds.len(),
+        want.per_sniffer_seconds.len(),
+        "{label}: sniffer count"
+    );
+    for (i, (g, w)) in got
+        .per_sniffer_seconds
+        .iter()
+        .zip(&want.per_sniffer_seconds)
+        .enumerate()
+    {
+        assert_eq!(
+            format!("{g:?}"),
+            format!("{w:?}"),
+            "{label}: sniffer {i} seconds"
+        );
+    }
+}
+
+proptest! {
+    fn sharded_pipeline_matches_serial(
+        seed in 0u64..10_000,
+        halls in 1usize..4,
+        users in 2usize..14,
+        cap_auto in 0u8..2,
+        four_threads in 0u8..2,
+        chunk_sel in 0usize..3,
+    ) {
+        // One (max_shards, threads) point per case; 256 cases sweep the
+        // {1, auto} × {1, 4} grid many times over.
+        let max_shards = if cap_auto == 1 { usize::MAX } else { 1 };
+        let threads = if four_threads == 1 { 4 } else { 1 };
+        let chunk_us = [250_000u64, 1_000_000, 10_000_000][chunk_sel];
+        let scale = CampusScale { seed, halls, users, duration_s: 2, activity: 1.0 };
+        let reference = venue_campus(scale);
+        let baseline = run_streaming(
+            Scenario {
+                name: reference.name.clone(),
+                duration_us: reference.duration_us,
+                sim: reference.spec.build_unsharded(),
+            },
+            chunk_us,
+        );
+        let sharded = run_sharded(venue_campus(scale), chunk_us, threads, max_shards);
+        prop_assert!(sharded.shards >= 1 && sharded.shards <= sharded.components);
+        assert_runs_match(
+            &sharded.run,
+            &baseline,
+            &format!("shards={max_shards} threads={threads}"),
+        );
+    }
+}

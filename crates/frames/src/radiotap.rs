@@ -139,7 +139,7 @@ fn channel_from_mhz(mhz: u16) -> Option<Channel> {
     if mhz == 2484 {
         return Channel::new(14);
     }
-    if (2412..=2472).contains(&mhz) && (mhz - 2407) % 5 == 0 {
+    if (2412..=2472).contains(&mhz) && (mhz - 2407).is_multiple_of(5) {
         return Channel::new(((mhz - 2407) / 5) as u8);
     }
     None

@@ -71,7 +71,7 @@ const fn rate_kbps(rate: Rate) -> u64 {
 }
 
 const fn div_ceil_u64(a: u64, b: u64) -> u64 {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Air time of an arbitrary MAC frame of `frame_bytes` total bytes (header +

@@ -112,7 +112,10 @@ impl<R: Read> PcapNgReader<R> {
             }
             let block_type = self.u32_of([head[0], head[1], head[2], head[3]]);
             let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
-            if total_len < 12 || total_len % 4 != 0 || total_len as u32 > MAX_SANE_CAPLEN * 2 {
+            if total_len < 12
+                || !total_len.is_multiple_of(4)
+                || total_len as u32 > MAX_SANE_CAPLEN * 2
+            {
                 return Err(PcapError::OversizedRecord(total_len as u32));
             }
             let body_len = total_len - 12; // minus header and trailing length
@@ -156,7 +159,7 @@ impl<R: Read> PcapNgReader<R> {
             other => return Err(PcapError::BadMagic(other)),
         };
         let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
-        if total_len < 28 || total_len % 4 != 0 {
+        if total_len < 28 || !total_len.is_multiple_of(4) {
             return Err(PcapError::TruncatedFile);
         }
         // Consume the remaining body (version, section length, options) and

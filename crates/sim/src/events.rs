@@ -72,10 +72,11 @@ impl TimerKind {
 /// A simulation event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Event {
-    /// A transmission that started earlier finishes on `channel`.
+    /// A transmission that started earlier finishes on `medium`.
     TxEnd {
-        /// Index into the simulator's channel list.
-        channel: usize,
+        /// Index into the simulator's media list (a whole channel in an
+        /// unsharded simulator, an RF-isolation component in a sharded one).
+        medium: usize,
         /// The transmission id handed out by the medium.
         tx_id: u64,
     },
@@ -84,8 +85,8 @@ pub enum Event {
     /// backoff expires inside that window transmit concurrently; this is the
     /// collision vulnerability window of CSMA.
     CsBusy {
-        /// Index into the simulator's channel list.
-        channel: usize,
+        /// Index into the simulator's media list.
+        medium: usize,
         /// The transmission whose energy becomes detectable.
         tx_id: u64,
     },
@@ -163,6 +164,19 @@ const NUM_SLOTS: usize = 4096;
 const WINDOW_SHIFT: u32 = SLOT_SHIFT + NUM_SLOTS.trailing_zeros();
 /// Span of one wheel window in microseconds (65.536 ms).
 const WINDOW_US: Micros = (NUM_SLOTS as Micros) << SLOT_SHIFT;
+/// Largest capacity (entries) a drained slot bucket may keep. Buckets grow
+/// to the burstiest moment their 16 µs slot ever saw (join storms, beacon
+/// alignment), and with 4096 of them those peaks used to accumulate into
+/// megabytes of idle capacity — the ramp-320 peak-RSS regression the wheel
+/// introduced. Dropping oversized buffers back to the allocator caps the
+/// wheel's resident footprint at `NUM_SLOTS × SLOT_RETAIN_CAP` entries
+/// (~900 kB worst case; in practice a few hundred kB since only touched
+/// slots hold anything) while keeping the common few-events-per-slot path
+/// allocation-free. Freed capacity is recycled by the allocator into the
+/// next burst, so lowering this trades malloc churn on dense slots for
+/// resident footprint; 4 covers the typical slot population and measures
+/// within noise on events/s.
+const SLOT_RETAIN_CAP: usize = 4;
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -421,6 +435,11 @@ impl EventQueue {
             match self.next_occupied_slot() {
                 Some(s) => {
                     std::mem::swap(&mut self.current, &mut self.slots[s]);
+                    // The slot inherits the previous drain buffer; return it
+                    // to the allocator if a past burst left it oversized.
+                    if self.slots[s].capacity() > SLOT_RETAIN_CAP {
+                        self.slots[s] = Vec::new();
+                    }
                     self.occupancy[s >> 6] &= !(1u64 << (s & 63));
                     self.wheel_len -= self.current.len();
                     // Stable sort: equal timestamps keep insertion (seq)

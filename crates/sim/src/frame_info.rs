@@ -43,6 +43,7 @@ pub struct SimFrame {
 
 impl SimFrame {
     /// A data frame descriptor.
+    #[allow(clippy::too_many_arguments)]
     pub fn data(
         src: MacAddr,
         dst: MacAddr,
@@ -172,6 +173,7 @@ impl SimFrame {
     }
 
     /// A management frame descriptor (association handshake, etc.).
+    #[allow(clippy::too_many_arguments)]
     pub fn mgmt(
         kind: FrameKind,
         src: MacAddr,
@@ -264,11 +266,13 @@ impl SimFrame {
                 channel,
             }),
             FrameKind::Data | FrameKind::NullData => {
-                let mut flags = FcFlags::default();
-                flags.retry = self.retry;
-                flags.to_ds = self.to_ds;
-                flags.from_ds = !self.to_ds;
-                flags.more_frag = self.more_frag;
+                let flags = FcFlags {
+                    retry: self.retry,
+                    to_ds: self.to_ds,
+                    from_ds: !self.to_ds,
+                    more_frag: self.more_frag,
+                    ..FcFlags::default()
+                };
                 Frame::Data(Data {
                     flags,
                     duration: self.duration_us,
@@ -281,8 +285,10 @@ impl SimFrame {
                 })
             }
             kind => {
-                let mut flags = FcFlags::default();
-                flags.retry = self.retry;
+                let flags = FcFlags {
+                    retry: self.retry,
+                    ..FcFlags::default()
+                };
                 Frame::Mgmt(wifi_frames::frame::Mgmt {
                     kind,
                     flags,

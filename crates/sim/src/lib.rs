@@ -59,7 +59,9 @@ pub mod geometry;
 pub mod medium;
 pub mod radio;
 pub mod rate;
+pub mod rng;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod sniffer;
 pub mod spsc;

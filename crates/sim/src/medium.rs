@@ -72,8 +72,14 @@ impl Medium {
     }
 
     /// Registers a transmission; returns its id. Every already-active
-    /// transmission becomes a mutual interferer. `sensed_by` is the
-    /// listener set the simulator computed for this transmission.
+    /// transmission whose transmitter is RF-coupled to `node` (per the
+    /// `coupled` predicate — the topology's pair-coupling floor) becomes a
+    /// mutual interferer; uncoupled overlaps are physically negligible and
+    /// excluding them here is what keeps interferer lists — and the
+    /// collision counter — identical whether a channel is simulated whole
+    /// or split into RF-isolation components. `sensed_by` is the listener
+    /// set the simulator computed for this transmission.
+    #[allow(clippy::too_many_arguments)]
     pub fn start_tx(
         &mut self,
         node: NodeId,
@@ -82,12 +88,16 @@ impl Medium {
         start: Micros,
         end: Micros,
         sensed_by: NodeSet,
+        coupled: impl Fn(NodeId) -> bool,
     ) -> u64 {
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
         let mut interferers = self.list_pool.pop().unwrap_or_default();
         interferers.clear();
         for other in &mut self.active {
+            if !coupled(other.node) {
+                continue;
+            }
             other.interferers.push(node);
             interferers.push(other.node);
         }
@@ -164,7 +174,7 @@ mod tests {
 
     fn start(m: &mut Medium, node: NodeId, start: Micros, end: Micros) -> u64 {
         let set = m.take_set();
-        m.start_tx(node, frame(), Rate::R1, start, end, set)
+        m.start_tx(node, frame(), Rate::R1, start, end, set, |_| true)
     }
 
     #[test]
@@ -217,7 +227,7 @@ mod tests {
         m.recycle(tx);
         let set = m.take_set();
         assert!(set.is_empty(), "pooled set is cleared");
-        let c = m.start_tx(2, frame(), Rate::R1, 0, 10, set);
+        let c = m.start_tx(2, frame(), Rate::R1, 0, 10, set, |_| true);
         let tc = m.end_tx(c).unwrap();
         // The pooled interferer list was cleared before reuse: only the
         // still-active transmission shows up.

@@ -1,0 +1,620 @@
+//! RF-isolation sharding: partitioning a scenario into independent media.
+//!
+//! A venue-scale deployment (the multi-hall campus the paper's conference
+//! would sit in) contains groups of stations that can never interact: their
+//! pairwise path loss is below every interaction threshold. Such groups —
+//! connected components of the pair-coupling graph restricted to one
+//! channel — are *RF-isolation components*, and a simulator whose media are
+//! components instead of whole channels produces bit-identical per-station
+//! and per-sniffer results while letting components run on separate
+//! threads.
+//!
+//! [`ShardSpec`] records a scenario build (the same adder calls
+//! [`Simulator`] exposes), so the one description can be materialized as a
+//! single unsharded simulator or as any grouping of component simulators:
+//!
+//! 1. [`ShardSpec::build_unsharded`] replays the ops into a per-channel
+//!    simulator — exactly what calling the adders directly produces.
+//! 2. [`ShardSpec::partition`] finds the components and packs them into at
+//!    most `max_shards` shards (longest-processing-time by station count);
+//!    [`ShardSpec::build_shard`] materializes one shard as a partitioned
+//!    [`Simulator`] whose media are that shard's components.
+//!
+//! ## Why results are identical (the determinism argument)
+//!
+//! * **Couplings never cross components.** The component edges are "path
+//!   RSSI ≥ the effective coupling floor", and the simulator ignores every
+//!   pair below the floor: no reception, no interferer registration, no
+//!   NAV, no carrier sense (the floor is clamped under the CS and
+//!   sensitivity thresholds), no sniffer accounting. A transmission's full
+//!   effect set therefore lies inside its component.
+//! * **Random streams are per-entity.** Every station draws from a
+//!   counter-based stream keyed by its scenario-wide build index, and every
+//!   sniffer from one keyed past the station space ([`crate::rng`]). A
+//!   station's draw sequence depends only on the events it experiences,
+//!   which are the same whether its component shares a simulator with
+//!   others or not. Fade realizations are keyed by the same global ids.
+//! * **Association picks cannot escape the component.** A joining client
+//!   associates to the strongest-path-loss AP on its medium (first maximum
+//!   in ascending build order). The planner adds a forced edge from each
+//!   client to exactly that AP, so the client's component contains it, and
+//!   a subset argmax that contains the global argmax *is* the global
+//!   argmax.
+//! * **Same-timestamp ordering is preserved within a component.** Shards
+//!   add stations in ascending global build order, so the relative event
+//!   sequence of any two same-component events matches the unsharded run;
+//!   events in different components never affect common state, so their
+//!   relative order is immaterial.
+//!
+//! Dynamic channel management migrates stations between channels at run
+//! time, which a partitioned simulator cannot express; `partition` declines
+//! (returns `None`) when it is enabled, as it does when some client's
+//! channel has no AP anywhere (the client would rescan onto another
+//! channel). Callers fall back to the unsharded build.
+
+use crate::config::SimConfig;
+use crate::geometry::Pos;
+use crate::rate::RateAdaptation;
+use crate::sim::{ClientConfig, Simulator};
+use crate::sniffer::SnifferConfig;
+use crate::station::RtsPolicy;
+use wifi_frames::phy::Rate;
+
+/// One recorded station-build operation.
+#[derive(Clone, Debug)]
+enum StationOp {
+    Ap {
+        pos: Pos,
+        channel_idx: usize,
+        ssid_len: u32,
+        adaptation: RateAdaptation,
+        rts_policy: RtsPolicy,
+    },
+    Client(ClientConfig),
+}
+
+impl StationOp {
+    fn pos(&self) -> Pos {
+        match self {
+            StationOp::Ap { pos, .. } => *pos,
+            StationOp::Client(cfg) => cfg.pos,
+        }
+    }
+
+    fn channel_idx(&self) -> usize {
+        match self {
+            StationOp::Ap { channel_idx, .. } => *channel_idx,
+            StationOp::Client(cfg) => cfg.channel_idx,
+        }
+    }
+
+    fn is_ap(&self) -> bool {
+        matches!(self, StationOp::Ap { .. })
+    }
+}
+
+/// A recorded scenario build: configuration plus the adder calls, in order.
+///
+/// Station keys (RNG streams, fade links, MAC addresses) are the build
+/// indices, so any materialization — unsharded or sharded — reproduces the
+/// same per-entity identities.
+pub struct ShardSpec {
+    config: SimConfig,
+    stations: Vec<StationOp>,
+    sniffers: Vec<SnifferConfig>,
+}
+
+/// One shard of a partitioned scenario: a group of RF-isolation
+/// components, each becoming one medium of one partitioned [`Simulator`].
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// The channel index each medium (component) of this shard lives on.
+    pub medium_channel: Vec<usize>,
+    /// `(global station index, medium within shard)`, ascending by global
+    /// index.
+    stations: Vec<(usize, usize)>,
+    /// `(global sniffer index, medium within shard)`.
+    sniffers: Vec<(usize, usize)>,
+}
+
+impl Shard {
+    /// Stations materialized into this shard (global indices, ascending).
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Sniffers materialized into this shard, as
+    /// `(global sniffer index, medium within shard)`.
+    pub fn sniffer_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sniffers.iter().map(|&(gi, _)| gi)
+    }
+}
+
+/// The result of partitioning: shards covering every station and sniffer
+/// exactly once.
+pub struct ShardPlan {
+    /// The shards, largest (by station count) first.
+    pub shards: Vec<Shard>,
+    /// RF-isolation components found before grouping (shards merge
+    /// components; this is the parallelism ceiling).
+    pub components: usize,
+}
+
+/// Union-find over scenario entities (stations, then sniffers).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: lower root wins, so component identity is
+            // independent of edge processing order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+impl ShardSpec {
+    /// A new, empty scenario description.
+    pub fn new(config: SimConfig) -> ShardSpec {
+        ShardSpec {
+            config,
+            stations: Vec::new(),
+            sniffers: Vec::new(),
+        }
+    }
+
+    /// The configuration this scenario was described against.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (e.g. to switch off ground-truth
+    /// recording for perf runs). Changing the channel list after recording
+    /// stations is on the caller.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.config
+    }
+
+    /// Records an access point (defaults mirror [`Simulator::add_ap`]).
+    /// Returns its global station index.
+    pub fn add_ap(&mut self, pos: Pos, channel_idx: usize, ssid_len: u32) -> usize {
+        self.add_ap_with(
+            pos,
+            channel_idx,
+            ssid_len,
+            RateAdaptation::Arf(Rate::R11),
+            RtsPolicy::Never,
+        )
+    }
+
+    /// Records an access point with explicit adaptation and RTS policy.
+    pub fn add_ap_with(
+        &mut self,
+        pos: Pos,
+        channel_idx: usize,
+        ssid_len: u32,
+        adaptation: RateAdaptation,
+        rts_policy: RtsPolicy,
+    ) -> usize {
+        assert!(
+            channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        self.stations.push(StationOp::Ap {
+            pos,
+            channel_idx,
+            ssid_len,
+            adaptation,
+            rts_policy,
+        });
+        self.stations.len() - 1
+    }
+
+    /// Records a client. Returns its global station index.
+    pub fn add_client(&mut self, cfg: ClientConfig) -> usize {
+        assert!(
+            cfg.channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        self.stations.push(StationOp::Client(cfg));
+        self.stations.len() - 1
+    }
+
+    /// Records a sniffer. Returns its global sniffer index.
+    pub fn add_sniffer(&mut self, cfg: SnifferConfig) -> usize {
+        assert!(
+            cfg.channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        self.sniffers.push(cfg);
+        self.sniffers.len() - 1
+    }
+
+    /// Stations recorded so far.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Sniffers recorded so far.
+    pub fn sniffer_count(&self) -> usize {
+        self.sniffers.len()
+    }
+
+    /// Materializes the whole scenario as one per-channel simulator —
+    /// identical to having called the [`Simulator`] adders directly.
+    pub fn build_unsharded(&self) -> Simulator {
+        let mut sim = Simulator::new(self.config.clone());
+        for op in &self.stations {
+            match op {
+                StationOp::Ap {
+                    pos,
+                    channel_idx,
+                    ssid_len,
+                    adaptation,
+                    rts_policy,
+                } => {
+                    sim.add_ap_with(*pos, *channel_idx, *ssid_len, *adaptation, *rts_policy);
+                }
+                StationOp::Client(cfg) => {
+                    sim.add_client(cfg.clone());
+                }
+            }
+        }
+        for cfg in &self.sniffers {
+            sim.add_sniffer(*cfg);
+        }
+        sim
+    }
+
+    /// Partitions the scenario into at most `max_shards` shards of
+    /// RF-isolation components, or `None` when the scenario cannot be
+    /// sharded (dynamic channel management, or a client whose channel has
+    /// no AP and would rescan across channels).
+    pub fn partition(&self, max_shards: usize) -> Option<ShardPlan> {
+        if self.config.channel_mgmt.is_some() || max_shards == 0 {
+            return None;
+        }
+        let n = self.stations.len();
+        let radio = &self.config.radio;
+        let floor = radio.effective_coupling_floor_dbm();
+        // Every client must have a co-channel AP somewhere, or the join
+        // logic rescans onto another channel (a migration partitioned
+        // media cannot express).
+        for op in &self.stations {
+            if op.is_ap() {
+                continue;
+            }
+            let ch = op.channel_idx();
+            if !self
+                .stations
+                .iter()
+                .any(|o| o.is_ap() && o.channel_idx() == ch)
+            {
+                return None;
+            }
+        }
+        let mut uf = UnionFind::new(n + self.sniffers.len());
+        // Coupled same-channel pairs interact; everything below the floor
+        // is ignored by the simulator entirely.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.stations[a].channel_idx() == self.stations[b].channel_idx()
+                    && radio.rssi_dbm(self.stations[a].pos(), self.stations[b].pos()) >= floor
+                {
+                    uf.union(a, b);
+                }
+            }
+        }
+        // Forced edge: each client joins the strongest co-channel AP (first
+        // maximum in build order — exactly the join-time argmax), wherever
+        // it is; keep that AP in the client's component.
+        for c in 0..n {
+            if self.stations[c].is_ap() {
+                continue;
+            }
+            let ch = self.stations[c].channel_idx();
+            let mut best: Option<(usize, f64)> = None;
+            for (i, op) in self.stations.iter().enumerate() {
+                if op.is_ap() && op.channel_idx() == ch {
+                    let rssi = radio.rssi_dbm(op.pos(), self.stations[c].pos());
+                    if best.is_none_or(|(_, b)| rssi > b) {
+                        best = Some((i, rssi));
+                    }
+                }
+            }
+            let (ap, _) = best.expect("checked above: every client channel has an AP");
+            uf.union(c, ap);
+        }
+        // A sniffer hears (or counts a miss for) every co-channel station
+        // whose path RSSI at the sniffer clears the floor; all of them must
+        // share the sniffer's medium.
+        for (si, cfg) in self.sniffers.iter().enumerate() {
+            for (i, op) in self.stations.iter().enumerate() {
+                if op.channel_idx() == cfg.channel_idx && radio.rssi_dbm(op.pos(), cfg.pos) >= floor
+                {
+                    uf.union(n + si, i);
+                }
+            }
+        }
+        // Collect components, keyed by (first-seen order of) root.
+        let mut comp_of_root: Vec<(usize, usize)> = Vec::new(); // (root, comp id)
+        let mut comp_id = |uf: &mut UnionFind, entity: usize, comps: &mut Vec<Component>| {
+            let root = uf.find(entity);
+            if let Some(&(_, id)) = comp_of_root.iter().find(|&&(r, _)| r == root) {
+                return id;
+            }
+            let id = comps.len();
+            comp_of_root.push((root, id));
+            comps.push(Component::default());
+            id
+        };
+        #[derive(Default)]
+        struct Component {
+            channel: Option<usize>,
+            stations: Vec<usize>,
+            sniffers: Vec<usize>,
+        }
+        let mut comps: Vec<Component> = Vec::new();
+        for i in 0..n {
+            let id = comp_id(&mut uf, i, &mut comps);
+            comps[id].channel = Some(self.stations[i].channel_idx());
+            comps[id].stations.push(i);
+        }
+        for (si, cfg) in self.sniffers.iter().enumerate() {
+            let id = comp_id(&mut uf, n + si, &mut comps);
+            // A sniffer coupled to nothing forms its own (silent) medium.
+            comps[id].channel.get_or_insert(cfg.channel_idx);
+            comps[id].sniffers.push(si);
+        }
+        let components = comps.len();
+        // Longest-processing-time packing by station count into at most
+        // `max_shards` bins (deterministic: stable sort, lowest bin wins
+        // ties).
+        let mut order: Vec<usize> = (0..comps.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(comps[i].stations.len()));
+        let bins = max_shards.min(comps.len()).max(1);
+        let mut loads = vec![0usize; bins];
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); bins];
+        for &ci in &order {
+            let bin = (0..bins).min_by_key(|&b| loads[b]).unwrap();
+            loads[bin] += comps[ci].stations.len();
+            assignment[bin].push(ci);
+        }
+        let mut shards = Vec::new();
+        for mut group in assignment {
+            if group.is_empty() {
+                continue;
+            }
+            // Media in ascending first-station order keeps shard layout
+            // independent of the LPT visit order.
+            group.sort_by_key(|&ci| comps[ci].stations.first().copied().unwrap_or(usize::MAX));
+            let mut shard = Shard {
+                medium_channel: Vec::new(),
+                stations: Vec::new(),
+                sniffers: Vec::new(),
+            };
+            for &ci in &group {
+                let medium = shard.medium_channel.len();
+                shard
+                    .medium_channel
+                    .push(comps[ci].channel.expect("component has a channel"));
+                shard
+                    .stations
+                    .extend(comps[ci].stations.iter().map(|&gi| (gi, medium)));
+                shard
+                    .sniffers
+                    .extend(comps[ci].sniffers.iter().map(|&si| (si, medium)));
+            }
+            // Ascending global order (components are internally ascending;
+            // merge across them) so same-timestamp sequence order matches
+            // the unsharded build.
+            shard.stations.sort_by_key(|&(gi, _)| gi);
+            shard.sniffers.sort_by_key(|&(si, _)| si);
+            shards.push(shard);
+        }
+        shards.sort_by_key(|s| std::cmp::Reverse(s.stations.len()));
+        Some(ShardPlan { shards, components })
+    }
+
+    /// Materializes one shard as a partitioned simulator whose media are
+    /// the shard's components.
+    pub fn build_shard(&self, shard: &Shard) -> Simulator {
+        let mut sim = Simulator::new_partitioned(self.config.clone(), shard.medium_channel.clone());
+        for &(gi, medium) in &shard.stations {
+            match &self.stations[gi] {
+                StationOp::Ap {
+                    pos,
+                    channel_idx,
+                    ssid_len,
+                    adaptation,
+                    rts_policy,
+                } => {
+                    sim.add_ap_keyed(
+                        *pos,
+                        *channel_idx,
+                        *ssid_len,
+                        *adaptation,
+                        *rts_policy,
+                        gi as u64,
+                        medium,
+                    );
+                }
+                StationOp::Client(cfg) => {
+                    sim.add_client_keyed(cfg.clone(), gi as u64, medium);
+                }
+            }
+        }
+        for &(si, medium) in &shard.sniffers {
+            sim.add_sniffer_keyed(self.sniffers[si], si as u64, medium);
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::RadioConfig;
+    use crate::sniffer::SnifferConfig;
+    use crate::traffic::TrafficProfile;
+
+    fn config(channels: Vec<u8>) -> SimConfig {
+        SimConfig {
+            channels: channels
+                .into_iter()
+                .map(|n| wifi_frames::phy::Channel::new(n).unwrap())
+                .collect(),
+            ..SimConfig::default()
+        }
+    }
+
+    fn client(pos: Pos, channel_idx: usize) -> ClientConfig {
+        ClientConfig {
+            pos,
+            channel_idx,
+            rts_policy: RtsPolicy::Never,
+            adaptation: RateAdaptation::Arf(Rate::R11),
+            traffic: TrafficProfile::silent(),
+            join_at_us: 0,
+            leave_at_us: None,
+            power_save_interval_us: None,
+            frag_threshold: None,
+        }
+    }
+
+    /// Two halls far beyond the coupling floor split into two components;
+    /// one hall stays whole.
+    #[test]
+    fn partitions_far_halls() {
+        let mut spec = ShardSpec::new(config(vec![1]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        spec.add_client(client(Pos::new(5.0, 0.0), 0));
+        spec.add_ap(Pos::new(10_000.0, 0.0), 0, 4);
+        spec.add_client(client(Pos::new(10_005.0, 0.0), 0));
+        let plan = spec.partition(8).expect("shardable");
+        assert_eq!(plan.components, 2);
+        assert_eq!(plan.shards.len(), 2);
+        let mut stations: Vec<Vec<usize>> = plan
+            .shards
+            .iter()
+            .map(|s| s.stations.iter().map(|&(gi, _)| gi).collect())
+            .collect();
+        stations.sort();
+        assert_eq!(stations, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    /// Stations within range form one component regardless of shard cap.
+    #[test]
+    fn near_stations_stay_together() {
+        let mut spec = ShardSpec::new(config(vec![1]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        for i in 0..5 {
+            spec.add_client(client(Pos::new(3.0 * i as f64, 4.0), 0));
+        }
+        let plan = spec.partition(8).expect("shardable");
+        assert_eq!(plan.components, 1);
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].station_count(), 6);
+    }
+
+    /// Different channels are independent even at the same position.
+    #[test]
+    fn channels_split_components() {
+        let mut spec = ShardSpec::new(config(vec![1, 6]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        spec.add_client(client(Pos::new(1.0, 0.0), 0));
+        spec.add_ap(Pos::new(0.0, 1.0), 1, 4);
+        spec.add_client(client(Pos::new(1.0, 1.0), 1));
+        let plan = spec.partition(8).expect("shardable");
+        assert_eq!(plan.components, 2);
+    }
+
+    /// A client with no co-channel AP forces the unsharded fallback.
+    #[test]
+    fn orphan_client_declines() {
+        let mut spec = ShardSpec::new(config(vec![1, 6]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        spec.add_client(client(Pos::new(1.0, 0.0), 1));
+        assert!(spec.partition(8).is_none());
+    }
+
+    /// A sniffer between two otherwise-separate groups merges them.
+    #[test]
+    fn sniffer_bridges_components() {
+        // Pick a separation where the groups are mutually below the floor
+        // but a midpoint sniffer couples to both sides.
+        let radio = RadioConfig::default();
+        let floor = radio.effective_coupling_floor_dbm();
+        let mut d = 10.0;
+        while radio.rssi_dbm(Pos::new(0.0, 0.0), Pos::new(d, 0.0)) >= floor {
+            d += 10.0;
+        }
+        assert!(
+            radio.rssi_dbm(Pos::new(0.0, 0.0), Pos::new(d / 2.0, 0.0)) >= floor,
+            "midpoint must stay coupled for this test to be meaningful"
+        );
+        let mut spec = ShardSpec::new(config(vec![1]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        spec.add_ap(Pos::new(d, 0.0), 0, 4);
+        let plan = spec.partition(8).expect("shardable");
+        assert_eq!(plan.components, 2, "groups start separate");
+        spec.add_sniffer(SnifferConfig {
+            pos: Pos::new(d / 2.0, 0.0),
+            channel_idx: 0,
+            ..SnifferConfig::default()
+        });
+        let plan = spec.partition(8).expect("shardable");
+        assert_eq!(plan.components, 1, "sniffer couples to both sides");
+    }
+
+    /// LPT grouping respects the shard cap and covers every station once.
+    #[test]
+    fn grouping_covers_all_once() {
+        let mut spec = ShardSpec::new(config(vec![1]));
+        for h in 0..5 {
+            let x = h as f64 * 10_000.0;
+            spec.add_ap(Pos::new(x, 0.0), 0, 4);
+            for i in 0..=h {
+                spec.add_client(client(Pos::new(x + 2.0 * i as f64, 3.0), 0));
+            }
+        }
+        let plan = spec.partition(2).expect("shardable");
+        assert_eq!(plan.components, 5);
+        assert_eq!(plan.shards.len(), 2);
+        let mut seen: Vec<usize> = plan
+            .shards
+            .iter()
+            .flat_map(|s| s.stations.iter().map(|&(gi, _)| gi))
+            .collect();
+        seen.sort();
+        assert_eq!(seen, (0..spec.station_count()).collect::<Vec<_>>());
+    }
+
+    /// Channel management disables sharding.
+    #[test]
+    fn channel_mgmt_declines() {
+        let mut cfg = config(vec![1, 6]);
+        cfg.channel_mgmt = Some(crate::config::ChannelMgmt::default());
+        let mut spec = ShardSpec::new(cfg);
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        assert!(spec.partition(8).is_none());
+    }
+}

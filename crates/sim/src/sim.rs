@@ -28,12 +28,12 @@ use crate::geometry::Pos;
 use crate::medium::Medium;
 use crate::radio::{effective_sinr_db, processing_gain_db};
 use crate::rate::RateAdaptation;
+use crate::rng::SimRng;
 use crate::sniffer::{MissReason, Sniffer, SnifferConfig};
 use crate::station::{MacState, Msdu, MsduKind, Role, RtsPolicy, Station, TxOp, TxPhase};
 use crate::topology::{NodeSet, SensingTopology};
 use crate::traffic::TrafficProfile;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::HashMap;
 use wifi_frames::fc::FrameKind;
 use wifi_frames::frame;
@@ -51,8 +51,9 @@ const PROBE_RESP_BODY: u32 = 42;
 const TIMEOUT_MARGIN_US: Micros = 30;
 /// Delay before a failed association is retried.
 const ASSOC_RETRY_US: Micros = 500_000;
-/// Link-id offset distinguishing sniffer fade links from station links.
-const SNIFFER_LINK_BASE: u64 = 1 << 40;
+/// Key offset distinguishing sniffer fade links and RNG streams from
+/// station ones (station keys are scenario build indices, far below this).
+pub(crate) const SNIFFER_LINK_BASE: u64 = 1 << 40;
 
 /// Ground-truth log of everything that actually went on air.
 #[derive(Default)]
@@ -103,22 +104,38 @@ pub struct Simulator {
     queue: EventQueue,
     stations: Vec<Station>,
     sniffers: Vec<Sniffer>,
+    /// One medium per *partition*: per channel in an unsharded simulator,
+    /// per RF-isolation component in a sharded one. Every effect of a
+    /// transmission — reception, NAV, carrier sense, sniffer capture — is
+    /// confined to its medium by construction.
     media: Vec<Medium>,
+    /// The channel each medium lives on (`media[i]` ↔ `medium_channel[i]`).
+    /// Identity mapping when media are per-channel.
+    medium_channel: Vec<usize>,
+    /// True when media are RF-isolation components rather than whole
+    /// channels (built by [`crate::shard`]; disables channel migration).
+    partitioned: bool,
     mac_index: HashMap<MacAddr, NodeId>,
-    rng: SmallRng,
     /// Ground truth.
     pub ground_truth: GroundTruth,
     events_processed: u64,
-    next_mac_id: u32,
     /// Cumulative transmission air time per channel, µs (drives dynamic
     /// channel assignment).
     chan_airtime_us: Vec<u64>,
     /// Cached pairwise RSSI / carrier-sense reachability (rebuilt lazily
     /// when the population changes; see [`crate::topology`]).
     topology: SensingTopology,
-    /// Which stations are tuned to each channel (kept in lockstep with
-    /// `Station::channel_idx`), for masking cached sensing rows.
-    channel_members: Vec<NodeSet>,
+    /// Which stations belong to each medium (kept in lockstep with
+    /// `Station::medium_idx`), for masking cached sensing rows.
+    medium_members: Vec<NodeSet>,
+    /// The medium each sniffer captures on (parallel to `sniffers`).
+    sniffer_medium: Vec<usize>,
+    /// Global sniffer keys (scenario-wide build order; fade-link and RNG
+    /// stream identity, stable across shard partitionings).
+    sniffer_keys: Vec<u64>,
+    /// Per-sniffer decode-draw streams, keyed
+    /// `SNIFFER_LINK_BASE + sniffer_keys[i]`.
+    sniffer_rngs: Vec<SimRng>,
     /// Scratch: sampled MSDU sizes of one traffic batch.
     sizes_scratch: Vec<u32>,
     /// Scratch: listener-bitset word snapshot while applying or releasing
@@ -133,37 +150,67 @@ pub struct Simulator {
     interferer_rssi: Vec<f64>,
     /// Scratch: one same-timestamp event batch from the queue.
     batch_scratch: Vec<Event>,
-    /// Memoized slow-fade draws per directed station link, `[tx * n + rx]`,
-    /// tagged with the coherence bucket they were drawn in (`u64::MAX` =
-    /// never drawn). `Fading::fade_db` is a pure function of
-    /// `(link, bucket, seed)`, so a hit returns the exact value a fresh
-    /// call would compute — results stay bit-identical.
-    fade_cache: Vec<(u64, f64)>,
-    /// Memoized sniffer-link fades, `[sniffer * n + tx]`, same tagging.
-    sniffer_fade_cache: Vec<(u64, f64)>,
+    /// Memoized slow-fade draws per directed station link, `[tx * n + rx]`;
+    /// `NAN` = not drawn this coherence bucket. Bucket boundaries are
+    /// global (`now / coherence_us`), so one [`Self::fade_epoch`] stamp
+    /// validates the whole cache instead of a per-entry tag — at ramp scale
+    /// that halves the dominant O(n²) resident allocation. `Fading::fade_db`
+    /// is a pure function of `(link, bucket, seed)` and never returns `NAN`,
+    /// so a hit returns the exact value a fresh call would compute —
+    /// results stay bit-identical.
+    fade_cache: Vec<f64>,
+    /// Memoized sniffer-link fades, `[sniffer * n + tx]`, same scheme.
+    sniffer_fade_cache: Vec<f64>,
+    /// Coherence bucket both fade caches describe (`u64::MAX` = none yet).
+    fade_epoch: u64,
 }
 
 impl Simulator {
-    /// A new, empty simulation.
+    /// A new, empty simulation with one medium per channel.
     pub fn new(config: SimConfig) -> Simulator {
-        let media = config.channels.iter().map(|_| Medium::new()).collect();
+        let medium_channel = (0..config.channels.len()).collect();
+        Simulator::with_media(config, medium_channel, false)
+    }
+
+    /// A simulator whose media are the given partitions (one per entry of
+    /// `medium_channel`, which names the channel each medium lives on).
+    /// Used by [`crate::shard`] to build RF-isolation-component media;
+    /// incompatible with dynamic channel assignment, which migrates
+    /// stations between media.
+    pub(crate) fn new_partitioned(config: SimConfig, medium_channel: Vec<usize>) -> Simulator {
+        assert!(
+            config.channel_mgmt.is_none(),
+            "partitioned media are incompatible with dynamic channel assignment"
+        );
+        assert!(
+            medium_channel.iter().all(|&c| c < config.channels.len()),
+            "medium on unknown channel"
+        );
+        Simulator::with_media(config, medium_channel, true)
+    }
+
+    fn with_media(config: SimConfig, medium_channel: Vec<usize>, partitioned: bool) -> Simulator {
+        let media = medium_channel.iter().map(|_| Medium::new()).collect();
         let chan_airtime_us = vec![0; config.channels.len()];
-        let channel_members = config.channels.iter().map(|_| NodeSet::new()).collect();
+        let medium_members = medium_channel.iter().map(|_| NodeSet::new()).collect();
         Simulator {
-            rng: SmallRng::seed_from_u64(config.seed),
             config,
             now: 0,
             queue: EventQueue::new(),
             stations: Vec::new(),
             sniffers: Vec::new(),
             media,
+            medium_channel,
+            partitioned,
             mac_index: HashMap::new(),
             ground_truth: GroundTruth::default(),
             events_processed: 0,
-            next_mac_id: 1,
             chan_airtime_us,
             topology: SensingTopology::default(),
-            channel_members,
+            medium_members,
+            sniffer_medium: Vec::new(),
+            sniffer_keys: Vec::new(),
+            sniffer_rngs: Vec::new(),
             sizes_scratch: Vec::new(),
             cs_scratch: Vec::new(),
             eval_deltas: Vec::new(),
@@ -172,6 +219,7 @@ impl Simulator {
             batch_scratch: Vec::new(),
             fade_cache: Vec::new(),
             sniffer_fade_cache: Vec::new(),
+            fade_epoch: u64::MAX,
         }
     }
 
@@ -211,12 +259,16 @@ impl Simulator {
         &mut self.sniffers
     }
 
-    /// Collision/transmission counters per channel medium.
+    /// Collision/transmission counters per channel, summed over that
+    /// channel's media (one medium per channel unsharded, so the sum is
+    /// the identity there).
     pub fn medium_stats(&self) -> Vec<(u64, u64)> {
-        self.media
-            .iter()
-            .map(|m| (m.transmissions, m.collisions))
-            .collect()
+        let mut per_channel = vec![(0u64, 0u64); self.config.channels.len()];
+        for (m, &ch) in self.media.iter().zip(&self.medium_channel) {
+            per_channel[ch].0 += m.transmissions;
+            per_channel[ch].1 += m.collisions;
+        }
+        per_channel
     }
 
     /// Cached path-loss RSSI plus the current slow-fade of the `tx → rx`
@@ -224,6 +276,19 @@ impl Simulator {
     #[inline]
     fn faded_rssi(&mut self, tx_node: NodeId, rx_node: NodeId) -> f64 {
         self.topology.rssi(tx_node, rx_node) + self.link_fade(tx_node, rx_node)
+    }
+
+    /// Invalidates both fade caches when `now` crossed into a new coherence
+    /// bucket. Bucket boundaries are global, so one stamp covers every link.
+    #[inline]
+    fn fade_bucket(&mut self) -> u64 {
+        let bucket = self.now / self.config.radio.fading.coherence_us.max(1);
+        if bucket != self.fade_epoch {
+            self.fade_cache.fill(f64::NAN);
+            self.sniffer_fade_cache.fill(f64::NAN);
+            self.fade_epoch = bucket;
+        }
+        bucket
     }
 
     /// Memoized `fade_db` for a station → station link: one Box–Muller
@@ -235,15 +300,15 @@ impl Simulator {
         if fading.sigma_db == 0.0 {
             return 0.0;
         }
-        let bucket = self.now / fading.coherence_us.max(1);
-        let slot = &mut self.fade_cache[tx_node * self.stations.len() + rx_node];
-        if slot.0 != bucket {
-            *slot = (
-                bucket,
-                fading.fade_db(tx_node as u64, rx_node as u64, self.now),
-            );
+        self.fade_bucket();
+        let tx_key = self.stations[tx_node].key;
+        let rx_key = self.stations[rx_node].key;
+        let n = self.stations.len();
+        let slot = &mut self.fade_cache[tx_node * n + rx_node];
+        if slot.is_nan() {
+            *slot = fading.fade_db(tx_key, rx_key, self.now);
         }
-        slot.1
+        *slot
     }
 
     /// Memoized `fade_db` of station `tx_node` at sniffer `idx`
@@ -254,15 +319,15 @@ impl Simulator {
         if fading.sigma_db == 0.0 {
             return 0.0;
         }
-        let bucket = self.now / fading.coherence_us.max(1);
-        let slot = &mut self.sniffer_fade_cache[idx * self.stations.len() + tx_node];
-        if slot.0 != bucket {
-            *slot = (
-                bucket,
-                fading.fade_db(tx_node as u64, SNIFFER_LINK_BASE + idx as u64, self.now),
-            );
+        self.fade_bucket();
+        let tx_key = self.stations[tx_node].key;
+        let link = SNIFFER_LINK_BASE + self.sniffer_keys[idx];
+        let n = self.stations.len();
+        let slot = &mut self.sniffer_fade_cache[idx * n + tx_node];
+        if slot.is_nan() {
+            *slot = fading.fade_db(tx_key, link, self.now);
         }
-        slot.1
+        *slot
     }
 
     /// SINR of transmission `tx` at station `rx_node`: cached+faded RSSI
@@ -295,16 +360,19 @@ impl Simulator {
     fn ensure_topology(&mut self) {
         let (n, sniffers) = (self.stations.len(), self.sniffers.len());
         // Size the fade memos alongside the topology matrix; a population
-        // change invalidates every slot (the `u64::MAX` tag means "never
-        // drawn", a bucket value no reachable timestamp produces).
+        // change rebuilds them all-`NAN` ("never drawn"). Fresh exact-size
+        // allocations, for the same reason as the RSSI matrix: incremental
+        // joins would otherwise leave amortized-doubling dead capacity on
+        // the largest allocation in the simulator.
         if self.fade_cache.len() != n * n {
-            self.fade_cache.clear();
-            self.fade_cache.resize(n * n, (u64::MAX, 0.0));
+            self.fade_cache = Vec::new();
+            self.fade_cache.reserve_exact(n * n);
+            self.fade_cache.resize(n * n, f64::NAN);
         }
         if self.sniffer_fade_cache.len() != sniffers * n {
-            self.sniffer_fade_cache.clear();
-            self.sniffer_fade_cache
-                .resize(sniffers * n, (u64::MAX, 0.0));
+            self.sniffer_fade_cache = Vec::new();
+            self.sniffer_fade_cache.reserve_exact(sniffers * n);
+            self.sniffer_fade_cache.resize(sniffers * n, f64::NAN);
         }
         if self.topology.matches(n, sniffers) {
             return;
@@ -315,12 +383,6 @@ impl Simulator {
             .rebuild(&station_pos, &sniffer_pos, &self.config.radio);
     }
 
-    fn fresh_mac(&mut self) -> MacAddr {
-        let mac = MacAddr::from_id(self.next_mac_id);
-        self.next_mac_id += 1;
-        mac
-    }
-
     /// Adds an access point. Returns its node id. The first beacon is
     /// scheduled at a random offset inside one beacon interval so that
     /// co-channel APs do not beacon in lockstep.
@@ -329,7 +391,61 @@ impl Simulator {
             channel_idx < self.config.channels.len(),
             "bad channel index"
         );
-        let mac = self.fresh_mac();
+        let key = self.stations.len() as u64;
+        self.add_ap_keyed(
+            pos,
+            channel_idx,
+            ssid_len,
+            RateAdaptation::Arf(Rate::R11),
+            RtsPolicy::Never,
+            key,
+            channel_idx,
+        )
+    }
+
+    /// Adds an AP whose downlink transmissions use the given rate adaptation
+    /// and RTS policy (ablations).
+    pub fn add_ap_with(
+        &mut self,
+        pos: Pos,
+        channel_idx: usize,
+        ssid_len: u32,
+        adaptation: RateAdaptation,
+        rts_policy: RtsPolicy,
+    ) -> NodeId {
+        assert!(
+            channel_idx < self.config.channels.len(),
+            "bad channel index"
+        );
+        let key = self.stations.len() as u64;
+        self.add_ap_keyed(
+            pos,
+            channel_idx,
+            ssid_len,
+            adaptation,
+            rts_policy,
+            key,
+            channel_idx,
+        )
+    }
+
+    /// AP adder taking the global identity explicitly: `key` is the
+    /// scenario-wide build index (RNG stream, fade link, MAC) and
+    /// `medium_idx` the local medium. The public adders pass
+    /// `key = local index, medium = channel`; [`crate::shard`] passes
+    /// global keys and component media.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add_ap_keyed(
+        &mut self,
+        pos: Pos,
+        channel_idx: usize,
+        ssid_len: u32,
+        adaptation: RateAdaptation,
+        rts_policy: RtsPolicy,
+        key: u64,
+        medium_idx: usize,
+    ) -> NodeId {
+        let mac = MacAddr::from_id(key as u32 + 1);
         let id = self.stations.len();
         // Beacon body: fixed(12) + ssid IE(2+n) + rates IE(6) + DS IE(3).
         let beacon_body = frame::BEACON_FIXED_BODY_BYTES as u32 + 2 + ssid_len + 6 + 3;
@@ -346,36 +462,29 @@ impl Simulator {
             TrafficProfile::silent(),
             &self.config.dcf,
         );
+        st.adapter_cfg = adaptation;
+        st.rts_policy = rts_policy;
         st.queue_cap = self.config.queue_cap;
         st.joined = true;
+        st.key = key;
+        st.rng = SimRng::new(self.config.seed, key);
+        st.medium_idx = medium_idx;
         self.stations.push(st);
-        self.channel_members[channel_idx].insert(id);
+        self.medium_members[medium_idx].insert(id);
         self.mac_index.insert(mac, id);
-        let offset = self.rng.gen_range(0..self.config.beacon_interval_us);
+        let beacon_interval = self.config.beacon_interval_us;
+        let channel_mgmt = self.config.channel_mgmt;
+        let offset = self.stations[id].rng.gen_range(0..beacon_interval);
         self.queue.push(offset, Event::BeaconDue { node: id });
-        if let Some(cm) = self.config.channel_mgmt {
-            let jitter = self.rng.gen_range(0..cm.eval_interval_us.max(1));
+        if let Some(cm) = channel_mgmt {
+            let jitter = self.stations[id]
+                .rng
+                .gen_range(0..cm.eval_interval_us.max(1));
             self.queue.push(
                 cm.eval_interval_us + jitter,
                 Event::ChannelEval { node: id },
             );
         }
-        id
-    }
-
-    /// Adds an AP whose downlink transmissions use the given rate adaptation
-    /// and RTS policy (ablations).
-    pub fn add_ap_with(
-        &mut self,
-        pos: Pos,
-        channel_idx: usize,
-        ssid_len: u32,
-        adaptation: RateAdaptation,
-        rts_policy: RtsPolicy,
-    ) -> NodeId {
-        let id = self.add_ap(pos, channel_idx, ssid_len);
-        self.stations[id].adapter_cfg = adaptation;
-        self.stations[id].rts_policy = rts_policy;
         id
     }
 
@@ -385,7 +494,20 @@ impl Simulator {
             cfg.channel_idx < self.config.channels.len(),
             "bad channel index"
         );
-        let mac = self.fresh_mac();
+        let key = self.stations.len() as u64;
+        let medium_idx = cfg.channel_idx;
+        self.add_client_keyed(cfg, key, medium_idx)
+    }
+
+    /// Client adder taking the global identity explicitly (see
+    /// [`Self::add_ap_keyed`]).
+    pub(crate) fn add_client_keyed(
+        &mut self,
+        cfg: ClientConfig,
+        key: u64,
+        medium_idx: usize,
+    ) -> NodeId {
+        let mac = MacAddr::from_id(key as u32 + 1);
         let id = self.stations.len();
         let mut st = Station::new(
             id,
@@ -401,8 +523,11 @@ impl Simulator {
         st.queue_cap = self.config.queue_cap;
         st.power_save_interval_us = cfg.power_save_interval_us;
         st.frag_threshold = cfg.frag_threshold;
+        st.key = key;
+        st.rng = SimRng::new(self.config.seed, key);
+        st.medium_idx = medium_idx;
         self.stations.push(st);
-        self.channel_members[cfg.channel_idx].insert(id);
+        self.medium_members[medium_idx].insert(id);
         self.mac_index.insert(mac, id);
         self.queue
             .push(cfg.join_at_us, Event::UserJoin { node: id });
@@ -410,7 +535,7 @@ impl Simulator {
             self.queue.push(leave, Event::UserLeave { node: id });
         }
         if let Some(interval) = cfg.power_save_interval_us {
-            let first = cfg.join_at_us + self.rng.gen_range(0..interval.max(1));
+            let first = cfg.join_at_us + self.stations[id].rng.gen_range(0..interval.max(1));
             self.queue.push(first, Event::PowerSaveTick { node: id });
         }
         id
@@ -422,6 +547,24 @@ impl Simulator {
             cfg.channel_idx < self.config.channels.len(),
             "bad channel index"
         );
+        let key = self.sniffers.len() as u64;
+        let medium_idx = cfg.channel_idx;
+        self.add_sniffer_keyed(cfg, key, medium_idx)
+    }
+
+    /// Sniffer adder taking the global identity explicitly (see
+    /// [`Self::add_ap_keyed`]). The RNG stream and fade link are keyed
+    /// `SNIFFER_LINK_BASE + key`, past the station key space.
+    pub(crate) fn add_sniffer_keyed(
+        &mut self,
+        cfg: SnifferConfig,
+        key: u64,
+        medium_idx: usize,
+    ) -> usize {
+        self.sniffer_medium.push(medium_idx);
+        self.sniffer_keys.push(key);
+        self.sniffer_rngs
+            .push(SimRng::new(self.config.seed, SNIFFER_LINK_BASE + key));
         self.sniffers.push(Sniffer::new(cfg));
         self.sniffers.len() - 1
     }
@@ -443,8 +586,8 @@ impl Simulator {
             };
             self.now = at;
             self.events_processed += batch.len() as u64;
-            for i in 0..batch.len() {
-                self.handle(batch[i]);
+            for &event in &batch {
+                self.handle(event);
             }
         }
         self.batch_scratch = batch;
@@ -467,8 +610,8 @@ impl Simulator {
             Event::BeaconDue { node } => self.on_beacon_due(node),
             Event::TrafficArrival { node, flow } => self.on_traffic(node, flow),
             Event::Timer { node, gen, kind } => self.on_timer(node, gen, kind),
-            Event::CsBusy { channel, tx_id } => self.on_cs_busy(channel, tx_id),
-            Event::TxEnd { channel, tx_id } => self.on_tx_end(channel, tx_id),
+            Event::CsBusy { medium, tx_id } => self.on_cs_busy(medium, tx_id),
+            Event::TxEnd { medium, tx_id } => self.on_tx_end(medium, tx_id),
             Event::ChannelEval { node } => self.on_channel_eval(node),
             Event::PowerSaveTick { node } => self.on_power_save_tick(node),
             Event::FollowAp { node, channel_idx } => self.on_follow_ap(node, channel_idx),
@@ -536,7 +679,7 @@ impl Simulator {
         if st.associated_ap.is_some() || st.departed {
             return; // already associated, or left for good (stale retry)
         }
-        let channel_idx = st.channel_idx;
+        let medium_idx = st.medium_idx;
         let first_join = !st.joined;
         self.stations[node].joined = true;
         // Active scanning: a broadcast probe request precedes the first
@@ -550,21 +693,24 @@ impl Simulator {
                 enqueued_at: self.now,
             });
         }
-        // Pick the strongest AP on our channel (cached path loss).
-        let best_on = |sim: &Simulator, ch: Option<usize>| -> Option<(NodeId, f64)> {
+        // Pick the strongest AP on our medium (cached path loss). Unsharded
+        // the medium is the whole channel; sharded it is our RF-isolation
+        // component, which contains our strongest co-channel AP by
+        // construction (the shard planner's forced edge).
+        let best_on = |sim: &Simulator, m: Option<usize>| -> Option<(NodeId, f64)> {
             let mut best: Option<(NodeId, f64)> = None;
             for (i, ap) in sim.stations.iter().enumerate() {
-                if ap.is_ap() && ch.map_or(true, |c| ap.channel_idx == c) {
+                if ap.is_ap() && m.is_none_or(|mm| ap.medium_idx == mm) {
                     let rssi = sim.topology.rssi(i, node);
-                    if best.map_or(true, |(_, b)| rssi > b) {
+                    if best.is_none_or(|(_, b)| rssi > b) {
                         best = Some((i, rssi));
                     }
                 }
             }
             best
         };
-        let mut choice = best_on(self, Some(channel_idx));
-        if choice.is_none() {
+        let mut choice = best_on(self, Some(medium_idx));
+        if choice.is_none() && !self.partitioned {
             // Our channel has no AP (it may have migrated away): scan all
             // channels and retune to the strongest AP found anywhere.
             if let Some((ap_id, rssi)) = best_on(self, None) {
@@ -607,12 +753,10 @@ impl Simulator {
             return;
         }
         st.associated_ap = Some(ap);
-        // Start traffic flows.
-        let up_gap = st.traffic.uplink.next_gap(&mut self.rng);
-        let down_gap = self.stations[client]
-            .traffic
-            .downlink
-            .next_gap(&mut self.rng);
+        // Start traffic flows; both directions draw on the client's stream.
+        let Station { traffic, rng, .. } = st;
+        let up_gap = traffic.uplink.next_gap(rng);
+        let down_gap = traffic.downlink.next_gap(rng);
         if let Some(g) = up_gap {
             self.queue.push(
                 self.now + g,
@@ -650,20 +794,20 @@ impl Simulator {
         let now = self.now;
         // One arrival event delivers a (possibly bursty) batch of MSDUs.
         // Borrow-split so the flow config (whose size distribution is
-        // heap-backed) is sampled in place instead of cloned per event; the
-        // RNG draw order — batch, sizes, backoff (in try_dequeue), gap — is
-        // unchanged.
+        // heap-backed) is sampled in place instead of cloned per event. Both
+        // directions of a client's traffic draw on the *client's* stream
+        // (downlink MSDUs are enqueued at the AP but belong to this flow).
         {
             let Simulator {
                 stations,
-                rng,
                 sizes_scratch,
                 ..
             } = self;
+            let Station { traffic, rng, .. } = &mut stations[node];
             let flow_cfg = if flow == 0 {
-                &stations[node].traffic.uplink
+                &traffic.uplink
             } else {
-                &stations[node].traffic.downlink
+                &traffic.downlink
             };
             let batch = flow_cfg.batch_size(rng);
             sizes_scratch.clear();
@@ -688,15 +832,13 @@ impl Simulator {
         }
         self.try_dequeue(enqueue_on);
         let Simulator {
-            stations,
-            rng,
-            queue,
-            ..
+            stations, queue, ..
         } = self;
+        let Station { traffic, rng, .. } = &mut stations[node];
         let flow_cfg = if flow == 0 {
-            &stations[node].traffic.uplink
+            &traffic.uplink
         } else {
-            &stations[node].traffic.downlink
+            &traffic.downlink
         };
         if let Some(g) = flow_cfg.next_gap(rng) {
             queue.push(now + g, Event::TrafficArrival { node, flow });
@@ -746,7 +888,7 @@ impl Simulator {
             });
             self.try_dequeue(node);
         }
-        let jitter = self.rng.gen_range(0..interval / 4 + 1);
+        let jitter = self.stations[node].rng.gen_range(0..interval / 4 + 1);
         self.queue
             .push(self.now + interval + jitter, Event::PowerSaveTick { node });
     }
@@ -812,7 +954,8 @@ impl Simulator {
         debug_assert!(st.current.is_some());
         if st.channel_busy(now) {
             if st.backoff_slots == 0 {
-                st.backoff_slots = draw_backoff(&mut self.rng, st.cw);
+                let cw = st.cw;
+                st.backoff_slots = draw_backoff(&mut st.rng, cw);
             }
             st.state = MacState::Frozen;
             return;
@@ -824,7 +967,8 @@ impl Simulator {
             return;
         }
         if st.backoff_slots == 0 {
-            st.backoff_slots = draw_backoff(&mut self.rng, st.cw);
+            let cw = st.cw;
+            st.backoff_slots = draw_backoff(&mut st.rng, cw);
         }
         st.state = MacState::WaitDefer;
         let ready_at = (st.idle_since + difs).max(now);
@@ -1002,37 +1146,44 @@ impl Simulator {
         let preamble = self.config.preamble;
         let air = frame_airtime_us(frame.mac_bytes as u64, rate, preamble);
         let end = now + air;
-        let channel = self.stations[node].channel_idx;
+        let medium = self.stations[node].medium_idx;
         {
             let st = &mut self.stations[node];
             st.state = MacState::Transmitting { phase };
             st.tx_until = end;
         }
         // Decide who will sense this transmission: the cached carrier-sense
-        // row masked by the channel's membership — a few word ANDs where the
+        // row masked by the medium's membership — a few word ANDs where the
         // unoptimized loop did O(stations) path-loss math per frame. The
         // busy indication lands one detection delay later (the CSMA
         // vulnerability window).
-        let mut sensed_by = self.media[channel].take_set();
-        self.topology
-            .sensed_into(node, &self.channel_members[channel], &mut sensed_by);
-        let tx_id = self.media[channel].start_tx(node, frame, rate, now, end, sensed_by);
+        let Simulator {
+            media,
+            topology,
+            medium_members,
+            ..
+        } = self;
+        let mut sensed_by = media[medium].take_set();
+        topology.sensed_into(node, &medium_members[medium], &mut sensed_by);
+        let tx_id = media[medium].start_tx(node, frame, rate, now, end, sensed_by, |other| {
+            topology.coupled(node, other)
+        });
         self.queue.push(
             now + self.config.cs_delay_us.min(air.saturating_sub(1)),
-            Event::CsBusy { channel, tx_id },
+            Event::CsBusy { medium, tx_id },
         );
-        self.queue.push(end, Event::TxEnd { channel, tx_id });
+        self.queue.push(end, Event::TxEnd { medium, tx_id });
     }
 
     /// One detection delay into a transmission: listeners now sense energy.
-    fn on_cs_busy(&mut self, channel: usize, tx_id: u64) {
+    fn on_cs_busy(&mut self, medium: usize, tx_id: u64) {
         let now = self.now;
         // Snapshot the listener bitset's words into a reused scratch buffer
         // (the set itself stays on the transmission for the release at
         // TxEnd) and walk the bits in place, ascending — same station order
         // as the id list this replaces, at a fraction of the copy cost.
         let mut words = std::mem::take(&mut self.cs_scratch);
-        match self.media[channel]
+        match self.media[medium]
             .active()
             .iter()
             .find(|t| t.tx_id == tx_id)
@@ -1043,7 +1194,7 @@ impl Simulator {
                 return; // transmission already ended (degenerate cs delay)
             }
         }
-        self.media[channel].mark_cs_applied(tx_id);
+        self.media[medium].mark_cs_applied(tx_id);
         for (wi, &w) in words.iter().enumerate() {
             let mut bits = w;
             while bits != 0 {
@@ -1109,25 +1260,26 @@ impl Simulator {
     // Transmission end: receptions, sniffers, state advance
     // ------------------------------------------------------------------
 
-    fn on_tx_end(&mut self, channel: usize, tx_id: u64) {
-        let tx = self.media[channel]
+    fn on_tx_end(&mut self, medium: usize, tx_id: u64) {
+        let tx = self.media[medium]
             .end_tx(tx_id)
             .expect("TxEnd for unknown transmission");
         let now = self.now;
+        let channel = self.medium_channel[medium];
 
         // 1. Advance the transmitter's state machine.
         self.advance_transmitter(&tx);
 
         // 2. Intended-receiver reception.
-        self.process_reception(channel, &tx);
+        self.process_reception(medium, &tx);
 
         // 3. NAV at overhearers, for RTS/CTS only (see module docs).
         if matches!(tx.frame.kind, FrameKind::Rts | FrameKind::Cts) && tx.frame.duration_us > 0 {
-            self.process_nav(channel, &tx);
+            self.process_nav(medium, &tx);
         }
 
         // 4. Sniffers.
-        self.process_sniffers(channel, &tx);
+        self.process_sniffers(medium, &tx);
 
         // 5. Ground truth and channel load accounting.
         self.chan_airtime_us[channel] += tx.end.saturating_sub(tx.start);
@@ -1165,7 +1317,7 @@ impl Simulator {
             self.stations[tx.node].idle_since = now;
         }
         // 7. Recycle the transmission's listener set and interferer list.
-        self.media[channel].recycle(tx);
+        self.media[medium].recycle(tx);
     }
 
     fn advance_transmitter(&mut self, tx: &crate::medium::Transmission) {
@@ -1209,21 +1361,24 @@ impl Simulator {
         }
     }
 
-    fn process_reception(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+    fn process_reception(&mut self, medium: usize, tx: &crate::medium::Transmission) {
         let frame = &tx.frame;
         if frame.dst.is_multicast() {
             // Broadcast probes solicit responses from every AP that decodes
             // them; other broadcast frames have no modelled consequences.
             if frame.kind == FrameKind::ProbeRequest {
-                self.process_probe_request(channel, tx);
+                self.process_probe_request(medium, tx);
             }
             return;
         }
         let Some(&rx_node) = self.mac_index.get(&frame.dst) else {
             return;
         };
-        if rx_node == tx.node || self.stations[rx_node].channel_idx != channel {
+        if rx_node == tx.node || self.stations[rx_node].medium_idx != medium {
             return;
+        }
+        if !self.topology.coupled(tx.node, rx_node) {
+            return; // below the pair-coupling floor: no interaction
         }
         if self.stations[rx_node].was_transmitting_during(tx.start, tx.end) {
             return; // half-duplex
@@ -1237,7 +1392,7 @@ impl Simulator {
             .config
             .error
             .frame_success_prob(sinr, tx.rate, frame.mac_bytes);
-        if self.rng.gen::<f64>() >= p {
+        if self.stations[rx_node].rng.gen::<f64>() >= p {
             if self.config.eifs_enabled {
                 self.stations[rx_node].use_eifs = true;
             }
@@ -1246,17 +1401,19 @@ impl Simulator {
         self.deliver_frame(rx_node, tx, sinr);
     }
 
-    /// A broadcast probe request: every AP on the channel that decodes it
+    /// A broadcast probe request: every AP on the medium that decodes it
     /// queues a probe response to the prober.
-    fn process_probe_request(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+    fn process_probe_request(&mut self, medium: usize, tx: &crate::medium::Transmission) {
         let Some(prober) = tx.frame.src else {
             return;
         };
         let now = self.now;
         for i in 0..self.stations.len() {
-            if !self.stations[i].is_ap() || self.stations[i].channel_idx != channel || i == tx.node
-            {
+            if !self.stations[i].is_ap() || self.stations[i].medium_idx != medium || i == tx.node {
                 continue;
+            }
+            if !self.topology.coupled(tx.node, i) {
+                continue; // below the pair-coupling floor
             }
             if self.stations[i].was_transmitting_during(tx.start, tx.end) {
                 continue;
@@ -1270,7 +1427,7 @@ impl Simulator {
                 .config
                 .error
                 .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
-            if self.rng.gen::<f64>() >= p {
+            if self.stations[i].rng.gen::<f64>() >= p {
                 continue;
             }
             let ap_mac = self.stations[i].mac;
@@ -1431,15 +1588,18 @@ impl Simulator {
         );
     }
 
-    fn process_nav(&mut self, channel: usize, tx: &crate::medium::Transmission) {
+    fn process_nav(&mut self, medium: usize, tx: &crate::medium::Transmission) {
         let now = self.now;
         let until = now + tx.frame.duration_us as Micros;
         for i in 0..self.stations.len() {
-            if i == tx.node || self.stations[i].channel_idx != channel {
+            if i == tx.node || self.stations[i].medium_idx != medium {
                 continue;
             }
             if self.stations[i].mac == tx.frame.dst {
                 continue; // the addressee does not set NAV from its own exchange
+            }
+            if !self.topology.coupled(tx.node, i) {
+                continue; // below the pair-coupling floor
             }
             if self.stations[i].was_transmitting_during(tx.start, tx.end) {
                 continue;
@@ -1453,7 +1613,7 @@ impl Simulator {
                 .config
                 .error
                 .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
-            if self.rng.gen::<f64>() < p && until > self.stations[i].nav_until {
+            if self.stations[i].rng.gen::<f64>() < p && until > self.stations[i].nav_until {
                 let was_busy = self.stations[i].channel_busy(now);
                 self.stations[i].nav_until = until;
                 if !was_busy {
@@ -1464,11 +1624,20 @@ impl Simulator {
         }
     }
 
-    fn process_sniffers(&mut self, channel: usize, tx: &crate::medium::Transmission) {
-        let ch = self.config.channels[channel];
+    fn process_sniffers(&mut self, medium: usize, tx: &crate::medium::Transmission) {
+        let ch = self.config.channels[self.medium_channel[medium]];
         let now = self.now;
+        let floor = self.config.radio.effective_coupling_floor_dbm();
         for idx in 0..self.sniffers.len() {
-            if self.sniffers[idx].config.channel_idx != channel {
+            if self.sniffer_medium[idx] != medium {
+                continue;
+            }
+            // The pair-coupling floor applies to sniffer links too: a
+            // transmission whose path-loss RSSI at the sniffer is below the
+            // floor is not on this sniffer's air at all — not even as a
+            // miss. This is what makes per-sniffer traces and statistics
+            // independent of how the channel is partitioned into shards.
+            if self.topology.sniffer_rssi(idx, tx.node) < floor {
                 continue;
             }
             // Sniffer links get their own fade realizations, keyed past the
@@ -1483,6 +1652,9 @@ impl Simulator {
             let mut interf = std::mem::take(&mut self.interferer_rssi);
             interf.clear();
             for &nid in &tx.interferers {
+                if self.topology.sniffer_rssi(idx, nid) < floor {
+                    continue; // below the floor at this sniffer
+                }
                 interf.push(
                     self.topology.sniffer_rssi(idx, nid) + fade_scale * self.sniffer_fade(idx, nid),
                 );
@@ -1498,7 +1670,7 @@ impl Simulator {
                 .config
                 .error
                 .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
-            if self.rng.gen::<f64>() >= p {
+            if self.sniffer_rngs[idx].gen::<f64>() >= p {
                 if tx.interferers.is_empty() {
                     self.sniffers[idx].stats.missed_clean += 1;
                 }
@@ -1583,7 +1755,7 @@ impl Simulator {
         );
         for &c in &followers {
             self.stations[c].associated_ap = None;
-            let delay = self
+            let delay = self.stations[c]
                 .rng
                 .gen_range(10_000..cm.follow_delay_max_us.max(10_001));
             self.queue.push(
@@ -1644,9 +1816,13 @@ impl Simulator {
             st.nav_until = 0;
             st.use_eifs = false;
             st.channel_idx = new_idx;
+            // Channel management only runs unpartitioned (media == channels),
+            // so the medium index moves in lockstep with the channel index.
+            debug_assert!(!self.partitioned);
+            st.medium_idx = new_idx;
         }
-        self.channel_members[old_idx].remove(node);
-        self.channel_members[new_idx].insert(node);
+        self.medium_members[old_idx].remove(node);
+        self.medium_members[new_idx].insert(node);
         // Attach to the new channel's in-flight transmissions (carrier-sense
         // reachability comes straight from the cached topology row).
         let mut sensed_gain = 0u32;
@@ -1710,8 +1886,8 @@ impl Simulator {
         }
         if drop {
             let cw_min = self.config.dcf.cw_min;
-            let backoff = draw_backoff(&mut self.rng, cw_min);
             let st = &mut self.stations[node];
+            let backoff = draw_backoff(&mut st.rng, cw_min);
             st.stats.retry_drops += 1;
             st.current = None;
             st.cw = cw_min;
@@ -1735,7 +1911,7 @@ impl Simulator {
                 }
             }
             let cw = st.cw;
-            st.backoff_slots = draw_backoff(&mut self.rng, cw);
+            st.backoff_slots = draw_backoff(&mut st.rng, cw);
             st.state = MacState::Idle;
         }
         self.begin_access(node);
@@ -1795,7 +1971,7 @@ impl Simulator {
             st.stats.delivery_delay_total_us += now.saturating_sub(op.msdu.enqueued_at);
             st.cw = self.config.dcf.cw_min;
             let cw = st.cw;
-            st.backoff_slots = draw_backoff(&mut self.rng, cw);
+            st.backoff_slots = draw_backoff(&mut st.rng, cw);
             st.state = MacState::Idle;
         }
         self.ground_truth.delivered += 1;
@@ -1806,6 +1982,6 @@ impl Simulator {
     }
 }
 
-fn draw_backoff(rng: &mut SmallRng, cw: u32) -> u32 {
+fn draw_backoff(rng: &mut SimRng, cw: u32) -> u32 {
     rng.gen_range(0..=cw)
 }

@@ -10,6 +10,7 @@ use crate::events::NodeId;
 use crate::frame_info::SimFrame;
 use crate::geometry::Pos;
 use crate::rate::{RateAdaptation, RateAdapter};
+use crate::rng::SimRng;
 use crate::traffic::TrafficProfile;
 use std::collections::{HashMap, VecDeque};
 use wifi_frames::fc::FrameKind;
@@ -179,12 +180,24 @@ pub struct StationStats {
 pub struct Station {
     /// Node id within the simulation.
     pub id: NodeId,
+    /// Global station key: the station's index in the *scenario-wide* build
+    /// order, stable across shard partitionings (equals `id` in an
+    /// unsharded simulator). Keys the station's RNG stream and its fade
+    /// links, so a station draws the same values whichever shard it runs in.
+    pub key: u64,
+    /// This station's private random stream (backoff, traffic, decode and
+    /// jitter draws), keyed by `(scenario seed, key)`.
+    pub rng: SimRng,
     /// MAC address.
     pub mac: MacAddr,
     /// Fixed position.
     pub pos: Pos,
     /// Index into the simulator's channel list.
     pub channel_idx: usize,
+    /// Index into the simulator's media. In an unsharded simulator media
+    /// are per-channel and this equals `channel_idx`; in a sharded one each
+    /// medium is one RF-isolation component (see [`crate::shard`]).
+    pub medium_idx: usize,
     /// AP or client.
     pub role: Role,
     /// Transmit queue.
@@ -266,9 +279,12 @@ impl Station {
     ) -> Station {
         Station {
             id,
+            key: id as u64,
+            rng: SimRng::new(0, id as u64),
             mac,
             pos,
             channel_idx,
+            medium_idx: channel_idx,
             role,
             queue: VecDeque::new(),
             queue_cap: 128,

@@ -123,6 +123,12 @@ pub struct SensingTopology {
     /// Carrier-sense reachability rows, `wpr` words per transmitter: bit
     /// `rx` set when `rssi[tx][rx] >= cs_threshold_dbm` and `rx != tx`.
     sensed: Vec<u64>,
+    /// Pair-coupling rows, same layout: bit `rx` set when `rssi[tx][rx]`
+    /// clears the effective coupling floor (and `rx != tx`) — the edges of
+    /// the RF-isolation graph [`crate::shard`] partitions along. Carrier
+    /// sense and decode range are subsets by construction (the floor is
+    /// clamped under both thresholds).
+    coupled: Vec<u64>,
     /// Path-loss RSSI at each sniffer, `[sniffer * n + tx]`, dBm.
     sniffer_rssi: Vec<f64>,
 }
@@ -140,10 +146,17 @@ impl SensingTopology {
         self.n = n;
         self.sniffers = sniffer_pos.len();
         self.wpr = n.div_ceil(64).max(1);
-        self.rssi.clear();
-        self.rssi.reserve(n * n);
+        // Exact-size matrix, old buffer dropped first: under incremental
+        // population growth (one rebuild per user join) amortized `reserve`
+        // doubling would leave the matrix at ~2× its final size — at ramp
+        // scale, a megabyte of dead capacity held for the whole run.
+        self.rssi = Vec::new();
+        self.rssi.reserve_exact(n * n);
         self.sensed.clear();
         self.sensed.resize(n * self.wpr, 0);
+        self.coupled.clear();
+        self.coupled.resize(n * self.wpr, 0);
+        let floor = radio.effective_coupling_floor_dbm();
         for tx in 0..n {
             for rx in 0..n {
                 let rssi = radio.rssi_dbm(station_pos[tx], station_pos[rx]);
@@ -151,10 +164,13 @@ impl SensingTopology {
                 if rx != tx && rssi >= radio.cs_threshold_dbm {
                     self.sensed[tx * self.wpr + rx / 64] |= 1 << (rx % 64);
                 }
+                if rx != tx && rssi >= floor {
+                    self.coupled[tx * self.wpr + rx / 64] |= 1 << (rx % 64);
+                }
             }
         }
-        self.sniffer_rssi.clear();
-        self.sniffer_rssi.reserve(sniffer_pos.len() * n);
+        self.sniffer_rssi = Vec::new();
+        self.sniffer_rssi.reserve_exact(sniffer_pos.len() * n);
         for &sp in sniffer_pos {
             for &tp in station_pos {
                 self.sniffer_rssi.push(radio.rssi_dbm(tp, sp));
@@ -179,6 +195,14 @@ impl SensingTopology {
     #[inline]
     pub fn sensed(&self, tx: NodeId, rx: NodeId) -> bool {
         self.sensed[tx * self.wpr + rx / 64] & (1 << (rx % 64)) != 0
+    }
+
+    /// Whether stations `a` and `b` are RF-coupled: their path-loss RSSI
+    /// clears the effective coupling floor (always false for `a == b`).
+    /// Path loss is symmetric, so this relation is too.
+    #[inline]
+    pub fn coupled(&self, a: NodeId, b: NodeId) -> bool {
+        self.coupled[a * self.wpr + b / 64] & (1 << (b % 64)) != 0
     }
 
     /// Fills `out` with the stations that sense a transmission from `tx`,

@@ -6,7 +6,7 @@
 //! transfer, SSH, HTTP and video. [`SizeDist`] draws payload sizes from a
 //! weighted mixture over those classes.
 
-use rand::rngs::SmallRng;
+use crate::rng::SimRng;
 use rand::Rng;
 use wifi_frames::timing::Micros;
 
@@ -60,7 +60,7 @@ impl SizeDist {
     }
 
     /// Draws a payload size.
-    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
         let mut pick = rng.gen_range(0.0..self.total_weight);
         for &(w, lo, hi) in &self.buckets {
             if pick < w {
@@ -125,7 +125,7 @@ impl FlowConfig {
     /// Draws the gap to the next arrival *event* (exponential inter-arrival
     /// at rate `mean_fps / mean_batch`). Returns `None` if the flow is
     /// disabled.
-    pub fn next_gap(&self, rng: &mut SmallRng) -> Option<Micros> {
+    pub fn next_gap(&self, rng: &mut SimRng) -> Option<Micros> {
         if self.mean_fps <= 0.0 {
             return None;
         }
@@ -137,7 +137,7 @@ impl FlowConfig {
 
     /// Draws the number of frames delivered by one arrival event
     /// (geometric with mean `mean_batch`, minimum 1).
-    pub fn batch_size(&self, rng: &mut SmallRng) -> usize {
+    pub fn batch_size(&self, rng: &mut SimRng) -> usize {
         if self.mean_batch <= 1.0 {
             return 1;
         }
@@ -180,10 +180,9 @@ impl TrafficProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> SimRng {
+        SimRng::new(42, 0)
     }
 
     #[test]

@@ -329,7 +329,16 @@ fn sniffer_misses_out_of_range_traffic() {
     });
     sim.add_ap(Pos::new(0.0, 0.0), 0, 6);
     sim.add_client(client(Pos::new(5.0, 0.0), 50.0));
-    // A sniffer far beyond sensitivity range of the client and AP.
+    // A sniffer beyond sensitivity range of the client and AP, but above
+    // the pair-coupling floor: traffic reaches it too weak to decode and
+    // is tallied as range misses.
+    sim.add_sniffer(SnifferConfig {
+        pos: Pos::new(300.0, 0.0),
+        ..SnifferConfig::default()
+    });
+    // A sniffer below the coupling floor: the traffic is not on its air at
+    // all, so nothing is captured *or* counted missed (this is what makes
+    // sniffer accounting independent of RF-isolation sharding).
     sim.add_sniffer(SnifferConfig {
         pos: Pos::new(10_000.0, 0.0),
         ..SnifferConfig::default()
@@ -338,6 +347,9 @@ fn sniffer_misses_out_of_range_traffic() {
     let sn = &sim.sniffers()[0];
     assert_eq!(sn.trace.len(), 0);
     assert!(sn.stats.missed_range > 100);
+    let far = &sim.sniffers()[1];
+    assert_eq!(far.trace.len(), 0);
+    assert_eq!(far.stats.missed_range, 0);
 }
 
 #[test]

@@ -21,6 +21,7 @@ use wifi_sim::events::QueueStats;
 use wifi_sim::geometry::Pos;
 use wifi_sim::radio::{Fading, RadioConfig};
 use wifi_sim::rate::RateAdaptation;
+use wifi_sim::shard::ShardSpec;
 use wifi_sim::sniffer::{SnifferConfig, SnifferStats};
 use wifi_sim::station::RtsPolicy;
 use wifi_sim::traffic::{FlowConfig, SizeDist, TrafficProfile};
@@ -262,7 +263,7 @@ fn build_session(
     user_pos: impl Fn(&mut SmallRng) -> Pos,
     sniffer_pos: [Pos; 3],
 ) -> Scenario {
-    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x5e55_10);
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x005e_5510);
     let mut sim = Simulator::new(SimConfig {
         radio: ietf_radio(scale.seed),
         ..SimConfig::ietf_three_channels(scale.seed)
@@ -379,7 +380,7 @@ pub fn load_ramp_with(
     adaptation: RateAdaptation,
     rts_fraction: f64,
 ) -> Scenario {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4a3b_77);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x004a_3b77);
     let mut sim = Simulator::new(SimConfig {
         seed,
         radio: ietf_radio(seed),
@@ -422,6 +423,124 @@ pub fn load_ramp_with(
         name: "ramp".to_string(),
         duration_us: duration_s * SECOND,
         sim,
+    }
+}
+
+/// Scale of the venue-campus scenario: several conference halls far enough
+/// apart that their radios never interact — the workload whose RF-isolation
+/// components the sharded runner parallelizes over.
+#[derive(Clone, Copy, Debug)]
+pub struct CampusScale {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of halls. Each hall gets one AP per orthogonal channel.
+    pub halls: usize,
+    /// Total users across the campus (spread evenly over halls).
+    pub users: usize,
+    /// Session length in seconds.
+    pub duration_s: u64,
+    /// Multiplier on per-user traffic intensity.
+    pub activity: f64,
+}
+
+impl CampusScale {
+    /// The venue-5k pinned scale: ≈5,000 users and ~40 APs over channels
+    /// 1/6/11 in 13 isolated halls — the whole conference campus rather
+    /// than the one instrumented floor.
+    pub fn venue_5k(seed: u64) -> CampusScale {
+        CampusScale {
+            seed,
+            halls: 13,
+            users: 5_000,
+            duration_s: 10,
+            activity: 0.5,
+        }
+    }
+}
+
+/// A scenario recorded as a [`ShardSpec`]: buildable unsharded (identical
+/// to the plain adders) or partitioned into RF-isolation shards.
+pub struct ShardScenario {
+    /// Scenario name.
+    pub name: String,
+    /// How long to run.
+    pub duration_us: Micros,
+    /// The recorded build.
+    pub spec: ShardSpec,
+}
+
+/// Hall spacing, metres. Far beyond the pair-coupling floor of
+/// [`ietf_radio`] (≈235 m), so halls are RF-isolated by construction.
+pub const HALL_SPACING: f64 = 1_000.0;
+
+/// A multi-hall conference campus: `halls` copies of the venue floor in a
+/// row, each with one AP per orthogonal channel and an even share of the
+/// users; three sniffers instrument the first hall (one per channel), as
+/// the paper instruments its busiest room. Every (hall, channel) pair is
+/// one RF-isolation component.
+pub fn venue_campus(scale: CampusScale) -> ShardScenario {
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0xca_3b05);
+    let mut spec = ShardSpec::new(SimConfig {
+        radio: ietf_radio(scale.seed),
+        ..SimConfig::ietf_three_channels(scale.seed)
+    });
+    let halls = scale.halls.max(1);
+    let hall_x = |h: usize| h as f64 * HALL_SPACING;
+    // APs first (keys below every client), hall-major.
+    for h in 0..halls {
+        for ch in 0..3usize {
+            spec.add_ap(
+                Pos::new(
+                    hall_x(h) + VENUE_W * (0.25 + 0.25 * ch as f64),
+                    VENUE_H * 0.5,
+                ),
+                ch,
+                6,
+            );
+        }
+    }
+    for i in 0..scale.users {
+        let hall = i % halls;
+        let pos = Pos::new(
+            hall_x(hall) + rng.gen_range(0.0..VENUE_W),
+            rng.gen_range(0.0..VENUE_H),
+        );
+        let channel_idx = (i / halls) % 3;
+        let fps = draw_user_fps(&mut rng) * scale.activity;
+        let rts = rng.gen_bool(0.02);
+        let traffic = draw_traffic(&mut rng, fps);
+        let power_save = draw_power_save(&mut rng);
+        // Users trickle in over the first fifth of the session.
+        let join_at_us = rng.gen_range(0..(scale.duration_s * SECOND / 5).max(1));
+        spec.add_client(ClientConfig {
+            pos,
+            channel_idx,
+            rts_policy: if rts {
+                RtsPolicy::Threshold(400)
+            } else {
+                RtsPolicy::Never
+            },
+            adaptation: RateAdaptation::Arf(Rate::R11),
+            traffic,
+            join_at_us,
+            leave_at_us: None,
+            power_save_interval_us: power_save,
+            frag_threshold: None,
+        });
+    }
+    for ch in 0..3usize {
+        spec.add_sniffer(SnifferConfig {
+            pos: Pos::new(VENUE_W * 0.5, VENUE_H * 0.6),
+            channel_idx: ch,
+            capacity_fps: 1_500.0,
+            burst: 200.0,
+            ..SnifferConfig::default()
+        });
+    }
+    ShardScenario {
+        name: format!("campus-{}x{}", halls, scale.users),
+        duration_us: scale.duration_s * SECOND,
+        spec,
     }
 }
 

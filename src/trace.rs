@@ -61,7 +61,7 @@ pub fn write_capture_with_snaplen(
     records: &[FrameRecord],
     snaplen: u32,
 ) -> Result<u64, CaptureError> {
-    let file = std::fs::File::create(path).map_err(|e| PcapError::Io(e))?;
+    let file = std::fs::File::create(path).map_err(PcapError::Io)?;
     let mut writer = PcapWriter::new(io::BufWriter::new(file), LinkType::Radiotap, snaplen)?;
     for r in records {
         let meta = CaptureMeta {
@@ -182,8 +182,10 @@ fn record_to_frame(r: &FrameRecord) -> wifi_frames::Frame {
             })
         }
         kind => {
-            let mut flags = FcFlags::default();
-            flags.retry = r.retry;
+            let flags = FcFlags {
+                retry: r.retry,
+                ..FcFlags::default()
+            };
             Frame::Mgmt(Mgmt {
                 kind,
                 flags,

@@ -1,7 +1,7 @@
 //! End-to-end tests of the `wifi-congestion` command-line tool: simulate a
 //! trace to pcap, then run every analysis subcommand against the file.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
@@ -14,7 +14,7 @@ fn temp_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn simulate(dir: &PathBuf) -> PathBuf {
+fn simulate(dir: &Path) -> PathBuf {
     let out = bin()
         .args([
             "simulate",
