@@ -23,6 +23,7 @@
 //! | `ablation_knee` | A3 — knee stability across workloads/seeds |
 //! | `ablation_unrecorded` | A4 — estimator accuracy vs ground truth |
 //! | `ablation_beacon` | A5 — beacon-reliability metric vs busy-time |
+//! | `chaos_smoke` | fuzz smoke — seeded corrupted captures through the lossy ingesters (`--budget N`) |
 //!
 //! Set `CONG_QUICK=1` to shrink runs for smoke-testing. Every target also
 //! accepts `--threads N` (sweep parallelism) and `--seeds N` (seeds per

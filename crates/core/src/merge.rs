@@ -11,6 +11,13 @@
 //! within a small window (sniffer clocks are aligned here; the window covers
 //! capture-timestamp jitter). Control frames carry no sequence number, so
 //! they deduplicate on `(kind, dst, timestamp window)`.
+//!
+//! Duplicates cluster: with three (or more) sniffers, captures of one
+//! transmission form a *chain* where consecutive members sit inside the
+//! window but the endpoints may not (A@0, B@100, C@200 with a 120 µs
+//! window). The window therefore anchors on a cluster's **latest member**,
+//! suppressed or not — comparing only against emitted records would leak C
+//! back in as a false new frame once B is suppressed.
 
 use std::collections::VecDeque;
 use wifi_frames::record::FrameRecord;
@@ -29,35 +36,38 @@ pub fn merge_traces(traces: &[&[FrameRecord]]) -> Vec<FrameRecord> {
     dedup_in_place(all)
 }
 
-fn is_duplicate(a: &FrameRecord, b: &FrameRecord) -> bool {
-    if a.kind != b.kind
-        || a.dst != b.dst
-        || a.src != b.src
-        || a.mac_bytes != b.mac_bytes
-        || a.retry != b.retry
-        || a.seq != b.seq
-    {
-        return false;
-    }
-    b.timestamp_us.saturating_sub(a.timestamp_us) <= DEDUP_WINDOW_US
+fn same_transmission(a: &FrameRecord, b: &FrameRecord) -> bool {
+    a.kind == b.kind
+        && a.dst == b.dst
+        && a.src == b.src
+        && a.mac_bytes == b.mac_bytes
+        && a.retry == b.retry
+        && a.seq == b.seq
 }
 
 fn dedup_in_place(sorted: Vec<FrameRecord>) -> Vec<FrameRecord> {
     let mut out: Vec<FrameRecord> = Vec::with_capacity(sorted.len());
-    // Sliding window of recently emitted records still inside the dedup
-    // horizon.
-    let mut window: VecDeque<usize> = VecDeque::new();
+    // Sliding window of capture clusters still inside the dedup horizon:
+    // `(index of the emitted representative, timestamp of the latest
+    // member — including suppressed ones)`. Anchoring the window on the
+    // latest member closes the transitive leak where a chain of captures
+    // each within the window of its predecessor (but not of the emitted
+    // head) would re-emit mid-chain.
+    let mut clusters: VecDeque<(usize, Micros)> = VecDeque::new();
     for r in sorted {
-        while let Some(&front) = window.front() {
-            if r.timestamp_us.saturating_sub(out[front].timestamp_us) > DEDUP_WINDOW_US {
-                window.pop_front();
-            } else {
+        clusters.retain(|&(_, last)| r.timestamp_us.saturating_sub(last) <= DEDUP_WINDOW_US);
+        let mut dup = false;
+        for (idx, last) in clusters.iter_mut() {
+            if same_transmission(&out[*idx], &r)
+                && r.timestamp_us.saturating_sub(*last) <= DEDUP_WINDOW_US
+            {
+                *last = r.timestamp_us; // extend the cluster's anchor
+                dup = true;
                 break;
             }
         }
-        let dup = window.iter().any(|&i| is_duplicate(&out[i], &r));
         if !dup {
-            window.push_back(out.len());
+            clusters.push_back((out.len(), r.timestamp_us));
             out.push(r);
         }
     }
@@ -128,6 +138,29 @@ mod tests {
         let merged = merge_traces(&[&a, &b]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].timestamp_us, 1000, "earliest capture wins");
+    }
+
+    #[test]
+    fn three_skewed_sniffers_chain_collapses_to_one() {
+        // Regression: A@0, B@100, C@200 with a 120 µs window. C is within
+        // the window of (suppressed) B but not of (emitted) A; a window
+        // anchored only on emitted records leaks C as a false new frame.
+        let a = vec![rec(0, 1, 7)];
+        let b = vec![rec(100, 1, 7)];
+        let c = vec![rec(200, 1, 7)];
+        let merged = merge_traces(&[&a, &b, &c]);
+        assert_eq!(merged.len(), 1, "transitive chain must fully collapse");
+        assert_eq!(merged[0].timestamp_us, 0, "earliest capture wins");
+    }
+
+    #[test]
+    fn chain_does_not_swallow_distant_retransmission_lookalike() {
+        // A chain may extend, but an identical frame arriving past the
+        // window of the chain's *latest* member is a new transmission.
+        let a = vec![rec(0, 1, 7)];
+        let b = vec![rec(100, 1, 7)];
+        let late = vec![rec(100 + DEDUP_WINDOW_US + 1, 1, 7)];
+        assert_eq!(merge_traces(&[&a, &b, &late]).len(), 2);
     }
 
     #[test]

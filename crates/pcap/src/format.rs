@@ -94,6 +94,13 @@ pub enum PcapError {
     TruncatedFile,
     /// A record header declared an implausible captured length.
     OversizedRecord(u32),
+    /// A pcapng block declared a structurally invalid total length
+    /// (below the 12-byte minimum, not a multiple of four, or a trailing
+    /// length that disagrees with the leading one).
+    BadBlockLength(u32),
+    /// An interface declared an `if_tsresol` whose ticks-per-second does
+    /// not fit in `u64` (decimal exponent > 19 or binary exponent > 63).
+    BadTimestampResolution(u8),
     /// A record's captured length exceeds its original length.
     InconsistentLengths {
         /// Captured length from the record header.
@@ -114,6 +121,12 @@ impl fmt::Display for PcapError {
             PcapError::TruncatedFile => write!(f, "pcap stream ended mid-record"),
             PcapError::OversizedRecord(len) => {
                 write!(f, "record claims implausible caplen {len}")
+            }
+            PcapError::BadBlockLength(len) => {
+                write!(f, "pcapng block declares invalid total length {len}")
+            }
+            PcapError::BadTimestampResolution(raw) => {
+                write!(f, "if_tsresol {raw:#04x} overflows u64 ticks-per-second")
             }
             PcapError::InconsistentLengths { caplen, orig_len } => {
                 write!(

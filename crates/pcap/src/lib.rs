@@ -27,12 +27,15 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod format;
+pub mod lossy;
 pub mod pcapng;
 mod reader;
 mod writer;
 
 pub use format::{LinkType, PcapError, PcapPacket, MAGIC_BE, MAGIC_LE, MAGIC_NS_LE};
+pub use lossy::{is_pcapng, read_pcap_lossy, read_pcapng_lossy, IngestReport};
 pub use pcapng::{NgPacket, PcapNgReader, PcapNgWriter};
 pub use reader::PcapReader;
 pub use writer::PcapWriter;

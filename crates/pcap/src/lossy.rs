@@ -1,0 +1,691 @@
+//! Lossy, resynchronizing capture ingestion.
+//!
+//! The strict readers ([`crate::PcapReader`], [`crate::PcapNgReader`]) abort
+//! an entire trace at the first damaged byte — correct for validating our own
+//! writers, useless for real vicinity captures, which arrive truncated,
+//! bit-flipped, and spliced. The readers here skip damaged regions and
+//! *resynchronize*:
+//!
+//! * **classic pcap** has no per-record framing, so recovery scans forward
+//!   byte-by-byte for a *plausible* record header — sane lengths, a
+//!   sub-second fraction field in range, a timestamp near the last good
+//!   record — and demands the following record also look sane (or the
+//!   stream end there) before accepting it;
+//! * **pcapng** is self-framing: every block states its length twice (lead
+//!   and trail), so recovery scans for the next known block type whose two
+//!   lengths agree and whose body fits the buffer — a ~2⁻³² false-positive
+//!   rate per scanned offset.
+//!
+//! Every decision is accounted in an [`IngestReport`]: how many records
+//! decoded cleanly, how many were recovered after a resync, how many
+//! blocks were abandoned, and how many bytes were discarded. On an
+//! undamaged file both readers are byte-identical to strict mode and the
+//! report shows zero skips — a property the test suite enforces.
+
+use crate::format::{
+    LinkType, PcapError, PcapPacket, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
+    MAGIC_NS_LE, MAX_SANE_CAPLEN, RECORD_HEADER_LEN,
+};
+use crate::pcapng::{
+    parse_epb, parse_idb, parse_spb, Interface, NgPacket, BT_EPB, BT_IDB, BT_SHB, BT_SPB,
+    BYTE_ORDER_MAGIC,
+};
+
+/// Resync plausibility: a candidate record's whole-seconds timestamp must be
+/// within this many seconds of the last good record (captures are sessions,
+/// not decades).
+const RESYNC_TS_TOLERANCE_S: u64 = 86_400;
+
+/// Accounting of one lossy ingestion pass. All counters are cumulative;
+/// [`IngestReport::merge`] folds per-file reports into a campaign total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records decoded cleanly, with no resync since the previous record.
+    pub records_ok: u64,
+    /// Records decoded immediately after a resync scan — data that strict
+    /// mode would have thrown away.
+    pub records_recovered: u64,
+    /// Damaged records/blocks abandoned (undecodable, oversized, or
+    /// referencing an unusable interface).
+    pub blocks_skipped: u64,
+    /// Forward scans performed to re-find a record or block boundary.
+    pub resyncs: u64,
+    /// Bytes discarded by resync scans and abandoned tails.
+    pub bytes_skipped: u64,
+    /// Radiotap headers that failed to decode (filled by the trace layer,
+    /// which owns radiotap parsing).
+    pub undecodable_radiotap: u64,
+    /// 802.11 frame headers behind a good radiotap header that failed to
+    /// parse (also filled by the trace layer).
+    pub undecodable_frames: u64,
+    /// The stream ended inside a record or block body.
+    pub truncated_tail: bool,
+}
+
+impl IngestReport {
+    /// Records that made it out, clean or recovered.
+    pub fn records_total(&self) -> u64 {
+        self.records_ok + self.records_recovered
+    }
+
+    /// True when the pass saw no damage at all.
+    pub fn is_clean(&self) -> bool {
+        self.records_recovered == 0
+            && self.blocks_skipped == 0
+            && self.resyncs == 0
+            && self.bytes_skipped == 0
+            && self.undecodable_radiotap == 0
+            && self.undecodable_frames == 0
+            && !self.truncated_tail
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &IngestReport) {
+        self.records_ok += other.records_ok;
+        self.records_recovered += other.records_recovered;
+        self.blocks_skipped += other.blocks_skipped;
+        self.resyncs += other.resyncs;
+        self.bytes_skipped += other.bytes_skipped;
+        self.undecodable_radiotap += other.undecodable_radiotap;
+        self.undecodable_frames += other.undecodable_frames;
+        self.truncated_tail |= other.truncated_tail;
+    }
+
+    /// The report as a single-line JSON object, for embedding in the run
+    /// reports under `results/`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"records_ok\": {}, \"records_recovered\": {}, \"blocks_skipped\": {}, \
+             \"resyncs\": {}, \"bytes_skipped\": {}, \"undecodable_radiotap\": {}, \
+             \"undecodable_frames\": {}, \"truncated_tail\": {}}}",
+            self.records_ok,
+            self.records_recovered,
+            self.blocks_skipped,
+            self.resyncs,
+            self.bytes_skipped,
+            self.undecodable_radiotap,
+            self.undecodable_frames,
+            self.truncated_tail,
+        )
+    }
+}
+
+/// Result of a lossy classic-pcap pass.
+#[derive(Debug)]
+pub struct PcapIngest {
+    /// The file's data-link type.
+    pub link: LinkType,
+    /// Every record that decoded, clean or recovered.
+    pub packets: Vec<PcapPacket>,
+    /// What happened along the way.
+    pub report: IngestReport,
+}
+
+/// Result of a lossy pcapng pass.
+#[derive(Debug)]
+pub struct PcapNgIngest {
+    /// Every packet that decoded, tagged with its interface's link type.
+    pub packets: Vec<NgPacket>,
+    /// What happened along the way.
+    pub report: IngestReport,
+}
+
+/// True when the buffer leads with a pcapng Section Header Block. The SHB
+/// type bytes are byte-order palindromic, so one comparison covers both
+/// endiannesses.
+pub fn is_pcapng(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) == BT_SHB
+}
+
+struct ClassicHeader {
+    big_endian: bool,
+    nanos: bool,
+    link: LinkType,
+}
+
+fn u32_end(big_endian: bool, bytes: &[u8], off: usize) -> u32 {
+    let b = [bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]];
+    if big_endian {
+        u32::from_be_bytes(b)
+    } else {
+        u32::from_le_bytes(b)
+    }
+}
+
+fn parse_global_header(bytes: &[u8]) -> Result<ClassicHeader, PcapError> {
+    if bytes.len() < GLOBAL_HEADER_LEN {
+        return Err(PcapError::TruncatedFile);
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let (big_endian, nanos) = match magic {
+        MAGIC_LE => (false, false),
+        MAGIC_NS_LE => (false, true),
+        MAGIC_BE => (true, false),
+        MAGIC_NS_BE => (true, true),
+        other => return Err(PcapError::BadMagic(other)),
+    };
+    let major = {
+        let b = [bytes[4], bytes[5]];
+        if big_endian {
+            u16::from_be_bytes(b)
+        } else {
+            u16::from_le_bytes(b)
+        }
+    };
+    if major != 2 {
+        let minor = {
+            let b = [bytes[6], bytes[7]];
+            if big_endian {
+                u16::from_be_bytes(b)
+            } else {
+                u16::from_le_bytes(b)
+            }
+        };
+        return Err(PcapError::UnsupportedVersion(major, minor));
+    }
+    Ok(ClassicHeader {
+        big_endian,
+        nanos,
+        link: LinkType::from_code(u32_end(big_endian, bytes, 20)),
+    })
+}
+
+/// Why a record at some offset could not be taken as-is.
+enum RecordFailure {
+    /// The header's lengths are impossible.
+    BadHeader,
+    /// The header parses but the body runs past end-of-stream.
+    PastEof,
+}
+
+/// Basic record-header validation — exactly what the strict reader checks,
+/// so clean files decode identically in both modes.
+fn record_at(
+    bytes: &[u8],
+    pos: usize,
+    h: &ClassicHeader,
+) -> Result<(PcapPacket, usize), RecordFailure> {
+    let ts_sec = u32_end(h.big_endian, bytes, pos) as u64;
+    let ts_frac = u32_end(h.big_endian, bytes, pos + 4) as u64;
+    let caplen = u32_end(h.big_endian, bytes, pos + 8);
+    let orig_len = u32_end(h.big_endian, bytes, pos + 12);
+    if caplen > MAX_SANE_CAPLEN || caplen > orig_len {
+        return Err(RecordFailure::BadHeader);
+    }
+    let body = pos + RECORD_HEADER_LEN;
+    let end = body + caplen as usize;
+    if end > bytes.len() {
+        return Err(RecordFailure::PastEof);
+    }
+    let micros = if h.nanos { ts_frac / 1000 } else { ts_frac };
+    Ok((
+        PcapPacket {
+            timestamp_us: ts_sec * 1_000_000 + micros,
+            orig_len,
+            data: bytes[body..end].to_vec(),
+        },
+        end,
+    ))
+}
+
+/// Resync plausibility: stricter than [`record_at`] so a scan does not lock
+/// onto payload bytes that merely look like a header.
+fn plausible_record_at(bytes: &[u8], pos: usize, h: &ClassicHeader, last_sec: Option<u64>) -> bool {
+    if pos + RECORD_HEADER_LEN > bytes.len() {
+        return false;
+    }
+    let ts_sec = u32_end(h.big_endian, bytes, pos) as u64;
+    let ts_frac = u32_end(h.big_endian, bytes, pos + 4) as u64;
+    let caplen = u32_end(h.big_endian, bytes, pos + 8);
+    let orig_len = u32_end(h.big_endian, bytes, pos + 12);
+    let frac_bound = if h.nanos { 1_000_000_000 } else { 1_000_000 };
+    if ts_frac >= frac_bound
+        || caplen > MAX_SANE_CAPLEN
+        || caplen > orig_len
+        || orig_len > MAX_SANE_CAPLEN
+    {
+        return false;
+    }
+    if let Some(last) = last_sec {
+        if ts_sec.abs_diff(last) > RESYNC_TS_TOLERANCE_S {
+            return false;
+        }
+    }
+    let next = pos + RECORD_HEADER_LEN + caplen as usize;
+    if next > bytes.len() {
+        return false;
+    }
+    // Double confirmation: the stream must end exactly here, or the next
+    // header must also look sane.
+    if next == bytes.len() {
+        return true;
+    }
+    if next + RECORD_HEADER_LEN > bytes.len() {
+        return false; // trailing sliver that can't be a record
+    }
+    let n_frac = u32_end(h.big_endian, bytes, next + 4) as u64;
+    let n_caplen = u32_end(h.big_endian, bytes, next + 8);
+    let n_orig = u32_end(h.big_endian, bytes, next + 12);
+    n_frac < frac_bound && n_caplen <= MAX_SANE_CAPLEN && n_caplen <= n_orig
+}
+
+/// Reads a classic pcap buffer in lossy mode: damaged records are skipped
+/// and the reader resynchronizes on the next plausible record boundary.
+/// Only an unusable global header (bad magic, truncated, wrong version) is
+/// a hard error — there is nothing to recover without it.
+pub fn read_pcap_lossy(bytes: &[u8]) -> Result<PcapIngest, PcapError> {
+    let h = parse_global_header(bytes)?;
+    let mut packets = Vec::new();
+    let mut report = IngestReport::default();
+    let mut last_sec: Option<u64> = None;
+    let mut just_resynced = false;
+    let mut pos = GLOBAL_HEADER_LEN;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_HEADER_LEN {
+            report.truncated_tail = true;
+            report.bytes_skipped += remaining as u64;
+            break;
+        }
+        match record_at(bytes, pos, &h) {
+            Ok((pkt, next)) => {
+                last_sec = Some(pkt.timestamp_us / 1_000_000);
+                if just_resynced {
+                    report.records_recovered += 1;
+                    just_resynced = false;
+                } else {
+                    report.records_ok += 1;
+                }
+                packets.push(pkt);
+                pos = next;
+            }
+            Err(failure) => {
+                if matches!(failure, RecordFailure::PastEof) {
+                    report.truncated_tail = true;
+                }
+                report.resyncs += 1;
+                report.blocks_skipped += 1;
+                let start = pos;
+                pos += 1;
+                while pos + RECORD_HEADER_LEN <= bytes.len()
+                    && !plausible_record_at(bytes, pos, &h, last_sec)
+                {
+                    pos += 1;
+                }
+                if pos + RECORD_HEADER_LEN > bytes.len() {
+                    pos = bytes.len();
+                }
+                report.bytes_skipped += (pos - start) as u64;
+                just_resynced = true;
+            }
+        }
+    }
+    Ok(PcapIngest {
+        link: h.link,
+        packets,
+        report,
+    })
+}
+
+/// Block-length sanity shared by in-stride parsing and resync scanning:
+/// lead length in range and aligned, body inside the buffer, trailing
+/// length equal to the lead.
+fn ng_block_sane(bytes: &[u8], pos: usize, big_endian: bool) -> Option<usize> {
+    if pos + 12 > bytes.len() {
+        return None;
+    }
+    let total_len = u32_end(big_endian, bytes, pos + 4) as usize;
+    if total_len < 12 || !total_len.is_multiple_of(4) || total_len as u32 > MAX_SANE_CAPLEN * 2 {
+        return None;
+    }
+    if pos + total_len > bytes.len() {
+        return None;
+    }
+    let trailing = u32_end(big_endian, bytes, pos + total_len - 4) as usize;
+    if trailing != total_len {
+        return None;
+    }
+    Some(total_len)
+}
+
+/// Validates an SHB candidate at `pos`; returns `(big_endian, total_len)`.
+fn ng_shb_sane(bytes: &[u8], pos: usize) -> Option<(bool, usize)> {
+    if pos + 12 > bytes.len() {
+        return None;
+    }
+    if u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]) != BT_SHB {
+        return None;
+    }
+    let magic_le = u32::from_le_bytes([
+        bytes[pos + 8],
+        bytes[pos + 9],
+        bytes[pos + 10],
+        bytes[pos + 11],
+    ]);
+    let big_endian = match magic_le {
+        BYTE_ORDER_MAGIC => false,
+        m if m == BYTE_ORDER_MAGIC.swap_bytes() => true,
+        _ => return None,
+    };
+    let total_len = ng_block_sane(bytes, pos, big_endian)?;
+    if total_len < 28 {
+        return None;
+    }
+    // Version major must be 1.
+    let major = {
+        let b = [bytes[pos + 12], bytes[pos + 13]];
+        if big_endian {
+            u16::from_be_bytes(b)
+        } else {
+            u16::from_le_bytes(b)
+        }
+    };
+    if major != 1 {
+        return None;
+    }
+    Some((big_endian, total_len))
+}
+
+/// Reads a pcapng buffer in lossy mode. Total: a stream with no
+/// recoverable section simply yields zero packets with every byte
+/// accounted as skipped.
+pub fn read_pcapng_lossy(bytes: &[u8]) -> PcapNgIngest {
+    let mut packets = Vec::new();
+    let mut report = IngestReport::default();
+    let mut big_endian = false;
+    let mut started = false;
+    let mut interfaces: Vec<Option<Interface>> = Vec::new();
+    let mut just_resynced = false;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 12 {
+            report.truncated_tail = true;
+            report.bytes_skipped += remaining as u64;
+            break;
+        }
+        // SHB first: its type is identifiable before endianness is known.
+        if let Some((be, total_len)) = ng_shb_sane(bytes, pos) {
+            big_endian = be;
+            started = true;
+            interfaces.clear();
+            pos += total_len;
+            continue;
+        }
+        let in_stride = if started {
+            ng_block_sane(bytes, pos, big_endian)
+        } else {
+            None
+        };
+        match in_stride {
+            Some(total_len) => {
+                let block_type = u32_end(big_endian, bytes, pos);
+                let body = &bytes[pos + 8..pos + total_len - 4];
+                match block_type {
+                    BT_IDB => match parse_idb(big_endian, body) {
+                        Ok(iface) => interfaces.push(Some(iface)),
+                        Err(_) => {
+                            // Keep interface ids aligned: the slot exists
+                            // but is unusable; its packets are skipped.
+                            interfaces.push(None);
+                            report.blocks_skipped += 1;
+                        }
+                    },
+                    BT_EPB => match parse_epb(big_endian, body, &interfaces) {
+                        Ok(pkt) => {
+                            if just_resynced {
+                                report.records_recovered += 1;
+                                just_resynced = false;
+                            } else {
+                                report.records_ok += 1;
+                            }
+                            packets.push(pkt);
+                        }
+                        Err(_) => report.blocks_skipped += 1,
+                    },
+                    BT_SPB => match parse_spb(big_endian, body, &interfaces) {
+                        Ok(pkt) => {
+                            if just_resynced {
+                                report.records_recovered += 1;
+                                just_resynced = false;
+                            } else {
+                                report.records_ok += 1;
+                            }
+                            packets.push(pkt);
+                        }
+                        Err(_) => report.blocks_skipped += 1,
+                    },
+                    _ => {} // unknown block: legally skipped by length
+                }
+                pos += total_len;
+            }
+            None => {
+                // Resync: scan for the next self-consistent known block.
+                report.resyncs += 1;
+                report.blocks_skipped += 1;
+                let start = pos;
+                pos += 1;
+                while pos + 12 <= bytes.len() {
+                    if ng_shb_sane(bytes, pos).is_some() {
+                        break;
+                    }
+                    if started {
+                        let block_type = u32_end(big_endian, bytes, pos);
+                        if matches!(block_type, BT_IDB | BT_EPB | BT_SPB)
+                            && ng_block_sane(bytes, pos, big_endian).is_some()
+                        {
+                            break;
+                        }
+                    }
+                    pos += 1;
+                }
+                if pos + 12 > bytes.len() {
+                    report.bytes_skipped += (bytes.len() - start) as u64;
+                    pos = bytes.len();
+                } else {
+                    report.bytes_skipped += (pos - start) as u64;
+                }
+                just_resynced = true;
+            }
+        }
+    }
+    PcapNgIngest { packets, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcapng::PcapNgWriter;
+    use crate::writer::PcapWriter;
+    use crate::PcapReader;
+
+    fn classic_file(n: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, LinkType::Radiotap, 0).unwrap();
+        for i in 0..n {
+            let data: Vec<u8> = (0..40).map(|b| (b + i) as u8).collect();
+            w.write_packet(1_000_000 + i as u64 * 1_000, &data).unwrap();
+        }
+        buf
+    }
+
+    fn ng_file(n: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = PcapNgWriter::new(&mut buf, LinkType::Radiotap, 0).unwrap();
+        for i in 0..n {
+            let data: Vec<u8> = (0..40).map(|b| (b + i) as u8).collect();
+            w.write_packet(1_000_000 + i as u64 * 1_000, &data).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn clean_classic_matches_strict_byte_for_byte() {
+        let buf = classic_file(50);
+        let strict: Vec<PcapPacket> = PcapReader::new(&buf[..])
+            .unwrap()
+            .packets()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let lossy = read_pcap_lossy(&buf).unwrap();
+        assert_eq!(lossy.packets, strict);
+        assert!(lossy.report.is_clean());
+        assert_eq!(lossy.report.records_ok, 50);
+    }
+
+    #[test]
+    fn clean_ng_matches_strict_byte_for_byte() {
+        let buf = ng_file(50);
+        let mut r = crate::PcapNgReader::new(&buf[..]);
+        let mut strict = Vec::new();
+        while let Some(p) = r.next_packet().unwrap() {
+            strict.push(p);
+        }
+        let lossy = read_pcapng_lossy(&buf);
+        assert_eq!(lossy.packets, strict);
+        assert!(lossy.report.is_clean());
+    }
+
+    #[test]
+    fn classic_resyncs_over_a_corrupted_record() {
+        let mut buf = classic_file(10);
+        // Blast the caplen of record 4 (records are 16 + 40 bytes each).
+        let rec4 = GLOBAL_HEADER_LEN + 4 * 56;
+        buf[rec4 + 8..rec4 + 12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        let out = read_pcap_lossy(&buf).unwrap();
+        assert_eq!(out.report.resyncs, 1);
+        assert!(out.report.records_recovered >= 1);
+        // All other records survive: 9 of 10 (the damaged one is lost).
+        assert_eq!(out.packets.len(), 9);
+        assert!(out.packets.iter().all(|p| p.data.len() == 40));
+    }
+
+    #[test]
+    fn classic_strict_fails_where_lossy_recovers() {
+        let mut buf = classic_file(10);
+        let rec4 = GLOBAL_HEADER_LEN + 4 * 56;
+        buf[rec4 + 8..rec4 + 12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        let strict: Result<Vec<_>, _> = PcapReader::new(&buf[..]).unwrap().packets().collect();
+        assert!(strict.is_err());
+        assert_eq!(read_pcap_lossy(&buf).unwrap().packets.len(), 9);
+    }
+
+    #[test]
+    fn classic_truncated_tail_is_flagged() {
+        let mut buf = classic_file(5);
+        buf.truncate(buf.len() - 17);
+        let out = read_pcap_lossy(&buf).unwrap();
+        assert!(out.report.truncated_tail);
+        assert_eq!(out.packets.len(), 4);
+    }
+
+    #[test]
+    fn ng_resyncs_over_spliced_garbage() {
+        let base = ng_file(6);
+        // Splice garbage between the 3rd and 4th EPB. Block sizes: SHB 28,
+        // IDB 20, EPB 32 + 40 = 72.
+        let cut = 28 + 20 + 3 * 72;
+        let mut buf = base[..cut].to_vec();
+        buf.extend_from_slice(&[0x5A; 37]);
+        buf.extend_from_slice(&base[cut..]);
+        let out = read_pcapng_lossy(&buf);
+        assert_eq!(out.packets.len(), 6, "all six packets survive");
+        assert_eq!(out.report.resyncs, 1);
+        assert_eq!(out.report.records_recovered, 1);
+        assert_eq!(out.report.bytes_skipped, 37);
+    }
+
+    #[test]
+    fn ng_bad_idb_keeps_interface_ids_aligned() {
+        // Section with two IDBs where the first carries an overflowing
+        // if_tsresol: packets on interface 0 are skipped, interface 1 still
+        // decodes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BT_SHB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        // IDB 0 with if_tsresol = 20 (10^20: overflow).
+        buf.extend_from_slice(&BT_IDB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&127u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&[20, 0, 0, 0]);
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        // IDB 1, plain microseconds.
+        buf.extend_from_slice(&BT_IDB.to_le_bytes());
+        buf.extend_from_slice(&20u32.to_le_bytes());
+        buf.extend_from_slice(&105u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&20u32.to_le_bytes());
+        // EPB on interface 0 (unusable) then interface 1.
+        for iface in [0u32, 1] {
+            buf.extend_from_slice(&BT_EPB.to_le_bytes());
+            buf.extend_from_slice(&36u32.to_le_bytes());
+            buf.extend_from_slice(&iface.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&77u32.to_le_bytes());
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&[0xAB, 0xCD, 0, 0]);
+            buf.extend_from_slice(&36u32.to_le_bytes());
+        }
+        let out = read_pcapng_lossy(&buf);
+        assert_eq!(out.packets.len(), 1);
+        assert_eq!(out.packets[0].link, LinkType::Ieee80211);
+        assert_eq!(out.packets[0].packet.timestamp_us, 77);
+        // One skipped IDB + one skipped EPB.
+        assert_eq!(out.report.blocks_skipped, 2);
+    }
+
+    #[test]
+    fn garbage_only_stream_yields_nothing() {
+        let junk: Vec<u8> = (0..700u32).map(|i| (i * 37 + 11) as u8).collect();
+        let out = read_pcapng_lossy(&junk);
+        assert!(out.packets.is_empty());
+        assert_eq!(out.report.records_total(), 0);
+        assert!(out.report.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn bad_global_header_is_a_hard_error() {
+        assert!(matches!(
+            read_pcap_lossy(&[0u8; 40]),
+            Err(PcapError::BadMagic(_))
+        ));
+        assert!(matches!(
+            read_pcap_lossy(&[1, 2, 3]),
+            Err(PcapError::TruncatedFile)
+        ));
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = IngestReport {
+            records_ok: 5,
+            resyncs: 1,
+            ..Default::default()
+        };
+        let b = IngestReport {
+            records_ok: 2,
+            records_recovered: 3,
+            truncated_tail: true,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.records_ok, 7);
+        assert_eq!(a.records_total(), 10);
+        assert!(a.truncated_tail);
+        assert!(!a.is_clean());
+        let json = a.to_json();
+        assert!(json.contains("\"resyncs\": 1"));
+        assert!(json.contains("\"truncated_tail\": true"));
+    }
+}

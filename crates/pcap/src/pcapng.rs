@@ -29,11 +29,11 @@ pub const BT_SPB: u32 = 0x0000_0003;
 pub const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
 
 #[derive(Clone, Copy, Debug)]
-struct Interface {
-    link: LinkType,
-    snaplen: u32,
+pub(crate) struct Interface {
+    pub(crate) link: LinkType,
+    pub(crate) snaplen: u32,
     /// Timestamp units per second.
-    ticks_per_sec: u64,
+    pub(crate) ticks_per_sec: u64,
 }
 
 /// A packet read from a pcapng stream, tagged with its interface's link
@@ -50,7 +50,7 @@ pub struct NgPacket {
 pub struct PcapNgReader<R> {
     inner: R,
     big_endian: bool,
-    interfaces: Vec<Interface>,
+    interfaces: Vec<Option<Interface>>,
     started: bool,
 }
 
@@ -82,14 +82,6 @@ impl<R: Read> PcapNgReader<R> {
         }
     }
 
-    fn u32_at(&self, buf: &[u8], off: usize) -> u32 {
-        self.u32_of([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
-    }
-
-    fn u16_at(&self, buf: &[u8], off: usize) -> u16 {
-        self.u16_of([buf[off], buf[off + 1]])
-    }
-
     /// Reads the next packet; `Ok(None)` at clean end of stream.
     pub fn next_packet(&mut self) -> Result<Option<NgPacket>, PcapError> {
         loop {
@@ -112,10 +104,10 @@ impl<R: Read> PcapNgReader<R> {
             }
             let block_type = self.u32_of([head[0], head[1], head[2], head[3]]);
             let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
-            if total_len < 12
-                || !total_len.is_multiple_of(4)
-                || total_len as u32 > MAX_SANE_CAPLEN * 2
-            {
+            if total_len < 12 || !total_len.is_multiple_of(4) {
+                return Err(PcapError::BadBlockLength(total_len as u32));
+            }
+            if total_len as u32 > MAX_SANE_CAPLEN * 2 {
                 return Err(PcapError::OversizedRecord(total_len as u32));
             }
             let body_len = total_len - 12; // minus header and trailing length
@@ -124,9 +116,13 @@ impl<R: Read> PcapNgReader<R> {
                 ReadOutcome::Full => {}
                 _ => return Err(PcapError::TruncatedFile),
             }
-            let trailing = self.u32_of(body[body_len..].try_into().expect("4 bytes")) as usize;
+            let tail: [u8; 4] = match body[body_len..].try_into() {
+                Ok(t) => t,
+                Err(_) => return Err(PcapError::BadBlockLength(total_len as u32)),
+            };
+            let trailing = self.u32_of(tail) as usize;
             if trailing != total_len {
-                return Err(PcapError::TruncatedFile);
+                return Err(PcapError::BadBlockLength(trailing as u32));
             }
             body.truncate(body_len);
             match block_type {
@@ -160,7 +156,7 @@ impl<R: Read> PcapNgReader<R> {
         };
         let total_len = self.u32_of([head[4], head[5], head[6], head[7]]) as usize;
         if total_len < 28 || !total_len.is_multiple_of(4) {
-            return Err(PcapError::TruncatedFile);
+            return Err(PcapError::BadBlockLength(total_len as u32));
         }
         // Consume the remaining body (version, section length, options) and
         // the trailing length.
@@ -183,100 +179,161 @@ impl<R: Read> PcapNgReader<R> {
     }
 
     fn read_idb(&mut self, body: &[u8]) -> Result<(), PcapError> {
-        if body.len() < 8 {
-            return Err(PcapError::TruncatedFile);
-        }
-        let link = LinkType::from_code(self.u16_at(body, 0) as u32);
-        let snaplen = self.u32_at(body, 4);
-        // Default resolution: microseconds; overridden by if_tsresol (9).
-        let mut ticks_per_sec: u64 = 1_000_000;
-        let mut off = 8;
-        while off + 4 <= body.len() {
-            let code = self.u16_at(body, off);
-            let len = self.u16_at(body, off + 2) as usize;
-            let val_off = off + 4;
-            if code == 0 {
-                break; // opt_endofopt
-            }
-            if val_off + len > body.len() {
-                return Err(PcapError::TruncatedFile);
-            }
-            if code == 9 && len >= 1 {
-                let raw = body[val_off];
-                ticks_per_sec = if raw & 0x80 == 0 {
-                    10u64.saturating_pow((raw & 0x7f) as u32)
-                } else {
-                    1u64 << (raw & 0x7f).min(63)
-                };
-                if ticks_per_sec == 0 {
-                    ticks_per_sec = 1_000_000;
-                }
-            }
-            off = val_off + len.div_ceil(4) * 4;
-        }
-        self.interfaces.push(Interface {
-            link,
-            snaplen,
-            ticks_per_sec,
-        });
+        self.interfaces
+            .push(Some(parse_idb(self.big_endian, body)?));
         Ok(())
     }
 
     fn read_epb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
-        if body.len() < 20 {
-            return Err(PcapError::TruncatedFile);
-        }
-        let iface_id = self.u32_at(body, 0) as usize;
-        let ts_high = self.u32_at(body, 4) as u64;
-        let ts_low = self.u32_at(body, 8) as u64;
-        let caplen = self.u32_at(body, 12);
-        let orig_len = self.u32_at(body, 16);
-        if caplen > MAX_SANE_CAPLEN {
-            return Err(PcapError::OversizedRecord(caplen));
-        }
-        if caplen > orig_len {
-            return Err(PcapError::InconsistentLengths { caplen, orig_len });
-        }
-        let iface = *self
-            .interfaces
-            .get(iface_id)
-            .ok_or(PcapError::TruncatedFile)?;
-        if 20 + caplen as usize > body.len() {
-            return Err(PcapError::TruncatedFile);
-        }
-        let data = body[20..20 + caplen as usize].to_vec();
-        let ticks = (ts_high << 32) | ts_low;
-        let timestamp_us = ticks.saturating_mul(1_000_000) / iface.ticks_per_sec;
-        Ok(Some(NgPacket {
-            link: iface.link,
-            packet: PcapPacket {
-                timestamp_us,
-                orig_len,
-                data,
-            },
-        }))
+        parse_epb(self.big_endian, body, &self.interfaces).map(Some)
     }
 
     fn read_spb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
-        if body.len() < 4 {
-            return Err(PcapError::TruncatedFile);
-        }
-        let orig_len = self.u32_at(body, 0);
-        // SPBs always belong to interface 0.
-        let iface = *self.interfaces.first().ok_or(PcapError::TruncatedFile)?;
-        let caplen = orig_len.min(iface.snaplen.max(1)) as usize;
-        if 4 + caplen > body.len() {
-            return Err(PcapError::TruncatedFile);
-        }
-        Ok(Some(NgPacket {
-            link: iface.link,
-            packet: PcapPacket {
-                timestamp_us: 0, // SPBs carry no timestamp
-                orig_len,
-                data: body[4..4 + caplen].to_vec(),
-            },
-        }))
+        parse_spb(self.big_endian, body, &self.interfaces).map(Some)
     }
+}
+
+fn u16_raw(big_endian: bool, body: &[u8], off: usize) -> u16 {
+    let b = [body[off], body[off + 1]];
+    if big_endian {
+        u16::from_be_bytes(b)
+    } else {
+        u16::from_le_bytes(b)
+    }
+}
+
+fn u32_raw(big_endian: bool, body: &[u8], off: usize) -> u32 {
+    let b = [body[off], body[off + 1], body[off + 2], body[off + 3]];
+    if big_endian {
+        u32::from_be_bytes(b)
+    } else {
+        u32::from_le_bytes(b)
+    }
+}
+
+/// Decodes an `if_tsresol` option byte into ticks per second, rejecting
+/// resolutions whose tick rate overflows `u64` (which would otherwise
+/// silently collapse every timestamp toward zero).
+pub(crate) fn ticks_per_sec_of(raw: u8) -> Result<u64, PcapError> {
+    let exp = raw & 0x7f;
+    if raw & 0x80 == 0 {
+        // Decimal: 10^exp; 10^19 < 2^64 < 10^20.
+        if exp > 19 {
+            return Err(PcapError::BadTimestampResolution(raw));
+        }
+        Ok(10u64.pow(exp as u32))
+    } else {
+        // Binary: 2^exp; 2^63 is the largest representable power.
+        if exp > 63 {
+            return Err(PcapError::BadTimestampResolution(raw));
+        }
+        Ok(1u64 << exp)
+    }
+}
+
+/// Parses an Interface Description Block body.
+pub(crate) fn parse_idb(big_endian: bool, body: &[u8]) -> Result<Interface, PcapError> {
+    if body.len() < 8 {
+        return Err(PcapError::TruncatedFile);
+    }
+    let link = LinkType::from_code(u16_raw(big_endian, body, 0) as u32);
+    let snaplen = u32_raw(big_endian, body, 4);
+    // Default resolution: microseconds; overridden by if_tsresol (9).
+    let mut ticks_per_sec: u64 = 1_000_000;
+    let mut off = 8;
+    while off + 4 <= body.len() {
+        let code = u16_raw(big_endian, body, off);
+        let len = u16_raw(big_endian, body, off + 2) as usize;
+        let val_off = off + 4;
+        if code == 0 {
+            break; // opt_endofopt
+        }
+        if val_off + len > body.len() {
+            return Err(PcapError::TruncatedFile);
+        }
+        if code == 9 && len >= 1 {
+            ticks_per_sec = ticks_per_sec_of(body[val_off])?;
+        }
+        off = val_off + len.div_ceil(4) * 4;
+    }
+    Ok(Interface {
+        link,
+        snaplen,
+        ticks_per_sec,
+    })
+}
+
+/// Parses an Enhanced Packet Block body against the section's interfaces.
+pub(crate) fn parse_epb(
+    big_endian: bool,
+    body: &[u8],
+    interfaces: &[Option<Interface>],
+) -> Result<NgPacket, PcapError> {
+    if body.len() < 20 {
+        return Err(PcapError::TruncatedFile);
+    }
+    let iface_id = u32_raw(big_endian, body, 0) as usize;
+    let ts_high = u32_raw(big_endian, body, 4) as u64;
+    let ts_low = u32_raw(big_endian, body, 8) as u64;
+    let caplen = u32_raw(big_endian, body, 12);
+    let orig_len = u32_raw(big_endian, body, 16);
+    if caplen > MAX_SANE_CAPLEN {
+        return Err(PcapError::OversizedRecord(caplen));
+    }
+    if caplen > orig_len {
+        return Err(PcapError::InconsistentLengths { caplen, orig_len });
+    }
+    let iface = interfaces
+        .get(iface_id)
+        .copied()
+        .flatten()
+        .ok_or(PcapError::TruncatedFile)?;
+    if 20 + caplen as usize > body.len() {
+        return Err(PcapError::TruncatedFile);
+    }
+    let data = body[20..20 + caplen as usize].to_vec();
+    let ticks = (ts_high << 32) | ts_low;
+    // Widen through u128 so sub-microsecond resolutions keep precision
+    // instead of saturating.
+    let timestamp_us =
+        ((ticks as u128 * 1_000_000) / iface.ticks_per_sec as u128).min(u64::MAX as u128) as u64;
+    Ok(NgPacket {
+        link: iface.link,
+        packet: PcapPacket {
+            timestamp_us,
+            orig_len,
+            data,
+        },
+    })
+}
+
+/// Parses a Simple Packet Block body (always interface 0).
+pub(crate) fn parse_spb(
+    big_endian: bool,
+    body: &[u8],
+    interfaces: &[Option<Interface>],
+) -> Result<NgPacket, PcapError> {
+    if body.len() < 4 {
+        return Err(PcapError::TruncatedFile);
+    }
+    let orig_len = u32_raw(big_endian, body, 0);
+    let iface = interfaces
+        .first()
+        .copied()
+        .flatten()
+        .ok_or(PcapError::TruncatedFile)?;
+    let caplen = orig_len.min(iface.snaplen.max(1)) as usize;
+    if 4 + caplen > body.len() {
+        return Err(PcapError::TruncatedFile);
+    }
+    Ok(NgPacket {
+        link: iface.link,
+        packet: PcapPacket {
+            timestamp_us: 0, // SPBs carry no timestamp
+            orig_len,
+            data: body[4..4 + caplen].to_vec(),
+        },
+    })
 }
 
 enum ReadOutcome {
@@ -524,6 +581,123 @@ mod tests {
         let mut r = PcapNgReader::new(&buf[..]);
         let p = r.next_packet().unwrap().unwrap();
         assert_eq!(p.packet.timestamp_us, 5_000);
+    }
+
+    /// SHB + IDB carrying `if_tsresol = raw` + one EPB with the given ticks.
+    fn file_with_tsresol(raw: u8, ticks: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BT_SHB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&BT_IDB.to_le_bytes());
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&127u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u16.to_le_bytes()); // if_tsresol
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&[raw, 0, 0, 0]); // value + pad
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&BT_EPB.to_le_bytes());
+        buf.extend_from_slice(&36u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&ticks.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&[0x55, 0, 0, 0]);
+        buf.extend_from_slice(&36u32.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn tsresol_decimal_edge_is_exact() {
+        // 10^19 ticks/s is the largest decimal resolution that fits u64:
+        // 10^19 ticks = 1 second = 1_000_000 µs... but a u32 ts_low can
+        // only carry small tick counts, which round to 0 µs. Use a ticks
+        // value that lands on an exact microsecond via the u128 path.
+        let buf = file_with_tsresol(19, u32::MAX);
+        let mut r = PcapNgReader::new(&buf[..]);
+        let p = r.next_packet().unwrap().unwrap();
+        // 4294967295 ticks at 10^19/s = 4.29e-10 s -> 0 µs, no saturation.
+        assert_eq!(p.packet.timestamp_us, 0);
+    }
+
+    #[test]
+    fn tsresol_decimal_overflow_rejected() {
+        let buf = file_with_tsresol(20, 1);
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::BadTimestampResolution(20))
+        ));
+    }
+
+    #[test]
+    fn tsresol_binary_edge_and_overflow() {
+        // 2^63 ticks/s parses; 1<<20 ticks = 1<<20 * 1e6 / 2^63 µs ≈ 0.
+        let buf = file_with_tsresol(0x80 | 63, 1 << 20);
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert_eq!(r.next_packet().unwrap().unwrap().packet.timestamp_us, 0);
+        // 2^64 does not fit.
+        let buf = file_with_tsresol(0x80 | 64, 1);
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::BadTimestampResolution(raw)) if raw == (0x80 | 64)
+        ));
+    }
+
+    #[test]
+    fn tsresol_binary_microsecond_neighbour() {
+        // 2^20 ticks/s (binary ~µs): 2^20 ticks = exactly 1 second.
+        let buf = file_with_tsresol(0x80 | 20, 1 << 20);
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert_eq!(
+            r.next_packet().unwrap().unwrap().packet.timestamp_us,
+            1_000_000
+        );
+    }
+
+    #[test]
+    fn misaligned_block_length_is_bad_block_length() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Radiotap, 0).unwrap();
+            w.write_packet(1, &[0xAA; 8]).unwrap();
+        }
+        // Patch the EPB's total length to a misaligned value.
+        let epb_off = 28 + 20;
+        buf[epb_off + 4..epb_off + 8].copy_from_slice(&41u32.to_le_bytes());
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::BadBlockLength(41))
+        ));
+        // And an under-minimum length.
+        buf[epb_off + 4..epb_off + 8].copy_from_slice(&8u32.to_le_bytes());
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert!(matches!(r.next_packet(), Err(PcapError::BadBlockLength(8))));
+    }
+
+    #[test]
+    fn trailing_length_mismatch_is_bad_block_length() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapNgWriter::new(&mut buf, LinkType::Radiotap, 0).unwrap();
+            w.write_packet(1, &[0xAA; 8]).unwrap();
+        }
+        let last4 = buf.len() - 4;
+        buf[last4..].copy_from_slice(&44u32.to_le_bytes());
+        let mut r = PcapNgReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::BadBlockLength(44))
+        ));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Capture-file pipeline: simulate, export the sniffer trace as a
 //! radiotap pcap with the study's 250-byte snap length, re-ingest the file,
 //! and verify the busy-time analysis is identical — proving the analysis
-//! needs nothing beyond what a 2005 sniffer actually recorded.
+//! needs nothing beyond what a 2005 sniffer actually recorded. Then damage
+//! the file with the fault-injection harness and re-ingest it in lossy
+//! mode, showing the resynchronizing reader recovers the bulk of the trace
+//! and reports exactly what it had to skip.
 //!
 //! ```sh
 //! cargo run --release --example pcap_roundtrip
@@ -46,4 +49,34 @@ fn main() {
 
     let bins = UtilizationBins::build(&after);
     println!("utilization mode from the re-read file: {:?}%", bins.mode());
+
+    // Now the unhappy path: flip bits, splice garbage and blast a length
+    // field, then re-ingest in lossy mode.
+    use wifi_pcap::chaos::{corrupt_bytes, ChaosConfig, ChaosRng};
+    let mut bytes = std::fs::read(&path).expect("re-read bytes");
+    let cfg = ChaosConfig {
+        bit_flips_per_kb: 0.05,
+        truncate: 0.0,
+        garbage_insert: 1.0,
+        length_blast: 1.0,
+    };
+    let faults = corrupt_bytes(&mut bytes, 24, &cfg, &mut ChaosRng::new(42));
+    println!(
+        "\ninjected damage: {} bit flips, {} garbage bytes, {} length blasts",
+        faults.bit_flips, faults.garbage_bytes, faults.length_blasts
+    );
+    let dirty = dir.join("plenary_ch1_damaged.pcap");
+    std::fs::write(&dirty, &bytes).expect("write damaged");
+    assert!(read_capture(&dirty).is_err(), "strict mode must refuse");
+    let lossy = read_capture_lossy(&dirty).expect("lossy read");
+    println!(
+        "lossy re-read: {} of {} records ({} resyncs, {} bytes skipped)",
+        lossy.records.len(),
+        reread.len(),
+        lossy.report.resyncs,
+        lossy.report.bytes_skipped
+    );
+    println!("ingest report: {}", lossy.report.to_json());
+    assert!(lossy.records.len() * 100 >= reread.len() * 90);
+    println!("lossy ingestion recovered ≥90% of the damaged capture ✓");
 }

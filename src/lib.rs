@@ -50,5 +50,5 @@ pub mod prelude {
     pub use wifi_frames::{FrameKind, FrameRecord, MacAddr, Rate};
     pub use wifi_sim::{ClientConfig, SimConfig, Simulator};
 
-    pub use crate::trace::{read_capture, write_capture};
+    pub use crate::trace::{read_capture, read_capture_lossy, write_capture, LossyCapture};
 }

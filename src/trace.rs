@@ -13,7 +13,7 @@ use wifi_frames::radiotap::{self, CaptureMeta, FLAG_FCS_AT_END};
 use wifi_frames::record::FrameRecord;
 use wifi_frames::wire;
 use wifi_pcap::pcapng::{PcapNgReader, BT_SHB};
-use wifi_pcap::{LinkType, PcapError, PcapReader, PcapWriter};
+use wifi_pcap::{IngestReport, LinkType, PcapError, PcapReader, PcapWriter};
 
 /// The snap length the study used.
 pub const STUDY_SNAPLEN: u32 = 250;
@@ -123,6 +123,69 @@ pub fn read_capture(path: &Path) -> Result<Vec<FrameRecord>, CaptureError> {
         }
     }
     Ok(out)
+}
+
+/// A lossy capture ingestion: whatever records survived decoding, plus a
+/// forensic report of everything that was skipped along the way.
+#[derive(Debug, Clone)]
+pub struct LossyCapture {
+    /// Successfully decoded analysis records, in capture order.
+    pub records: Vec<FrameRecord>,
+    /// Container- and frame-level damage accounting.
+    pub report: IngestReport,
+}
+
+/// Reads a radiotap capture in lossy mode: damaged container blocks are
+/// resynchronized over, and records whose radiotap header or MAC frame is
+/// undecodable are counted rather than aborting the read. The only hard
+/// errors are an unreadable file, an unrecognizable classic-pcap global
+/// header, or a wrong (non-radiotap) link type — those mean "not a sniffer
+/// trace", not "a damaged one".
+pub fn read_capture_lossy(path: &Path) -> Result<LossyCapture, CaptureError> {
+    let bytes = std::fs::read(path).map_err(PcapError::Io)?;
+    read_capture_lossy_bytes(&bytes)
+}
+
+/// [`read_capture_lossy`] over an in-memory image (what the fault-injection
+/// harness feeds).
+pub fn read_capture_lossy_bytes(bytes: &[u8]) -> Result<LossyCapture, CaptureError> {
+    let mut records = Vec::new();
+    let mut report;
+    let mut push_record = |data: &[u8], orig_len: u32, report: &mut IngestReport| {
+        let (meta, frame_bytes) = match radiotap::parse_packet(data) {
+            Ok(parsed) => parsed,
+            Err(_) => {
+                report.undecodable_radiotap += 1;
+                return;
+            }
+        };
+        let radiotap_len = data.len() - frame_bytes.len();
+        let frame_orig_len = (orig_len as usize).saturating_sub(radiotap_len) as u32;
+        match wire::parse_header(frame_bytes) {
+            Ok(header) => records.push(FrameRecord::from_header(&header, frame_orig_len, &meta)),
+            Err(_) => report.undecodable_frames += 1,
+        }
+    };
+    if wifi_pcap::is_pcapng(bytes) {
+        let ingest = wifi_pcap::read_pcapng_lossy(bytes);
+        report = ingest.report;
+        for pkt in &ingest.packets {
+            if pkt.link != LinkType::Radiotap {
+                return Err(CaptureError::WrongLinkType(pkt.link));
+            }
+            push_record(&pkt.packet.data, pkt.packet.orig_len, &mut report);
+        }
+    } else {
+        let ingest = wifi_pcap::read_pcap_lossy(bytes)?;
+        if ingest.link != LinkType::Radiotap {
+            return Err(CaptureError::WrongLinkType(ingest.link));
+        }
+        report = ingest.report;
+        for pkt in &ingest.packets {
+            push_record(&pkt.data, pkt.orig_len, &mut report);
+        }
+    }
+    Ok(LossyCapture { records, report })
 }
 
 /// Reconstructs a full frame from a record for serialization. Payload
@@ -292,6 +355,54 @@ mod tests {
             assert_eq!(x.acked_data, y.acked_data);
             assert_eq!(x.throughput_bits, y.throughput_bits);
         }
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_capture() {
+        let dir = std::env::temp_dir().join("congestion_trace_test_lossy_clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.pcap");
+        let records = sample_records();
+        write_capture(&path, &records).unwrap();
+        let strict = read_capture(&path).unwrap();
+        let lossy = read_capture_lossy(&path).unwrap();
+        assert_eq!(lossy.records, strict);
+        assert!(lossy.report.is_clean(), "clean file: {:?}", lossy.report);
+    }
+
+    #[test]
+    fn lossy_recovers_after_mid_file_damage() {
+        let records: Vec<FrameRecord> = (0..40u64)
+            .map(|i| {
+                let mut r = sample_records()[0];
+                r.timestamp_us = i * 1_000;
+                r.seq = Some(i as u16);
+                r
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("congestion_trace_test_lossy_dmg");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.pcap");
+        write_capture(&path, &records).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Walk to the 20th record header and blast its caplen so the strict
+        // reader dies but the lossy one resynchronizes on the next record.
+        let mut off = 24;
+        for _ in 0..20 {
+            let caplen = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap());
+            off += 16 + caplen as usize;
+        }
+        bytes[off + 8..off + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_capture(&path).is_err(), "strict must reject the blast");
+        let lossy = read_capture_lossy(&path).unwrap();
+        assert!(lossy.report.resyncs >= 1);
+        assert!(
+            lossy.records.len() >= records.len() - 2,
+            "recovered only {} of {} records",
+            lossy.records.len(),
+            records.len()
+        );
     }
 
     #[test]
