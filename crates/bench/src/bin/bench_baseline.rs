@@ -26,10 +26,14 @@
 //! byte-identical to the serial path — `crates/bench/tests/golden.rs` pins
 //! that down). The venue pin runs `run_sharded`: one event loop per
 //! RF-isolation shard on a `--threads`-wide work queue, merged output again
-//! identical for every thread count. Its trajectory entries carry
-//! `threads`/`shards`/`components`/`host_cpus` so scaling claims can be read
-//! against the hardware that produced them — an entry at `--threads 8` on a
-//! one-CPU host measures scheduling overhead, not speedup.
+//! identical for every thread count. The plenary pin with `--max-shards > 1`
+//! also runs `run_sharded` — its three per-channel cells are each one coupled
+//! component, so the split comes from time-window lockstep sharding (bounded
+//! window advance, cross-shard TxStart/TxEnd exchange at window boundaries),
+//! still byte-identical to the serial run. Sharded trajectory entries carry
+//! `threads`/`shards`/`components`/`lockstep`/`host_cpus` so scaling claims
+//! can be read against the hardware that produced them — an entry at
+//! `--threads 8` on a one-CPU host measures scheduling overhead, not speedup.
 //!
 //! `--check <file>` compares events/s against the *last* trajectory entry of
 //! a committed baseline and exits non-zero on a >30 % drop — after verifying
@@ -37,7 +41,10 @@
 //! stale file can't silently gate against the wrong workload.
 
 use congestion_bench::streaming::{run_sharded, run_streaming_pipelined, StreamedRun};
-use ietf_workloads::{ietf_plenary, load_ramp, venue_campus, CampusScale, Scenario, SessionScale};
+use ietf_workloads::{
+    ietf_plenary, ietf_plenary_sharded, load_ramp, venue_campus, CampusScale, Scenario,
+    SessionScale,
+};
 
 /// The pinned scenarios: identity and scale are part of the baseline
 /// contract; changing any number here invalidates the trajectory file.
@@ -137,18 +144,43 @@ impl Pin {
 
     /// Runs the pin. The serial pins take the pipelined two-thread path;
     /// venue-5k partitions into RF-isolation shards and runs them on a
-    /// `threads`-wide work queue. Returns the merged run plus
-    /// `(shards, components)` for the sharded pin.
-    fn run(&self, threads: usize) -> (StreamedRun, Option<(usize, usize)>) {
-        if self.name == PinName::Venue5k {
-            let scale = CampusScale::venue_5k(self.seed);
-            debug_assert!(scale.users == self.users && scale.duration_s == self.duration_s);
-            let mut scenario = venue_campus(scale);
-            scenario.spec.config_mut().record_ground_truth = false;
-            let sharded = run_sharded(scenario, 1_000_000, threads, usize::MAX);
-            (sharded.run, Some((sharded.shards, sharded.components)))
-        } else {
-            (run_streaming_pipelined(self.build(), 1_000_000), None)
+    /// `threads`-wide work queue; plenary-523 with `--max-shards > 1` takes
+    /// the sharded path too, where the three coupled per-channel cells split
+    /// further under time-window lockstep. Returns the merged run plus
+    /// `(shards, components, lockstep)` for sharded runs.
+    fn run(
+        &self,
+        threads: usize,
+        max_shards: usize,
+    ) -> (StreamedRun, Option<(usize, usize, bool)>) {
+        match self.name {
+            PinName::Venue5k => {
+                let scale = CampusScale::venue_5k(self.seed);
+                debug_assert!(scale.users == self.users && scale.duration_s == self.duration_s);
+                let mut scenario = venue_campus(scale);
+                scenario.spec.config_mut().record_ground_truth = false;
+                let sharded = run_sharded(scenario, 1_000_000, threads, max_shards);
+                (
+                    sharded.run,
+                    Some((sharded.shards, sharded.components, sharded.lockstep)),
+                )
+            }
+            PinName::Plenary523 if max_shards > 1 => {
+                let mut scenario = ietf_plenary_sharded(SessionScale {
+                    seed: self.seed,
+                    users: self.users,
+                    duration_s: self.duration_s,
+                    activity: 3.0,
+                    rts_fraction: 0.02,
+                });
+                scenario.spec.config_mut().record_ground_truth = false;
+                let sharded = run_sharded(scenario, 1_000_000, threads, max_shards);
+                (
+                    sharded.run,
+                    Some((sharded.shards, sharded.components, sharded.lockstep)),
+                )
+            }
+            _ => (run_streaming_pipelined(self.build(), 1_000_000), None),
         }
     }
 }
@@ -159,6 +191,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut entry_label = "current".to_string();
     let mut threads = 1usize;
+    let mut max_shards: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -174,10 +207,18 @@ fn main() {
                     .filter(|&t| t >= 1)
                     .expect("--threads needs a positive integer")
             }
+            "--max-shards" => {
+                max_shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&m| m >= 1)
+                        .expect("--max-shards needs a positive integer"),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_baseline [--pin NAME] [--label L] [--threads N] \
-                     [--out FILE] [--check BASELINE]\n\
+                     [--max-shards M] [--out FILE] [--check BASELINE]\n\
                      \n\
                      Pins: ramp-quick (48u/60s), ramp-320 (320u/30s, default),\n\
                      plenary-523 (523u plenary/30s), venue-5k (5000u campus/10s,\n\
@@ -185,9 +226,12 @@ fn main() {
                      Runs the pinned scenario and appends one entry (tagged\n\
                      --label) to the pin's trajectory JSON (default\n\
                      BENCH_sim[_quick|_plenary|_venue].json). --quick =\n\
-                     --pin ramp-quick. --check compares events/s against the\n\
-                     last entry of a committed trajectory and exits 1 on a\n\
-                     >30% regression."
+                     --pin ramp-quick. --max-shards caps the partition; for\n\
+                     plenary-523 a value > 1 takes the sharded path, splitting\n\
+                     the coupled per-channel cells by time-window lockstep\n\
+                     (results byte-identical to the serial run). --check\n\
+                     compares events/s against the last entry of a committed\n\
+                     trajectory and exits 1 on a >30% regression."
                 );
                 return;
             }
@@ -214,8 +258,15 @@ fn main() {
         })
     });
 
+    // Venue-5k defaults to "as many shards as the topology allows"; the
+    // serial pins default to the unsharded path.
+    let max_shards = max_shards.unwrap_or(match pin.name {
+        PinName::Venue5k => usize::MAX,
+        _ => 1,
+    });
+
     let start = std::time::Instant::now();
-    let (run, sharding) = pin.run(threads);
+    let (run, sharding) = pin.run(threads, max_shards);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let events_per_sec = run.events_processed as f64 / (wall_ms / 1e3).max(1e-9);
@@ -226,12 +277,14 @@ fn main() {
     // events/s at `threads` only means speedup when `host_cpus` can supply
     // that many workers.
     let sharding_fields = sharding
-        .map(|(shards, components)| {
+        .map(|(shards, components, lockstep)| {
             format!(
-                ", \"threads\": {}, \"shards\": {}, \"components\": {}, \"host_cpus\": {}",
+                ", \"threads\": {}, \"shards\": {}, \"components\": {}, \
+                 \"lockstep\": {}, \"host_cpus\": {}",
                 threads,
                 shards,
                 components,
+                lockstep,
                 std::thread::available_parallelism().map_or(0, usize::from),
             )
         })
@@ -265,8 +318,9 @@ fn main() {
         std::process::exit(1);
     }
     let sharding_note = sharding
-        .map(|(shards, components)| {
-            format!(" [{shards} shards / {components} components @ {threads} threads]")
+        .map(|(shards, components, lockstep)| {
+            let mode = if lockstep { "lockstep" } else { "component" };
+            format!(" [{shards} shards / {components} components, {mode} @ {threads} threads]")
         })
         .unwrap_or_default();
     eprintln!(

@@ -18,6 +18,21 @@ use crate::topology::NodeSet;
 use wifi_frames::phy::Rate;
 use wifi_frames::timing::Micros;
 
+/// Tail-overlap guard: a transmission whose last `OVERLAP_GUARD_US`
+/// microseconds (or less) overlap another's start is *not* registered as an
+/// interferer of that other transmission (and vice versa).
+///
+/// Physically this is one SIFS — by the time a new preamble could put
+/// energy on the air, a frame with under one SIFS left is into its final
+/// symbols and the receiver's PHY pipeline has already committed to them;
+/// a sub-SIFS tail graze does not flip the decode. Structurally it is the
+/// keystone of lockstep sharding ([`crate::shard`]): with lockstep windows
+/// no wider than the guard, a transmission whose end was processed inside a
+/// window can never retroactively gain an interferer from a remote start
+/// in the same window, so cross-shard notices exchanged at window
+/// boundaries are always *early enough* (see `docs/DETERMINISM.md`).
+pub const OVERLAP_GUARD_US: Micros = 10;
+
 /// One transmission in flight (or just completed).
 #[derive(Clone, Debug)]
 pub struct Transmission {
@@ -33,8 +48,10 @@ pub struct Transmission {
     pub start: Micros,
     /// Air end time.
     pub end: Micros,
-    /// Node of every other transmission that overlapped this one (grown as
-    /// overlaps occur; receivers resolve path loss via the topology cache).
+    /// Node of every other transmission that overlapped this one beyond the
+    /// tail guard, in ascending node order (receivers resolve path loss via
+    /// the topology cache; the fixed order keeps float SINR sums bit-stable
+    /// across materializations).
     pub interferers: Vec<NodeId>,
     /// Stations whose carrier sense this transmission raised (computed by
     /// the simulator at start; used to release carrier sense at end).
@@ -42,6 +59,17 @@ pub struct Transmission {
     /// Whether the busy indication has already been applied at listeners
     /// (set when the carrier-sense detection delay elapses).
     pub cs_applied: bool,
+    /// True for a transmission mirrored from another lockstep shard via
+    /// [`Medium::register_remote`]: it interferes and is received/sniffed
+    /// here, but its ground-truth accounting happens at its owner shard.
+    pub ghost: bool,
+}
+
+/// Keeps an interferer list sorted by ascending node id (no duplicates
+/// arise: a node has at most one transmission in flight).
+fn insert_sorted(list: &mut Vec<NodeId>, node: NodeId) {
+    let pos = list.partition_point(|&n| n < node);
+    list.insert(pos, node);
 }
 
 /// The medium of a single channel.
@@ -73,14 +101,64 @@ impl Medium {
 
     /// Registers a transmission; returns its id. Every already-active
     /// transmission whose transmitter is RF-coupled to `node` (per the
-    /// `coupled` predicate — the topology's pair-coupling floor) becomes a
-    /// mutual interferer; uncoupled overlaps are physically negligible and
-    /// excluding them here is what keeps interferer lists — and the
-    /// collision counter — identical whether a channel is simulated whole
-    /// or split into RF-isolation components. `sensed_by` is the listener
-    /// set the simulator computed for this transmission.
+    /// `coupled` predicate — the topology's pair-coupling floor) and whose
+    /// remaining air time exceeds [`OVERLAP_GUARD_US`] becomes a mutual
+    /// interferer; uncoupled and sub-guard tail overlaps are physically
+    /// negligible and excluding them here is what keeps interferer lists —
+    /// and the collision counter — identical whether a channel is simulated
+    /// whole or split into shards. `sensed_by` is the listener set the
+    /// simulator computed for this transmission.
     #[allow(clippy::too_many_arguments)]
     pub fn start_tx(
+        &mut self,
+        node: NodeId,
+        frame: SimFrame,
+        rate: Rate,
+        start: Micros,
+        end: Micros,
+        sensed_by: NodeSet,
+        coupled: impl Fn(NodeId) -> bool,
+    ) -> u64 {
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let mut interferers = self.list_pool.pop().unwrap_or_default();
+        interferers.clear();
+        for other in &mut self.active {
+            // `other` started no later than `start`; the pair interferes iff
+            // the earlier transmission outlives the later one's start by
+            // more than the tail guard.
+            if !coupled(other.node) || other.end <= start + OVERLAP_GUARD_US {
+                continue;
+            }
+            insert_sorted(&mut other.interferers, node);
+            insert_sorted(&mut interferers, other.node);
+        }
+        self.transmissions += 1;
+        self.active.push(Transmission {
+            tx_id,
+            node,
+            frame,
+            rate,
+            start,
+            end,
+            interferers,
+            sensed_by,
+            cs_applied: false,
+            ghost: false,
+        });
+        tx_id
+    }
+
+    /// Mirrors a transmission owned by another lockstep shard into this
+    /// medium; returns its (local) id. The ghost interferes with — and
+    /// collects interference from — every coupled transmission already
+    /// active here, under the same symmetric tail-guard rule as
+    /// [`Medium::start_tx`], but written for arbitrary start order: ghosts
+    /// arrive at window boundaries, after local transmissions that started
+    /// *later* than the ghost did. Ghosts do not count toward
+    /// `transmissions`; their ground truth is kept by the owner shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_remote(
         &mut self,
         node: NodeId,
         frame: SimFrame,
@@ -98,13 +176,20 @@ impl Medium {
             if !coupled(other.node) {
                 continue;
             }
-            other.interferers.push(node);
-            interferers.push(other.node);
+            // Same predicate as start_tx, symmetric in start order: the
+            // earlier-starting transmission must outlive the later one's
+            // start by more than the tail guard.
+            let mutual = if start <= other.start {
+                end > other.start + OVERLAP_GUARD_US
+            } else {
+                other.end > start + OVERLAP_GUARD_US
+            };
+            if !mutual {
+                continue;
+            }
+            insert_sorted(&mut other.interferers, node);
+            insert_sorted(&mut interferers, other.node);
         }
-        if !interferers.is_empty() {
-            self.collisions += 1;
-        }
-        self.transmissions += 1;
         self.active.push(Transmission {
             tx_id,
             node,
@@ -115,15 +200,22 @@ impl Medium {
             interferers,
             sensed_by,
             cs_applied: false,
+            ghost: true,
         });
         tx_id
     }
 
-    /// Removes and returns a completed transmission. Hand it back via
-    /// [`Medium::recycle`] when done to keep the pools warm.
+    /// Removes and returns a completed transmission, counting it into
+    /// `collisions` if it suffered at least one overlap (ghosts are counted
+    /// by their owner shard). Hand it back via [`Medium::recycle`] when
+    /// done to keep the pools warm.
     pub fn end_tx(&mut self, tx_id: u64) -> Option<Transmission> {
         let idx = self.active.iter().position(|t| t.tx_id == tx_id)?;
-        Some(self.active.swap_remove(idx))
+        let tx = self.active.swap_remove(idx);
+        if !tx.ghost && !tx.interferers.is_empty() {
+            self.collisions += 1;
+        }
+        Some(tx)
     }
 
     /// Returns a finished transmission's buffers to the pools.
@@ -198,9 +290,55 @@ mod tests {
         let b = start(&mut m, 1, 500, 900);
         let tb = m.end_tx(b).unwrap();
         assert_eq!(tb.interferers, vec![0]);
+        assert_eq!(m.collisions, 1, "b suffered the overlap");
         let ta = m.end_tx(a).unwrap();
         assert_eq!(ta.interferers, vec![1]);
+        assert_eq!(m.collisions, 2, "both parties of the overlap count");
+    }
+
+    #[test]
+    fn sub_guard_tail_overlap_is_ignored() {
+        let mut m = Medium::new();
+        // `a` has exactly OVERLAP_GUARD_US of air left when `b` starts:
+        // the tail graze registers nothing, in either direction.
+        let a = start(&mut m, 0, 0, 500 + OVERLAP_GUARD_US);
+        let b = start(&mut m, 1, 500, 900);
+        let ta = m.end_tx(a).unwrap();
+        assert!(ta.interferers.is_empty());
+        let tb = m.end_tx(b).unwrap();
+        assert!(tb.interferers.is_empty());
+        assert_eq!(m.collisions, 0);
+    }
+
+    #[test]
+    fn remote_ghost_interferes_but_is_not_counted() {
+        let mut m = Medium::new();
+        // A local transmission starts at 600; the ghost (registered later,
+        // at a window boundary) started at 500 — *before* the local one.
+        let a = start(&mut m, 0, 600, 1600);
+        let set = m.take_set();
+        let g = m.register_remote(7, frame(), Rate::R1, 500, 1500, set, |_| true);
+        assert_eq!(m.transmissions, 1, "ghosts are owned elsewhere");
+        let tg = m.end_tx(g).unwrap();
+        assert!(tg.ghost);
+        assert_eq!(tg.interferers, vec![0]);
+        assert_eq!(m.collisions, 0, "ghost collisions count at the owner");
+        let ta = m.end_tx(a).unwrap();
+        assert_eq!(ta.interferers, vec![7]);
         assert_eq!(m.collisions, 1);
+    }
+
+    #[test]
+    fn interferer_lists_stay_sorted_by_node() {
+        let mut m = Medium::new();
+        let a = start(&mut m, 5, 0, 10_000);
+        for node in [9, 2, 7] {
+            let id = start(&mut m, node, 100, 5_000);
+            let tx = m.end_tx(id).unwrap();
+            m.recycle(tx);
+        }
+        let t = m.end_tx(a).unwrap();
+        assert_eq!(t.interferers, vec![2, 7, 9]);
     }
 
     #[test]

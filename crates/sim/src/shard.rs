@@ -51,14 +51,51 @@
 //! (returns `None`) when it is enabled, as it does when some client's
 //! channel has no AP anywhere (the client would rescan onto another
 //! channel). Callers fall back to the unsharded build.
+//!
+//! ## Time-window lockstep sharding (dense cells)
+//!
+//! Component sharding has a hard ceiling: one coupled cell — the paper's
+//! 523-user plenary — is one component, so it runs on one core no matter
+//! how many are available. [`ShardSpec::partition_lockstep`] breaks that
+//! ceiling by splitting *coupled* stations across shards and advancing all
+//! shards in lockstep over bounded time windows:
+//!
+//! * Every shard materializes the **full roster** ([`ShardSpec::build_lockstep_shard`]):
+//!   owned stations behave normally, the rest are passive *shells* (identity
+//!   only), so node ids, MACs, RNG keys and topology rows agree everywhere.
+//! * A window of `W <= min(cs_delay, OVERLAP_GUARD_US)` microseconds is the
+//!   safe lookahead: a transmission started on one shard cannot influence
+//!   another station — not via carrier sense (one detection delay), not via
+//!   retroactive interference (the overlap guard), not via reception or NAV
+//!   (a frame airtime) — before the window ends. Shards therefore simulate
+//!   a window independently, then exchange [`crate::sim::RemoteNotice`]s at
+//!   the boundary and replay each other's transmissions as *ghosts*
+//!   ([`Simulator::apply_remote_tx`]) before the next window.
+//! * Each client is co-owned with its join-time argmax AP (the BSS
+//!   grouping): downlink traffic is enqueued at the AP from the client's
+//!   own traffic handler, which only co-ownership keeps shard-local.
+//! * The export set is the two-hop relevance closure
+//!   ([`crate::topology::SensingTopology::boundary_relevance`]): everything
+//!   coupled to an owned station or audible at an owned sniffer, plus the
+//!   neighbors of those — the interferer lists of relevant transmissions.
+//!
+//! The full protocol and its determinism argument live in
+//! `docs/DETERMINISM.md`.
 
 use crate::config::SimConfig;
 use crate::geometry::Pos;
+use crate::medium::OVERLAP_GUARD_US;
 use crate::rate::RateAdaptation;
 use crate::sim::{ClientConfig, Simulator};
 use crate::sniffer::SnifferConfig;
 use crate::station::RtsPolicy;
+use crate::topology::{NodeSet, SensingTopology};
 use wifi_frames::phy::Rate;
+use wifi_frames::timing::Micros;
+
+/// Default lockstep window width, µs: the widest window that is safe under
+/// the default radio timing (`min(cs_delay, OVERLAP_GUARD_US)`).
+pub const DEFAULT_LOCKSTEP_WINDOW_US: Micros = 10;
 
 /// One recorded station-build operation.
 #[derive(Clone, Debug)]
@@ -98,6 +135,34 @@ impl StationOp {
 /// Station keys (RNG streams, fade links, MAC addresses) are the build
 /// indices, so any materialization — unsharded or sharded — reproduces the
 /// same per-entity identities.
+///
+/// ```
+/// use wifi_sim::SimConfig;
+/// use wifi_sim::geometry::Pos;
+/// use wifi_sim::shard::ShardSpec;
+///
+/// let mut spec = ShardSpec::new(SimConfig::default());
+/// spec.add_ap(Pos::new(0.0, 0.0), 0, 6);      // two cells, far beyond
+/// spec.add_ap(Pos::new(10_000.0, 0.0), 0, 6); // the coupling range
+///
+/// let mut whole = spec.build_unsharded();
+/// whole.run_until(1_000_000);
+///
+/// // The same build, partitioned: two RF-isolation components whose
+/// // summed output reproduces the unsharded run bit for bit.
+/// let plan = spec.partition(8).unwrap();
+/// assert_eq!(plan.shards.len(), 2);
+/// let events: u64 = plan
+///     .shards
+///     .iter()
+///     .map(|shard| {
+///         let mut sim = spec.build_shard(shard);
+///         sim.run_until(1_000_000);
+///         sim.events_processed()
+///     })
+///     .sum();
+/// assert_eq!(events, whole.events_processed());
+/// ```
 pub struct ShardSpec {
     config: SimConfig,
     stations: Vec<StationOp>,
@@ -138,6 +203,60 @@ pub struct ShardPlan {
     /// RF-isolation components found before grouping (shards merge
     /// components; this is the parallelism ceiling).
     pub components: usize,
+}
+
+/// One lockstep shard: a full-roster simulator that *owns* a subset of the
+/// stations (the rest are shells) and a subset of the sniffers, advancing
+/// in bounded windows against its sibling shards. Built by
+/// [`ShardSpec::partition_lockstep`], materialized by
+/// [`ShardSpec::build_lockstep_shard`].
+#[derive(Clone, Debug)]
+pub struct LockstepShard {
+    /// Global indices of owned stations, ascending.
+    owned: Vec<usize>,
+    /// `owned_mask[gi]`: does this shard own global station `gi`?
+    owned_mask: Vec<bool>,
+    /// `export_mask[gi]`: is owned station `gi` inside some sibling's
+    /// relevance closure (its transmissions crossing the cut)?
+    export_mask: Vec<bool>,
+    /// Global indices of owned sniffers, ascending.
+    sniffers: Vec<usize>,
+}
+
+impl LockstepShard {
+    /// Stations owned by this shard.
+    pub fn station_count(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Does this shard own global station `gi`?
+    pub fn owns(&self, gi: usize) -> bool {
+        self.owned_mask.get(gi).copied().unwrap_or(false)
+    }
+
+    /// Owned stations (global indices, ascending).
+    pub fn owned_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.owned.iter().copied()
+    }
+
+    /// Owned sniffers (global indices, ascending).
+    pub fn sniffer_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sniffers.iter().copied()
+    }
+
+    /// How many owned stations are exported across the cut.
+    pub fn exported_count(&self) -> usize {
+        self.export_mask.iter().filter(|&&e| e).count()
+    }
+}
+
+/// The result of lockstep partitioning: every station owned by exactly one
+/// shard, every sniffer owned by exactly one shard, and a validated window.
+pub struct LockstepPlan {
+    /// The shards, largest (by owned-station count) first.
+    pub shards: Vec<LockstepShard>,
+    /// The validated lockstep window width, µs.
+    pub window_us: Micros,
 }
 
 /// Union-find over scenario entities (stations, then sniffers).
@@ -467,6 +586,203 @@ impl ShardSpec {
         }
         sim
     }
+
+    /// Partitions the scenario for time-window lockstep execution (see the
+    /// module docs), or `None` when it cannot or should not engage:
+    /// dynamic channel management, an orphan client (cross-channel rescan),
+    /// `max_shards < 2`, an unsafe `window_us` (zero, or wider than
+    /// `min(cs_delay, OVERLAP_GUARD_US)`), or a scenario whose BSS groups
+    /// cannot fill more than one shard. Callers fall back to component
+    /// sharding or the unsharded build.
+    pub fn partition_lockstep(&self, max_shards: usize, window_us: Micros) -> Option<LockstepPlan> {
+        let n = self.stations.len();
+        if self.config.channel_mgmt.is_some() || max_shards < 2 || n == 0 {
+            return None;
+        }
+        // The window must not outlive either influence-latency bound: a
+        // transmission started in the first microsecond of a window must
+        // not owe carrier sense (one cs_delay later) or retroactive
+        // interferer registration (the overlap guard) to a sibling shard
+        // before the boundary exchange can deliver it.
+        if window_us == 0 || window_us > self.config.cs_delay_us.min(OVERLAP_GUARD_US) {
+            return None;
+        }
+        let radio = &self.config.radio;
+        let floor = radio.effective_coupling_floor_dbm();
+        // Orphan clients rescan onto other channels, toward APs a sibling
+        // shard may own; decline exactly as component sharding does.
+        for op in &self.stations {
+            if !op.is_ap()
+                && !self
+                    .stations
+                    .iter()
+                    .any(|o| o.is_ap() && o.channel_idx() == op.channel_idx())
+            {
+                return None;
+            }
+        }
+        // BSS grouping: co-own each client with its join-time argmax AP
+        // (strongest co-channel path, first maximum in build order).
+        // Downlink MSDUs are enqueued at the AP from the client's own
+        // traffic handler; only co-ownership keeps that enqueue
+        // shard-local.
+        let mut uf = UnionFind::new(n);
+        for c in 0..n {
+            if self.stations[c].is_ap() {
+                continue;
+            }
+            let ch = self.stations[c].channel_idx();
+            let mut best: Option<(usize, f64)> = None;
+            for (i, op) in self.stations.iter().enumerate() {
+                if op.is_ap() && op.channel_idx() == ch {
+                    let rssi = radio.rssi_dbm(op.pos(), self.stations[c].pos());
+                    if best.is_none_or(|(_, b)| rssi > b) {
+                        best = Some((i, rssi));
+                    }
+                }
+            }
+            let (ap, _) = best.expect("checked above: every client channel has an AP");
+            uf.union(c, ap);
+        }
+        // Collect BSS groups in first-seen root order.
+        let mut root_ids: Vec<(usize, usize)> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let root = uf.find(i);
+            let gid = match root_ids.iter().find(|&&(r, _)| r == root) {
+                Some(&(_, g)) => g,
+                None => {
+                    root_ids.push((root, groups.len()));
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                }
+            };
+            groups[gid].push(i);
+        }
+        if groups.len() < 2 {
+            return None; // one BSS: nothing to split
+        }
+        // Longest-processing-time packing by station count (deterministic:
+        // stable sort, lowest bin wins ties), then ascending owned lists.
+        let bins = max_shards.min(groups.len());
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+        let mut loads = vec![0usize; bins];
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); bins];
+        for &g in &order {
+            let bin = (0..bins).min_by_key(|&b| loads[b]).unwrap();
+            loads[bin] += groups[g].len();
+            assignment[bin].push(g);
+        }
+        let mut owned_lists: Vec<Vec<usize>> = assignment
+            .into_iter()
+            .filter(|grp| !grp.is_empty())
+            .map(|grp| {
+                let mut v: Vec<usize> = grp
+                    .iter()
+                    .flat_map(|&g| groups[g].iter().copied())
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        if owned_lists.len() < 2 {
+            return None;
+        }
+        owned_lists.sort_by_key(|v| (std::cmp::Reverse(v.len()), v.first().copied()));
+        let k = owned_lists.len();
+        // Sniffers: deterministic round-robin by global index. Each sniffer
+        // is wholly owned by one shard; the relevance closure below makes
+        // every transmission it can hear reach that shard as a ghost.
+        let mut shard_sniffers: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for si in 0..self.sniffers.len() {
+            shard_sniffers[si % k].push(si);
+        }
+        // Per-shard relevance closures over a throwaway full topology:
+        // R_B = owned ∪ coupled-or-audible (S₁) ∪ neighbors(S₁).
+        let station_pos: Vec<Pos> = self.stations.iter().map(|o| o.pos()).collect();
+        let sniffer_pos: Vec<Pos> = self.sniffers.iter().map(|c| c.pos).collect();
+        let mut topo = SensingTopology::default();
+        topo.rebuild(&station_pos, &sniffer_pos, radio);
+        let mut relevance: Vec<NodeSet> = Vec::with_capacity(k);
+        for b in 0..k {
+            let mut owned = NodeSet::new();
+            for &gi in &owned_lists[b] {
+                owned.insert(gi);
+            }
+            let mut audible = NodeSet::new();
+            for &si in &shard_sniffers[b] {
+                for gi in 0..n {
+                    if topo.sniffer_rssi(si, gi) >= floor {
+                        audible.insert(gi);
+                    }
+                }
+            }
+            let mut rel = NodeSet::new();
+            topo.boundary_relevance(&owned, &audible, &mut rel);
+            relevance.push(rel);
+        }
+        let shards = owned_lists
+            .into_iter()
+            .zip(shard_sniffers)
+            .enumerate()
+            .map(|(a, (owned, sniffers))| {
+                let mut owned_mask = vec![false; n];
+                let mut export_mask = vec![false; n];
+                for &gi in &owned {
+                    owned_mask[gi] = true;
+                    export_mask[gi] = (0..k).any(|b| b != a && relevance[b].contains(gi));
+                }
+                LockstepShard {
+                    owned,
+                    owned_mask,
+                    export_mask,
+                    sniffers,
+                }
+            })
+            .collect();
+        Some(LockstepPlan { shards, window_us })
+    }
+
+    /// Materializes one lockstep shard: a full-roster per-channel simulator
+    /// in which `shard`'s stations are owned, every other station is a
+    /// passive shell, only `shard`'s sniffers exist, and the export mask is
+    /// installed. Node ids equal global build indices on every shard.
+    pub fn build_lockstep_shard(&self, shard: &LockstepShard) -> Simulator {
+        let mut sim = Simulator::new(self.config.clone());
+        for (gi, op) in self.stations.iter().enumerate() {
+            sim.set_shell_mode(!shard.owns(gi));
+            match op {
+                StationOp::Ap {
+                    pos,
+                    channel_idx,
+                    ssid_len,
+                    adaptation,
+                    rts_policy,
+                } => {
+                    sim.add_ap_keyed(
+                        *pos,
+                        *channel_idx,
+                        *ssid_len,
+                        *adaptation,
+                        *rts_policy,
+                        gi as u64,
+                        *channel_idx,
+                    );
+                }
+                StationOp::Client(cfg) => {
+                    sim.add_client_keyed(cfg.clone(), gi as u64, cfg.channel_idx);
+                }
+            }
+        }
+        sim.set_shell_mode(false);
+        for &si in &shard.sniffers {
+            let cfg = self.sniffers[si];
+            sim.add_sniffer_keyed(cfg, si as u64, cfg.channel_idx);
+        }
+        sim.set_export_mask(shard.export_mask.clone());
+        sim
+    }
 }
 
 #[cfg(test)]
@@ -616,5 +932,79 @@ mod tests {
         let mut spec = ShardSpec::new(cfg);
         spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
         assert!(spec.partition(8).is_none());
+    }
+
+    /// A dense two-BSS cell: one RF-isolation component (the ceiling of
+    /// component sharding), but lockstep splits it along BSS lines, keeping
+    /// each client with its join-time argmax AP.
+    #[test]
+    fn lockstep_splits_one_component() {
+        let mut spec = ShardSpec::new(config(vec![1]));
+        let ap0 = spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        let ap1 = spec.add_ap(Pos::new(40.0, 0.0), 0, 4);
+        for i in 0..3 {
+            spec.add_client(client(Pos::new(2.0 * i as f64, 1.0), 0));
+            spec.add_client(client(Pos::new(40.0 + 2.0 * i as f64, 1.0), 0));
+        }
+        let comp = spec.partition(8).expect("shardable");
+        assert_eq!(comp.components, 1, "everything is coupled: one component");
+        let plan = spec
+            .partition_lockstep(4, DEFAULT_LOCKSTEP_WINDOW_US)
+            .expect("two BSS groups can lockstep");
+        assert_eq!(plan.shards.len(), 2);
+        assert_eq!(plan.window_us, DEFAULT_LOCKSTEP_WINDOW_US);
+        // Coverage: every station owned exactly once.
+        let mut seen: Vec<usize> = plan.shards.iter().flat_map(|s| s.owned_indices()).collect();
+        seen.sort();
+        assert_eq!(seen, (0..spec.station_count()).collect::<Vec<_>>());
+        // BSS co-ownership: each client shares a shard with its argmax AP.
+        let owner_of = |gi: usize| plan.shards.iter().position(|s| s.owns(gi)).unwrap();
+        for (c, ap) in [
+            (2usize, ap0),
+            (3, ap1),
+            (4, ap0),
+            (5, ap1),
+            (6, ap0),
+            (7, ap1),
+        ] {
+            assert_eq!(owner_of(c), owner_of(ap), "client {c} rides with AP {ap}");
+        }
+        // Fully coupled cell: every owned station sits in the sibling's
+        // relevance closure, so everything is exported.
+        for s in &plan.shards {
+            assert_eq!(s.exported_count(), s.station_count());
+        }
+    }
+
+    /// Lockstep declines when the window is unsafe, when there is nothing
+    /// to split, and under dynamic channel management.
+    #[test]
+    fn lockstep_declines() {
+        let mut spec = ShardSpec::new(config(vec![1]));
+        spec.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        spec.add_ap(Pos::new(40.0, 0.0), 0, 4);
+        spec.add_client(client(Pos::new(1.0, 1.0), 0));
+        spec.add_client(client(Pos::new(41.0, 1.0), 0));
+        assert!(spec.partition_lockstep(4, 0).is_none(), "zero window");
+        let too_wide = spec.config().cs_delay_us.min(OVERLAP_GUARD_US) + 1;
+        assert!(
+            spec.partition_lockstep(4, too_wide).is_none(),
+            "window wider than the influence-latency bound"
+        );
+        assert!(spec.partition_lockstep(1, 10).is_none(), "one shard max");
+        // One BSS: both clients argmax onto the same AP.
+        let mut one = ShardSpec::new(config(vec![1]));
+        one.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        one.add_client(client(Pos::new(1.0, 0.0), 0));
+        one.add_client(client(Pos::new(2.0, 0.0), 0));
+        assert!(one.partition_lockstep(4, 10).is_none(), "single BSS");
+        let mut cfg = config(vec![1]);
+        cfg.channel_mgmt = Some(crate::config::ChannelMgmt::default());
+        let mut cm = ShardSpec::new(cfg);
+        cm.add_ap(Pos::new(0.0, 0.0), 0, 4);
+        cm.add_ap(Pos::new(40.0, 0.0), 0, 4);
+        cm.add_client(client(Pos::new(1.0, 1.0), 0));
+        cm.add_client(client(Pos::new(41.0, 1.0), 0));
+        assert!(cm.partition_lockstep(4, 10).is_none(), "channel mgmt");
     }
 }

@@ -96,6 +96,25 @@ pub struct ClientConfig {
     pub frag_threshold: Option<u32>,
 }
 
+/// A cross-shard transmission notification (lockstep sharding): everything
+/// a remote shard needs to replay this transmission as a *ghost* on its own
+/// medium via [`Simulator::apply_remote_tx`]. Lockstep rosters are
+/// replicated, so `node` is meaningful on every shard. See
+/// `docs/DETERMINISM.md` for the window-boundary exchange protocol.
+#[derive(Clone, Debug)]
+pub struct RemoteNotice {
+    /// Transmitting station (global node id).
+    pub node: NodeId,
+    /// The frame on the air.
+    pub frame: SimFrame,
+    /// PHY rate of the transmission.
+    pub rate: Rate,
+    /// Airtime start, µs.
+    pub start: Micros,
+    /// Airtime end, µs.
+    pub end: Micros,
+}
+
 /// The simulator.
 pub struct Simulator {
     /// Configuration (immutable after construction).
@@ -163,6 +182,18 @@ pub struct Simulator {
     sniffer_fade_cache: Vec<f64>,
     /// Coherence bucket both fade caches describe (`u64::MAX` = none yet).
     fade_epoch: u64,
+    /// Lockstep sharding: while `true`, the station adders materialize
+    /// passive *shells* (identity only — no seeded events, no build-time
+    /// RNG draws, no medium membership). Toggled by [`crate::shard`] while
+    /// replaying the build order of stations owned by other shards.
+    shell_mode: bool,
+    /// Lockstep sharding: `export_mask[node]` marks stations audible across
+    /// a shard cut, whose transmissions must be queued as [`RemoteNotice`]s
+    /// for the window-boundary exchange. Empty outside lockstep shards.
+    export_mask: Vec<bool>,
+    /// Lockstep sharding: outbox of exported transmissions started since
+    /// the last [`Self::drain_remote_notices`].
+    remote_notices: Vec<RemoteNotice>,
 }
 
 impl Simulator {
@@ -220,6 +251,9 @@ impl Simulator {
             fade_cache: Vec::new(),
             sniffer_fade_cache: Vec::new(),
             fade_epoch: u64::MAX,
+            shell_mode: false,
+            export_mask: Vec::new(),
+            remote_notices: Vec::new(),
         }
     }
 
@@ -469,9 +503,16 @@ impl Simulator {
         st.key = key;
         st.rng = SimRng::new(self.config.seed, key);
         st.medium_idx = medium_idx;
+        st.shell = self.shell_mode;
         self.stations.push(st);
-        self.medium_members[medium_idx].insert(id);
         self.mac_index.insert(mac, id);
+        if self.shell_mode {
+            // Passive shell: identity only. No medium membership, no beacon
+            // schedule, and — critically for cross-shard RNG agreement — no
+            // build-time draws from the station's stream.
+            return id;
+        }
+        self.medium_members[medium_idx].insert(id);
         let beacon_interval = self.config.beacon_interval_us;
         let channel_mgmt = self.config.channel_mgmt;
         let offset = self.stations[id].rng.gen_range(0..beacon_interval);
@@ -526,9 +567,13 @@ impl Simulator {
         st.key = key;
         st.rng = SimRng::new(self.config.seed, key);
         st.medium_idx = medium_idx;
+        st.shell = self.shell_mode;
         self.stations.push(st);
-        self.medium_members[medium_idx].insert(id);
         self.mac_index.insert(mac, id);
+        if self.shell_mode {
+            return id; // passive shell (see add_ap_keyed)
+        }
+        self.medium_members[medium_idx].insert(id);
         self.queue
             .push(cfg.join_at_us, Event::UserJoin { node: id });
         if let Some(leave) = cfg.leave_at_us {
@@ -569,13 +614,98 @@ impl Simulator {
         self.sniffers.len() - 1
     }
 
+    // ------------------------------------------------------------------
+    // Lockstep sharding (see `crate::shard` and docs/DETERMINISM.md)
+    // ------------------------------------------------------------------
+
+    /// Switches the builder into (or out of) *shell mode*: while on, the
+    /// station adders materialize passive shells owned by another shard.
+    /// Used by [`crate::shard`] to replay the full scenario build order on
+    /// every lockstep shard, so node ids, MACs and topology rows agree
+    /// across shards.
+    pub(crate) fn set_shell_mode(&mut self, on: bool) {
+        self.shell_mode = on;
+    }
+
+    /// Installs the export mask: stations whose transmissions must be
+    /// queued as [`RemoteNotice`]s for the window-boundary exchange.
+    pub(crate) fn set_export_mask(&mut self, mask: Vec<bool>) {
+        self.export_mask = mask;
+    }
+
+    /// Drains the outbox of exported transmissions started since the last
+    /// drain, appending them to `out` in start order. Called by the
+    /// lockstep executor at each window boundary.
+    pub fn drain_remote_notices(&mut self, out: &mut Vec<RemoteNotice>) {
+        out.append(&mut self.remote_notices);
+    }
+
+    /// The timestamp of the earliest pending event, if any. Drives the
+    /// lockstep executor's idle-window skip-ahead: when every shard's next
+    /// event lies far in the future, whole windows are skipped at once.
+    pub fn next_event_time(&mut self) -> Option<Micros> {
+        self.queue.peek_time()
+    }
+
+    /// Replays a transmission owned by another shard as a *ghost* on this
+    /// shard's medium. The ghost occupies air exactly like a local
+    /// transmission — carrier sense, interference registration, reception,
+    /// NAV and sniffer capture all fire for locally-owned listeners — but
+    /// the transmitter's state machine, counters, air-time and ground truth
+    /// advance only on its owning shard, and ghost `CsBusy`/`TxEnd` events
+    /// are excluded from [`Self::events_processed`] so shard sums equal the
+    /// unsharded count.
+    ///
+    /// Must be called at a window boundary `now < start + cs_delay` (the
+    /// lockstep window bound `W <= cs_delay` guarantees it), so both ghost
+    /// events land strictly in the future.
+    pub fn apply_remote_tx(&mut self, notice: &RemoteNotice) {
+        self.ensure_topology();
+        let node = notice.node;
+        let air = notice.end - notice.start;
+        let medium = self.stations[node].medium_idx;
+        let Simulator {
+            media,
+            topology,
+            medium_members,
+            ..
+        } = self;
+        // Listeners: locally-owned stations only (shells never join a
+        // medium), sensed through the same cached carrier-sense row a local
+        // transmission would use.
+        let mut sensed_by = media[medium].take_set();
+        topology.sensed_into(node, &medium_members[medium], &mut sensed_by);
+        let tx_id = media[medium].register_remote(
+            node,
+            notice.frame.clone(),
+            notice.rate,
+            notice.start,
+            notice.end,
+            sensed_by,
+            |other| topology.coupled(node, other),
+        );
+        let cs_at = notice.start + self.config.cs_delay_us.min(air.saturating_sub(1));
+        debug_assert!(
+            cs_at > self.now && notice.end > self.now,
+            "ghost events must land in the future (window wider than cs_delay?)"
+        );
+        self.queue.push(cs_at, Event::CsBusy { medium, tx_id });
+        self.queue.push(notice.end, Event::TxEnd { medium, tx_id });
+    }
+
     /// Runs the simulation until `until` (microseconds).
     ///
     /// Events are drained in same-timestamp batches: one queue operation
-    /// yields every event sharing the earliest time, in sequence order.
-    /// Handlers that push at the current timestamp produce higher sequence
-    /// numbers, which the next batch picks up — delivery order is identical
-    /// to popping one event at a time.
+    /// yields every event sharing the earliest time. Each batch is then
+    /// re-ordered by the *canonical* key (`batch_sort_key`) — event
+    /// class, then the acting entity's scenario-global key — rather than
+    /// push-sequence order. Push order is materialization-local (a lockstep
+    /// shard pushes only its own stations' events, in shard-local
+    /// interleavings), while the canonical key is a pure function of the
+    /// event itself, so every materialization of a scenario processes a
+    /// same-microsecond batch identically. Handlers that push at the
+    /// current timestamp form the *next* batch (higher sequence numbers),
+    /// which is canonically sorted in turn.
     pub fn run_until(&mut self, until: Micros) {
         self.ensure_topology();
         let mut batch = std::mem::take(&mut self.batch_scratch);
@@ -584,6 +714,11 @@ impl Simulator {
             let Some(at) = self.queue.pop_batch(until, &mut batch) else {
                 break;
             };
+            if batch.len() > 1 {
+                // Stable: events with identical keys (only literally
+                // identical, idempotent events can tie) keep queue order.
+                batch.sort_by_key(|e| self.batch_sort_key(e));
+            }
             self.now = at;
             self.events_processed += batch.len() as u64;
             for &event in &batch {
@@ -597,6 +732,45 @@ impl Simulator {
         // the events-per-second denominator stays comparable across the
         // committed baseline trajectory.
         self.events_processed += self.queue.drain_ghosts(until);
+    }
+
+    /// Canonical order of same-microsecond events: `(event class, global
+    /// entity key, detail)`. Every component is derived from scenario-global
+    /// identity — station keys are build indices, transmission events order
+    /// by their *transmitter's* key (never by `tx_id`, whose allocation is
+    /// materialization-local) — so any two simulators holding the same
+    /// events in a batch sort them the same way. A station has at most one
+    /// transmission in flight, so the transmitter key is unique per
+    /// `TxEnd`/`CsBusy` at one timestamp.
+    fn batch_sort_key(&self, ev: &Event) -> (u8, u64, u64, u64) {
+        let key = |node: NodeId| self.stations[node].key;
+        let tx_key = |medium: usize, tx_id: u64| {
+            self.media[medium]
+                .active()
+                .iter()
+                .find(|t| t.tx_id == tx_id)
+                .map_or(u64::MAX, |t| key(t.node))
+        };
+        let timer_rank = |kind: TimerKind| match kind {
+            TimerKind::DeferDone => 0u64,
+            TimerKind::BackoffDone => 1,
+            TimerKind::SifsResponse => 2,
+            TimerKind::CtsTimeout => 3,
+            TimerKind::AckTimeout => 4,
+            TimerKind::NavExpired => 5,
+        };
+        match *ev {
+            Event::UserJoin { node } => (0, key(node), 0, 0),
+            Event::UserLeave { node } => (1, key(node), 0, 0),
+            Event::BeaconDue { node } => (2, key(node), 0, 0),
+            Event::TrafficArrival { node, flow } => (3, key(node), flow as u64, 0),
+            Event::Timer { node, gen, kind } => (4, key(node), timer_rank(kind), gen),
+            Event::CsBusy { medium, tx_id } => (5, tx_key(medium, tx_id), 0, 0),
+            Event::TxEnd { medium, tx_id } => (6, tx_key(medium, tx_id), 0, 0),
+            Event::ChannelEval { node } => (7, key(node), 0, 0),
+            Event::PowerSaveTick { node } => (8, key(node), 0, 0),
+            Event::FollowAp { node, channel_idx } => (9, key(node), channel_idx as u64, 0),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1157,6 +1331,18 @@ impl Simulator {
         // unoptimized loop did O(stations) path-loss math per frame. The
         // busy indication lands one detection delay later (the CSMA
         // vulnerability window).
+        // Lockstep sharding: a station audible across a shard cut queues a
+        // notice for the window-boundary exchange before the frame is moved
+        // onto the medium.
+        if self.export_mask.get(node).copied().unwrap_or(false) {
+            self.remote_notices.push(RemoteNotice {
+                node,
+                frame: frame.clone(),
+                rate,
+                start: now,
+                end,
+            });
+        }
         let Simulator {
             media,
             topology,
@@ -1188,7 +1374,15 @@ impl Simulator {
             .iter()
             .find(|t| t.tx_id == tx_id)
         {
-            Some(t) => t.sensed_by.copy_words_into(&mut words),
+            Some(t) => {
+                if t.ghost {
+                    // Ghost events are bookkeeping of the lockstep exchange,
+                    // not part of the scenario's event stream; keep
+                    // events_processed equal to the unsharded run's.
+                    self.events_processed -= 1;
+                }
+                t.sensed_by.copy_words_into(&mut words)
+            }
             None => {
                 self.cs_scratch = words;
                 return; // transmission already ended (degenerate cs delay)
@@ -1267,8 +1461,15 @@ impl Simulator {
         let now = self.now;
         let channel = self.medium_channel[medium];
 
-        // 1. Advance the transmitter's state machine.
-        self.advance_transmitter(&tx);
+        // 1. Advance the transmitter's state machine — unless the
+        // transmission is a lockstep ghost, whose transmitter lives (and
+        // advances) on its owning shard. Ghost events are also excluded
+        // from events_processed so shard sums match the unsharded count.
+        if tx.ghost {
+            self.events_processed -= 1;
+        } else {
+            self.advance_transmitter(&tx);
+        }
 
         // 2. Intended-receiver reception.
         self.process_reception(medium, &tx);
@@ -1281,15 +1482,19 @@ impl Simulator {
         // 4. Sniffers.
         self.process_sniffers(medium, &tx);
 
-        // 5. Ground truth and channel load accounting.
-        self.chan_airtime_us[channel] += tx.end.saturating_sub(tx.start);
-        self.ground_truth.transmissions += 1;
-        if self.config.record_ground_truth {
-            let ch = self.config.channels[channel];
-            let sig = self.config.radio.tx_power_dbm as i8;
-            self.ground_truth
-                .records
-                .push(tx.frame.to_record(tx.end, tx.rate, ch, sig));
+        // 5. Ground truth and channel load accounting (owning shard only:
+        // ghost air time and records are accounted where the transmitter
+        // lives, so the shard-summed totals equal the unsharded run's).
+        if !tx.ghost {
+            self.chan_airtime_us[channel] += tx.end.saturating_sub(tx.start);
+            self.ground_truth.transmissions += 1;
+            if self.config.record_ground_truth {
+                let ch = self.config.channels[channel];
+                let sig = self.config.radio.tx_power_dbm as i8;
+                self.ground_truth
+                    .records
+                    .push(tx.frame.to_record(tx.end, tx.rate, ch, sig));
+            }
         }
 
         // 6. Release carrier sense. Bitset iteration is ascending, matching
@@ -1313,7 +1518,8 @@ impl Simulator {
             self.cs_scratch = words;
         }
         // The transmitter itself: its own channel went quiet from its side.
-        if !self.stations[tx.node].channel_busy(now) {
+        // (A ghost's transmitter is a shell here; it never contends.)
+        if !tx.ghost && !self.stations[tx.node].channel_busy(now) {
             self.stations[tx.node].idle_since = now;
         }
         // 7. Recycle the transmission's listener set and interferer list.
@@ -1377,6 +1583,10 @@ impl Simulator {
         if rx_node == tx.node || self.stations[rx_node].medium_idx != medium {
             return;
         }
+        if self.stations[rx_node].shell {
+            return; // lockstep shell: reception (and its RNG draw) happens
+                    // on the receiver's owning shard
+        }
         if !self.topology.coupled(tx.node, rx_node) {
             return; // below the pair-coupling floor: no interaction
         }
@@ -1409,7 +1619,11 @@ impl Simulator {
         };
         let now = self.now;
         for i in 0..self.stations.len() {
-            if !self.stations[i].is_ap() || self.stations[i].medium_idx != medium || i == tx.node {
+            if !self.stations[i].is_ap()
+                || self.stations[i].medium_idx != medium
+                || i == tx.node
+                || self.stations[i].shell
+            {
                 continue;
             }
             if !self.topology.coupled(tx.node, i) {
@@ -1592,7 +1806,7 @@ impl Simulator {
         let now = self.now;
         let until = now + tx.frame.duration_us as Micros;
         for i in 0..self.stations.len() {
-            if i == tx.node || self.stations[i].medium_idx != medium {
+            if i == tx.node || self.stations[i].medium_idx != medium || self.stations[i].shell {
                 continue;
             }
             if self.stations[i].mac == tx.frame.dst {

@@ -261,6 +261,13 @@ pub struct Station {
     pub power_save_interval_us: Option<Micros>,
     /// Current power-management bit (toggles with each Null frame).
     pub power_save_state: bool,
+    /// Lockstep sharding: this station is a passive *shell* — it exists for
+    /// identity only (node id, MAC, RNG keying, topology row) and is owned
+    /// by another shard. Shells seed no events, draw no randomness, join no
+    /// medium, and are skipped by every listener-side handler; their real
+    /// behaviour plays out on the owning shard and reaches this one as
+    /// ghost transmissions. Always `false` outside lockstep shards.
+    pub shell: bool,
 }
 
 impl Station {
@@ -313,6 +320,7 @@ impl Station {
             frag_threshold: None,
             power_save_interval_us: None,
             power_save_state: false,
+            shell: false,
         }
     }
 

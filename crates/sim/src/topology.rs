@@ -216,6 +216,56 @@ impl SensingTopology {
             *o = r & m;
         }
     }
+
+    /// The boundary-coupling closure of one lockstep shard: every station
+    /// whose transmissions the shard must observe for its own physics to be
+    /// exact (see [`crate::shard`] and `docs/DETERMINISM.md`).
+    ///
+    /// Let `A` be the shard's `owned` stations and `S₁` the stations
+    /// directly coupled to `A` — plus `audible`, the stations any of the
+    /// shard's sniffers can hear (sniffer RSSI at or above the coupling
+    /// floor). Frames from `S₁` can be sensed, decoded, or sniffed inside
+    /// the shard, so they must be mirrored in. But a mirrored frame's
+    /// *interferer list* must also be complete — SINR sums every registered
+    /// interferer with no floor cut at the receiver, and a sniffer's
+    /// `missed_clean` verdict reads list emptiness — so the neighbors of
+    /// `S₁` (who interfere with frames from `S₁`) are needed too. The
+    /// result written to `out` is the 2-hop closure
+    /// `A ∪ S₁ ∪ neighbors(S₁)`, computed as word-wise ORs of the cached
+    /// coupling rows. Over-approximation is harmless (an extra ghost draws
+    /// no randomness and touches no owned state below the coupling floor);
+    /// a missing member would be an exactness bug.
+    pub fn boundary_relevance(&self, owned: &NodeSet, audible: &NodeSet, out: &mut NodeSet) {
+        let mut s1 = vec![0u64; self.wpr];
+        for id in owned.iter() {
+            let row = &self.coupled[id * self.wpr..(id + 1) * self.wpr];
+            for (w, &r) in s1.iter_mut().zip(row) {
+                *w |= r;
+            }
+        }
+        for (w, &a) in s1.iter_mut().zip(audible.words()) {
+            *w |= a;
+        }
+        out.words.clear();
+        out.words.resize(self.wpr, 0);
+        out.words.copy_from_slice(&s1);
+        // `owned`'s backing may be shorter than a full row (it grows
+        // lazily); OR what exists.
+        for (o, &a) in out.words.iter_mut().zip(owned.words()) {
+            *o |= a;
+        }
+        for (wi, &word) in s1.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let id = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row = &self.coupled[id * self.wpr..(id + 1) * self.wpr];
+                for (o, &r) in out.words.iter_mut().zip(row) {
+                    *o |= r;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +334,30 @@ mod tests {
         topo.sensed_into(0, &members, &mut out);
         // Self is excluded by the row, node 1 by membership.
         assert_eq!(out.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn boundary_relevance_is_the_two_hop_closure() {
+        let radio = radio();
+        // A chain of stations 400 m apart: each couples only with its
+        // immediate neighbors (800 m is past the −110 dBm coupling floor
+        // for this radio; asserted so the scenario can't silently degrade).
+        let pos: Vec<Pos> = (0..6).map(|i| Pos::new(i as f64 * 400.0, 0.0)).collect();
+        let mut topo = SensingTopology::default();
+        topo.rebuild(&pos, &[], &radio);
+        assert!(topo.coupled(0, 1) && !topo.coupled(0, 2), "chain premise");
+        let mut owned = NodeSet::new();
+        owned.insert(0);
+        let mut out = NodeSet::new();
+        topo.boundary_relevance(&owned, &NodeSet::new(), &mut out);
+        // owned {0} → S1 {1} → neighbors(S1) {0, 2}.
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+
+        // A sniffer-audible station extends the closure by its neighbors.
+        let mut audible = NodeSet::new();
+        audible.insert(4);
+        topo.boundary_relevance(&owned, &audible, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

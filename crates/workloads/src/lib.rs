@@ -18,7 +18,7 @@ pub mod scenario;
 
 pub use attendance::Attendance;
 pub use scenario::{
-    ietf_day, ietf_plenary, ietf_radio, load_ramp, load_ramp_with, table1, venue_campus,
-    CampusScale, DataSetInfo, Scenario, ScenarioResult, SessionScale, ShardScenario,
+    ietf_day, ietf_plenary, ietf_plenary_sharded, ietf_radio, load_ramp, load_ramp_with, table1,
+    venue_campus, CampusScale, DataSetInfo, Scenario, ScenarioResult, SessionScale, ShardScenario,
     StationSummary,
 };

@@ -256,21 +256,21 @@ pub fn nearest_channel(aps: &[(Pos, usize)], pos: Pos) -> usize {
         .expect("APs exist")
 }
 
-fn build_session(
+fn build_session_spec(
     name: &str,
     scale: SessionScale,
     attendance: Attendance,
     user_pos: impl Fn(&mut SmallRng) -> Pos,
     sniffer_pos: [Pos; 3],
-) -> Scenario {
+) -> ShardScenario {
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x005e_5510);
-    let mut sim = Simulator::new(SimConfig {
+    let mut spec = ShardSpec::new(SimConfig {
         radio: ietf_radio(scale.seed),
         ..SimConfig::ietf_three_channels(scale.seed)
     });
     let aps = ap_grid();
     for &(pos, ch) in &aps {
-        sim.add_ap(pos, ch, 6); // ssid "ietf62"
+        spec.add_ap(pos, ch, 6); // ssid "ietf62"
     }
     for i in 0..scale.users {
         let pos = user_pos(&mut rng);
@@ -282,7 +282,7 @@ fn build_session(
         let rts = rng.gen_bool(scale.rts_fraction);
         let traffic = draw_traffic(&mut rng, fps);
         let power_save = draw_power_save(&mut rng);
-        sim.add_client(ClientConfig {
+        spec.add_client(ClientConfig {
             pos,
             channel_idx,
             rts_policy: if rts {
@@ -299,7 +299,7 @@ fn build_session(
         });
     }
     for (idx, pos) in sniffer_pos.into_iter().enumerate() {
-        sim.add_sniffer(SnifferConfig {
+        spec.add_sniffer(SnifferConfig {
             pos,
             channel_idx: idx,
             // 2005-era PCMCIA capture hardware saturates under load (Yeo et
@@ -309,10 +309,27 @@ fn build_session(
             ..SnifferConfig::default()
         });
     }
-    Scenario {
+    ShardScenario {
         name: name.to_string(),
         duration_us: scale.duration_s * SECOND,
-        sim,
+        spec,
+    }
+}
+
+fn build_session(
+    name: &str,
+    scale: SessionScale,
+    attendance: Attendance,
+    user_pos: impl Fn(&mut SmallRng) -> Pos,
+    sniffer_pos: [Pos; 3],
+) -> Scenario {
+    // The spec replays the identical adder sequence, so this is
+    // byte-identical to having called the `Simulator` adders directly.
+    let s = build_session_spec(name, scale, attendance, user_pos, sniffer_pos);
+    Scenario {
+        name: s.name,
+        duration_us: s.duration_us,
+        sim: s.spec.build_unsharded(),
     }
 }
 
@@ -336,9 +353,22 @@ pub fn ietf_day(scale: SessionScale) -> Scenario {
 /// The plenary session: every user packed into the single merged ballroom,
 /// sniffers co-located at one point inside it (Fig 3).
 pub fn ietf_plenary(scale: SessionScale) -> Scenario {
+    let s = ietf_plenary_sharded(scale);
+    Scenario {
+        name: s.name,
+        duration_us: s.duration_us,
+        sim: s.spec.build_unsharded(),
+    }
+}
+
+/// [`ietf_plenary`] recorded as a [`ShardScenario`], for
+/// `congestion_bench::streaming::run_sharded`: one dense coupled cell (a
+/// single RF-isolation component), so parallelism comes from time-window
+/// lockstep sharding rather than component sharding.
+pub fn ietf_plenary_sharded(scale: SessionScale) -> ShardScenario {
     let attendance = Attendance::plenary(scale.duration_s);
     let center = Pos::new(VENUE_W * 0.5, VENUE_H * 0.7);
-    build_session(
+    build_session_spec(
         "plenary",
         scale,
         attendance,
