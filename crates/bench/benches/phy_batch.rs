@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the batched PHY kernels against their scalar
+//! originals: `effective_sinr_db` over interferer lists of 1/4/16/64
+//! entries, plus the batched frame-success evaluation at the same widths.
+//! The batch kernels are pinned bit-identical to the scalar loops (see
+//! `crates/sim/tests/phy_batch_equiv.rs`), so any delta here is pure loop
+//! overhead — iterator adaptors and per-call constant recomputation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wifi_frames::phy::Rate;
+use wifi_sim::radio::{batch, effective_sinr_db, processing_gain_db, ErrorModel};
+
+/// A deterministic interferer RSSI pattern spanning the dynamic range a
+/// dense cell produces (strong near-far captures down to floor grazes).
+fn interferers(n: usize) -> Vec<f64> {
+    (0..n).map(|i| -50.0 - ((i * 37) % 45) as f64).collect()
+}
+
+fn bench_sinr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phy_batch/sinr");
+    for &n in &[1usize, 4, 16, 64] {
+        let interf = interferers(n);
+        let pg = processing_gain_db(Rate::R11);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(&format!("scalar_{n}"), |b| {
+            b.iter(|| {
+                black_box(effective_sinr_db(
+                    black_box(-55.0),
+                    black_box(&interf),
+                    -95.0,
+                    pg,
+                ))
+            })
+        });
+        g.bench_function(&format!("batch_{n}"), |b| {
+            b.iter(|| {
+                black_box(batch::effective_sinr_db(
+                    black_box(-55.0),
+                    black_box(&interf),
+                    -95.0,
+                    pg,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_success(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phy_batch/success");
+    let model = ErrorModel::default();
+    for &n in &[1usize, 4, 16, 64] {
+        // SINRs straddling the rate threshold, where the exp() tail is live.
+        let sinrs: Vec<f64> = (0..n).map(|i| ((i * 29) % 25) as f64 - 5.0).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(&format!("scalar_{n}"), |b| {
+            b.iter(|| {
+                for &s in black_box(&sinrs) {
+                    black_box(model.frame_success_prob(s, Rate::R11, 1460));
+                }
+            })
+        });
+        g.bench_function(&format!("batch_{n}"), |b| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                out.clear();
+                batch::frame_success_probs(&model, black_box(&sinrs), Rate::R11, 1460, &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sinr, bench_success);
+criterion_main!(benches);

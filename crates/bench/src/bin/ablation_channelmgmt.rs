@@ -59,8 +59,9 @@ fn run(mgmt: Option<ChannelMgmt>, users: usize, duration_s: u64) -> (Vec<usize>,
     let ap_channels: Vec<usize> = sim
         .stations()
         .iter()
-        .filter(|s| s.is_ap())
-        .map(|s| s.channel_idx)
+        .enumerate()
+        .filter(|(_, s)| s.is_ap())
+        .map(|(i, _)| sim.hot().channel_idx[i])
         .collect();
     let goodputs: Vec<f64> = (0..3)
         .map(|ch| {

@@ -36,7 +36,7 @@
 //! `--threads 8` on a one-CPU host measures scheduling overhead, not speedup.
 //!
 //! `--check <file>` compares events/s against the *last* trajectory entry of
-//! a committed baseline and exits non-zero on a >30 % drop — after verifying
+//! a committed baseline and exits non-zero on a >15 % drop — after verifying
 //! the entry's scenario fingerprint (seed/users/duration/event count), so a
 //! stale file can't silently gate against the wrong workload.
 
@@ -231,7 +231,7 @@ fn main() {
                      the coupled per-channel cells by time-window lockstep\n\
                      (results byte-identical to the serial run). --check\n\
                      compares events/s against the last entry of a committed\n\
-                     trajectory and exits 1 on a >30% regression."
+                     trajectory and exits 1 on a >15% regression."
                 );
                 return;
             }
@@ -364,10 +364,13 @@ fn main() {
             eprintln!("error: baseline {baseline_path} missing events_per_sec");
             std::process::exit(1);
         });
-        let floor = 0.7 * base_eps;
+        // 15% gate (was 30% while the trajectory was still moving):
+        // interleaved same-host medians vary well under this band, so a
+        // breach means a real regression, not scheduler noise.
+        let floor = 0.85 * base_eps;
         if events_per_sec < floor {
             eprintln!(
-                "FAIL: events/s regressed >30%: {events_per_sec:.0} < 0.7 x \
+                "FAIL: events/s regressed >15%: {events_per_sec:.0} < 0.85 x \
                  baseline {base_eps:.0}"
             );
             std::process::exit(1);

@@ -30,6 +30,7 @@
 //! pushed/popped/stale-dropped/cascaded counters that run reports surface
 //! per cell.
 
+use crate::arena::VecPool;
 use std::collections::BTreeMap;
 use wifi_frames::timing::Micros;
 
@@ -172,11 +173,22 @@ const WINDOW_US: Micros = (NUM_SLOTS as Micros) << SLOT_SHIFT;
 /// wheel's resident footprint at `NUM_SLOTS × SLOT_RETAIN_CAP` entries
 /// (~900 kB worst case; in practice a few hundred kB since only touched
 /// slots hold anything) while keeping the common few-events-per-slot path
-/// allocation-free. Freed capacity is recycled by the allocator into the
-/// next burst, so lowering this trades malloc churn on dense slots for
-/// resident footprint; 4 covers the typical slot population and measures
-/// within noise on events/s.
+/// allocation-free. Relinquished buffers go to the queue's [`VecPool`]
+/// arena first (bounded, so the RSS cap holds; see [`POOL_SPARES`]) and
+/// feed the next burst or spill bucket without allocator traffic; 4 covers
+/// the typical slot population and measures within noise on events/s.
 const SLOT_RETAIN_CAP: usize = 4;
+/// Entry buffers the queue's arena keeps warm for reuse as spill buckets
+/// and burst slots. With [`POOL_RETAIN_CAP`] this bounds the arena's
+/// resident ceiling at `8 × 32 × size_of::<Entry>()` (~16 kB) — measured
+/// against the ramp-320 peak-RSS pin, retaining more (16 × 256) showed up
+/// as a ~200 kB regression because buffers the wheel used to free at their
+/// burst peak stayed resident.
+const POOL_SPARES: usize = 8;
+/// Largest capacity (entries) the arena retains; burst-grown outliers are
+/// still dropped to the allocator, exactly the RSS protection
+/// [`SLOT_RETAIN_CAP`] was introduced for.
+const POOL_RETAIN_CAP: usize = 32;
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -216,6 +228,9 @@ pub struct EventQueue {
     /// insertion (sequence) order.
     spill: BTreeMap<Micros, Vec<Entry>>,
     spill_len: usize,
+    /// Bounded arena recycling entry buffers between drained slots and
+    /// spill buckets (per queue, hence per lockstep shard).
+    pool: VecPool<Entry>,
     /// Per-node armed cancellable timer.
     armed: Vec<Option<ArmedTimer>>,
     /// Fire times of cancelled timers, for events-processed parity (see
@@ -251,6 +266,7 @@ impl EventQueue {
             current_end: 0,
             spill: BTreeMap::new(),
             spill_len: 0,
+            pool: VecPool::new(POOL_SPARES, POOL_RETAIN_CAP),
             armed: Vec::new(),
             ghosts: Vec::new(),
             next_seq: 0,
@@ -336,7 +352,9 @@ impl EventQueue {
                 .expect("armed timer not found in spill bucket");
             entries.remove(pos);
             if entries.is_empty() {
-                self.spill.remove(&timer.at);
+                if let Some(bucket) = self.spill.remove(&timer.at) {
+                    self.pool.put(bucket);
+                }
             }
             self.spill_len -= 1;
             self.raw -= 1;
@@ -359,7 +377,14 @@ impl EventQueue {
             self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
             self.wheel_len += 1;
         } else {
-            self.spill.entry(e.at).or_default().push(e);
+            match self.spill.entry(e.at) {
+                std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().push(e),
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    let mut bucket = self.pool.take();
+                    bucket.push(e);
+                    slot.insert(bucket);
+                }
+            }
             self.spill_len += 1;
         }
     }
@@ -375,10 +400,13 @@ impl EventQueue {
         }
         let rest = self.spill.split_off(&window_end);
         let take = std::mem::replace(&mut self.spill, rest);
-        for (at, entries) in take {
+        for (at, mut entries) in take {
             let idx = ((at - self.wheel_base) >> SLOT_SHIFT) as usize;
             let n = entries.len();
-            self.slots[idx].extend(entries);
+            // Appending (never prepending) keeps sequence order within the
+            // slot; the drained bucket goes back to the arena.
+            self.slots[idx].append(&mut entries);
+            self.pool.put(entries);
             self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
             self.wheel_len += n;
             self.spill_len -= n;
@@ -435,10 +463,13 @@ impl EventQueue {
             match self.next_occupied_slot() {
                 Some(s) => {
                     std::mem::swap(&mut self.current, &mut self.slots[s]);
-                    // The slot inherits the previous drain buffer; return it
-                    // to the allocator if a past burst left it oversized.
+                    // The slot inherits the previous drain buffer; if a past
+                    // burst left it oversized, hand it to the arena (which
+                    // drops it if it exceeds the retention policy) so the
+                    // next burst or spill bucket reuses it.
                     if self.slots[s].capacity() > SLOT_RETAIN_CAP {
-                        self.slots[s] = Vec::new();
+                        let v = std::mem::take(&mut self.slots[s]);
+                        self.pool.put(v);
                     }
                     self.occupancy[s >> 6] &= !(1u64 << (s & 63));
                     self.wheel_len -= self.current.len();

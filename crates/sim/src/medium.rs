@@ -9,9 +9,11 @@
 //! scenario, so receivers look the interferer path loss up in the cached
 //! [`SensingTopology`](crate::topology::SensingTopology) instead of
 //! carrying positions around. The `sensed_by` listener set is a pooled
-//! [`NodeSet`] bitset, and interferer lists are pooled too — ending a
-//! transmission recycles both, so steady-state operation allocates nothing.
+//! [`NodeSet`] bitset, and interferer lists are pooled too (via the
+//! [`crate::arena`] free-list) — ending a transmission recycles both, so
+//! steady-state operation allocates nothing.
 
+use crate::arena::VecPool;
 use crate::events::NodeId;
 use crate::frame_info::SimFrame;
 use crate::topology::NodeSet;
@@ -72,8 +74,14 @@ fn insert_sorted(list: &mut Vec<NodeId>, node: NodeId) {
     list.insert(pos, node);
 }
 
+/// Interferer-list buffers the medium's arena keeps warm; both bounds
+/// comfortably exceed the concurrent-transmission count of any cell while
+/// capping the arena's resident ceiling in the tens of kilobytes.
+const LIST_POOL_SPARES: usize = 64;
+/// Largest capacity (node ids) a retained interferer list may have.
+const LIST_POOL_RETAIN_CAP: usize = 256;
+
 /// The medium of a single channel.
-#[derive(Default)]
 pub struct Medium {
     active: Vec<Transmission>,
     next_tx_id: u64,
@@ -83,8 +91,22 @@ pub struct Medium {
     pub transmissions: u64,
     /// Recycled listener bitsets (returned by [`Medium::recycle`]).
     set_pool: Vec<NodeSet>,
-    /// Recycled interferer lists.
-    list_pool: Vec<Vec<NodeId>>,
+    /// Recycled interferer lists (a bounded [`crate::arena`] free-list;
+    /// concurrent-transmission counts keep it tiny in practice).
+    list_pool: VecPool<NodeId>,
+}
+
+impl Default for Medium {
+    fn default() -> Medium {
+        Medium {
+            active: Vec::new(),
+            next_tx_id: 0,
+            collisions: 0,
+            transmissions: 0,
+            set_pool: Vec::new(),
+            list_pool: VecPool::new(LIST_POOL_SPARES, LIST_POOL_RETAIN_CAP),
+        }
+    }
 }
 
 impl Medium {
@@ -121,8 +143,7 @@ impl Medium {
     ) -> u64 {
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let mut interferers = self.list_pool.pop().unwrap_or_default();
-        interferers.clear();
+        let mut interferers = self.list_pool.take();
         for other in &mut self.active {
             // `other` started no later than `start`; the pair interferes iff
             // the earlier transmission outlives the later one's start by
@@ -170,8 +191,7 @@ impl Medium {
     ) -> u64 {
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let mut interferers = self.list_pool.pop().unwrap_or_default();
-        interferers.clear();
+        let mut interferers = self.list_pool.take();
         for other in &mut self.active {
             if !coupled(other.node) {
                 continue;
@@ -222,13 +242,12 @@ impl Medium {
     pub fn recycle(&mut self, tx: Transmission) {
         let Transmission {
             mut sensed_by,
-            mut interferers,
+            interferers,
             ..
         } = tx;
         sensed_by.clear();
         self.set_pool.push(sensed_by);
-        interferers.clear();
-        self.list_pool.push(interferers);
+        self.list_pool.put(interferers);
     }
 
     /// Active transmissions (for carrier-sense queries).

@@ -240,9 +240,96 @@ impl ErrorModel {
     }
 }
 
+/// Batched PHY kernels: the scalar reception math of this module evaluated
+/// across whole interferer lists / reception sets in one pass over
+/// contiguous `f64` slices.
+///
+/// **Bit-identity contract:** every function here performs the *same
+/// floating-point operations in the same order* as the scalar routine it
+/// batches ([`effective_sinr_db`], [`ErrorModel::frame_success_prob`]), so
+/// its results are bit-for-bit equal — only loop overhead (iterator
+/// adaptors, per-call constant recomputation, per-element dispatch) is
+/// removed. The simulator's golden digests rest on this; it is pinned by
+/// proptests in `crates/sim/tests/phy_batch_equiv.rs`.
+pub mod batch {
+    use super::ErrorModel;
+    use wifi_frames::phy::Rate;
+
+    /// [`super::effective_sinr_db`] over a contiguous interferer slice:
+    /// each interferer's milliwatt power is accumulated in slice order,
+    /// then the noise floor, exactly like the scalar
+    /// `sum_dbm(interferers.map(|i| i - pg).chain(once(noise)))` fold.
+    #[inline]
+    pub fn effective_sinr_db(
+        signal_dbm: f64,
+        interferers_dbm: &[f64],
+        noise_floor_dbm: f64,
+        processing_gain_db: f64,
+    ) -> f64 {
+        let mut mw = 0.0f64;
+        for &i in interferers_dbm {
+            mw += 10f64.powf((i - processing_gain_db) / 10.0);
+        }
+        mw += 10f64.powf(noise_floor_dbm / 10.0);
+        let denom = if mw <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            10.0 * mw.log10()
+        };
+        signal_dbm - denom
+    }
+
+    /// [`ErrorModel::frame_success_prob`] for one frame evaluated at many
+    /// receivers' SINRs (the concurrent receptions of one `TxEnd`): the
+    /// per-frame constants — rate threshold, reference-bit normalization —
+    /// are computed once, the per-SINR tail is the scalar op sequence
+    /// verbatim. Results are appended to `out` in `sinrs_db` order.
+    pub fn frame_success_probs(
+        model: &ErrorModel,
+        sinrs_db: &[f64],
+        rate: Rate,
+        bytes: u32,
+        out: &mut Vec<f64>,
+    ) {
+        let min_snr = rate.min_snr_db();
+        let bits_ref = model.ref_bytes * 8.0;
+        let ln_pbit_at_zero = 0.5f64.ln() / bits_ref;
+        let bits = bytes as f64 * 8.0;
+        out.reserve(sinrs_db.len());
+        for &sinr_db in sinrs_db {
+            let margin = sinr_db - min_snr;
+            let factor = (-margin / model.steepness_db).exp();
+            let ln_pbit = ln_pbit_at_zero * factor;
+            out.push((ln_pbit * bits).exp().clamp(0.0, 1.0));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_sinr_matches_scalar_bitwise() {
+        let interf = [-62.5, -71.0, -88.25, -54.125];
+        for k in 0..=interf.len() {
+            let scalar = effective_sinr_db(-58.0, &interf[..k], -95.0, 10.4);
+            let batched = batch::effective_sinr_db(-58.0, &interf[..k], -95.0, 10.4);
+            assert_eq!(scalar.to_bits(), batched.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn batch_success_matches_scalar_bitwise() {
+        let m = ErrorModel::default();
+        let sinrs = [-4.0, 0.0, 6.25, 11.5, 40.0];
+        let mut out = Vec::new();
+        batch::frame_success_probs(&m, &sinrs, Rate::R5_5, 777, &mut out);
+        for (i, &sinr) in sinrs.iter().enumerate() {
+            let scalar = m.frame_success_prob(sinr, Rate::R5_5, 777);
+            assert_eq!(scalar.to_bits(), out[i].to_bits(), "sinr {sinr}");
+        }
+    }
 
     #[test]
     fn fading_is_deterministic_and_bucketed() {

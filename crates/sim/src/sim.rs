@@ -26,11 +26,11 @@ use crate::events::{Event, EventQueue, NodeId, QueueStats, TimerKind};
 use crate::frame_info::SimFrame;
 use crate::geometry::Pos;
 use crate::medium::Medium;
-use crate::radio::{effective_sinr_db, processing_gain_db};
+use crate::radio::{batch, processing_gain_db};
 use crate::rate::RateAdaptation;
 use crate::rng::SimRng;
 use crate::sniffer::{MissReason, Sniffer, SnifferConfig};
-use crate::station::{MacState, Msdu, MsduKind, Role, RtsPolicy, Station, TxOp, TxPhase};
+use crate::station::{HotState, MacState, Msdu, MsduKind, Role, RtsPolicy, Station, TxOp, TxPhase};
 use crate::topology::{NodeSet, SensingTopology};
 use crate::traffic::TrafficProfile;
 use rand::Rng;
@@ -122,6 +122,11 @@ pub struct Simulator {
     now: Micros,
     queue: EventQueue,
     stations: Vec<Station>,
+    /// Struct-of-arrays columns of the per-station hot state (contention,
+    /// carrier sense, NAV, identity keys), parallel to `stations`. The
+    /// carrier-sense busy/release loops touch one field of many stations
+    /// per frame; packed columns keep those walks on a few cache lines.
+    hot: HotState,
     sniffers: Vec<Sniffer>,
     /// One medium per *partition*: per channel in an unsharded simulator,
     /// per RF-isolation component in a sharded one. Every effect of a
@@ -169,6 +174,18 @@ pub struct Simulator {
     interferer_rssi: Vec<f64>,
     /// Scratch: one same-timestamp event batch from the queue.
     batch_scratch: Vec<Event>,
+    /// Scratch: `(canonical key, event)` pairs of one batch being sorted.
+    /// Keys are computed once per event here — `CsBusy`/`TxEnd` keys scan
+    /// the medium's active list, too costly to recompute per comparison.
+    keyed_scratch: Vec<((u8, u64, u64, u64), Event)>,
+    /// Scratch: `(sniffer index, faded RSSI)` of every sniffer that hears
+    /// one frame, gathered before the batched success-probability pass.
+    sniffer_hear_scratch: Vec<(usize, f64)>,
+    /// Scratch: SINRs parallel to [`Self::sniffer_hear_scratch`].
+    sniffer_sinr_scratch: Vec<f64>,
+    /// Scratch: decode probabilities parallel to the SINR scratch, filled
+    /// by one [`batch::frame_success_probs`] call per frame.
+    sniffer_prob_scratch: Vec<f64>,
     /// Memoized slow-fade draws per directed station link, `[tx * n + rx]`;
     /// `NAN` = not drawn this coherence bucket. Bucket boundaries are
     /// global (`now / coherence_us`), so one [`Self::fade_epoch`] stamp
@@ -229,6 +246,7 @@ impl Simulator {
             now: 0,
             queue: EventQueue::new(),
             stations: Vec::new(),
+            hot: HotState::default(),
             sniffers: Vec::new(),
             media,
             medium_channel,
@@ -248,6 +266,10 @@ impl Simulator {
             followers_scratch: Vec::new(),
             interferer_rssi: Vec::new(),
             batch_scratch: Vec::new(),
+            keyed_scratch: Vec::new(),
+            sniffer_hear_scratch: Vec::new(),
+            sniffer_sinr_scratch: Vec::new(),
+            sniffer_prob_scratch: Vec::new(),
             fade_cache: Vec::new(),
             sniffer_fade_cache: Vec::new(),
             fade_epoch: u64::MAX,
@@ -278,9 +300,15 @@ impl Simulator {
         self.queue.live_len()
     }
 
-    /// The stations (APs and clients).
+    /// The stations (APs and clients): cold per-station state.
     pub fn stations(&self) -> &[Station] {
         &self.stations
+    }
+
+    /// The struct-of-arrays hot-state columns (contention, carrier sense,
+    /// NAV, keys), indexed by node id parallel to [`Self::stations`].
+    pub fn hot(&self) -> &HotState {
+        &self.hot
     }
 
     /// The sniffers.
@@ -335,8 +363,8 @@ impl Simulator {
             return 0.0;
         }
         self.fade_bucket();
-        let tx_key = self.stations[tx_node].key;
-        let rx_key = self.stations[rx_node].key;
+        let tx_key = self.hot.key[tx_node];
+        let rx_key = self.hot.key[rx_node];
         let n = self.stations.len();
         let slot = &mut self.fade_cache[tx_node * n + rx_node];
         if slot.is_nan() {
@@ -354,7 +382,7 @@ impl Simulator {
             return 0.0;
         }
         self.fade_bucket();
-        let tx_key = self.stations[tx_node].key;
+        let tx_key = self.hot.key[tx_node];
         let link = SNIFFER_LINK_BASE + self.sniffer_keys[idx];
         let n = self.stations.len();
         let slot = &mut self.sniffer_fade_cache[idx * n + tx_node];
@@ -375,10 +403,30 @@ impl Simulator {
     ) -> f64 {
         let mut interf = std::mem::take(&mut self.interferer_rssi);
         interf.clear();
-        for &nid in &tx.interferers {
-            interf.push(self.faded_rssi(nid, rx_node));
+        let fading = self.config.radio.fading;
+        if fading.sigma_db == 0.0 {
+            for &nid in &tx.interferers {
+                interf.push(self.topology.rssi(nid, rx_node));
+            }
+        } else {
+            // Coherence-bucket-keyed prefetch: validate the fade caches once
+            // for the whole interferer list, then walk the `→ rx_node` cache
+            // column directly — `link_fade`'s per-call sigma/bucket checks
+            // and key loads, hoisted out of the loop. A miss draws exactly
+            // the `fade_db(tx_key, rx_key, now)` bits the scalar path would.
+            self.fade_bucket();
+            let n = self.stations.len();
+            let now = self.now;
+            let rx_key = self.hot.key[rx_node];
+            for &nid in &tx.interferers {
+                let slot = &mut self.fade_cache[nid * n + rx_node];
+                if slot.is_nan() {
+                    *slot = fading.fade_db(self.hot.key[nid], rx_key, now);
+                }
+                interf.push(self.topology.rssi(nid, rx_node) + *slot);
+            }
         }
-        let sinr = effective_sinr_db(
+        let sinr = batch::effective_sinr_db(
             rssi,
             &interf,
             self.config.radio.noise_floor_dbm,
@@ -487,24 +535,26 @@ impl Simulator {
             id,
             mac,
             pos,
-            channel_idx,
             Role::Ap {
                 beacon_body_bytes: beacon_body,
             },
             RtsPolicy::Never,
             RateAdaptation::Arf(Rate::R11),
             TrafficProfile::silent(),
-            &self.config.dcf,
         );
         st.adapter_cfg = adaptation;
         st.rts_policy = rts_policy;
         st.queue_cap = self.config.queue_cap;
         st.joined = true;
-        st.key = key;
         st.rng = SimRng::new(self.config.seed, key);
-        st.medium_idx = medium_idx;
-        st.shell = self.shell_mode;
         self.stations.push(st);
+        self.hot.push(
+            channel_idx,
+            medium_idx,
+            key,
+            self.config.dcf.cw_min,
+            self.shell_mode,
+        );
         self.mac_index.insert(mac, id);
         if self.shell_mode {
             // Passive shell: identity only. No medium membership, no beacon
@@ -554,21 +604,23 @@ impl Simulator {
             id,
             mac,
             cfg.pos,
-            cfg.channel_idx,
             Role::Client,
             cfg.rts_policy,
             cfg.adaptation,
             cfg.traffic,
-            &self.config.dcf,
         );
         st.queue_cap = self.config.queue_cap;
         st.power_save_interval_us = cfg.power_save_interval_us;
         st.frag_threshold = cfg.frag_threshold;
-        st.key = key;
         st.rng = SimRng::new(self.config.seed, key);
-        st.medium_idx = medium_idx;
-        st.shell = self.shell_mode;
         self.stations.push(st);
+        self.hot.push(
+            cfg.channel_idx,
+            medium_idx,
+            key,
+            self.config.dcf.cw_min,
+            self.shell_mode,
+        );
         self.mac_index.insert(mac, id);
         if self.shell_mode {
             return id; // passive shell (see add_ap_keyed)
@@ -663,7 +715,7 @@ impl Simulator {
         self.ensure_topology();
         let node = notice.node;
         let air = notice.end - notice.start;
-        let medium = self.stations[node].medium_idx;
+        let medium = self.hot.medium_idx[node];
         let Simulator {
             media,
             topology,
@@ -717,7 +769,16 @@ impl Simulator {
             if batch.len() > 1 {
                 // Stable: events with identical keys (only literally
                 // identical, idempotent events can tie) keep queue order.
-                batch.sort_by_key(|e| self.batch_sort_key(e));
+                // Keys are materialized once per event, then the pairs are
+                // stable-sorted — same order `sort_by_key` produced when it
+                // recomputed keys per comparison.
+                let mut keyed = std::mem::take(&mut self.keyed_scratch);
+                keyed.clear();
+                keyed.extend(batch.iter().map(|e| (self.batch_sort_key(e), *e)));
+                keyed.sort_by_key(|&(k, _)| k);
+                batch.clear();
+                batch.extend(keyed.iter().map(|&(_, e)| e));
+                self.keyed_scratch = keyed;
             }
             self.now = at;
             self.events_processed += batch.len() as u64;
@@ -743,7 +804,7 @@ impl Simulator {
     /// transmission in flight, so the transmitter key is unique per
     /// `TxEnd`/`CsBusy` at one timestamp.
     fn batch_sort_key(&self, ev: &Event) -> (u8, u64, u64, u64) {
-        let key = |node: NodeId| self.stations[node].key;
+        let key = |node: NodeId| self.hot.key[node];
         let tx_key = |medium: usize, tx_id: u64| {
             self.media[medium]
                 .active()
@@ -797,14 +858,14 @@ impl Simulator {
     /// the queue additionally removes the superseded entry outright, so
     /// re-arming never leaves a dead event behind.
     fn arm_timer(&mut self, node: NodeId, kind: TimerKind, at: Micros) {
-        let gen = self.stations[node].bump_timer_gen();
+        let gen = self.hot.bump_timer_gen(node);
         self.queue.arm_timer(node, gen, kind, at);
     }
 
     /// NavExpired is validated by condition, not generation, so it must not
     /// bump the generation (that would cancel a live contention timer).
     fn arm_nav_expiry(&mut self, node: NodeId, at: Micros) {
-        let gen = self.stations[node].timer_gen;
+        let gen = self.hot.timer_gen[node];
         self.queue.push(
             at,
             Event::Timer {
@@ -820,8 +881,7 @@ impl Simulator {
         // generation-validated.
         match kind {
             TimerKind::NavExpired => {
-                let st = &self.stations[node];
-                if st.nav_until <= self.now && st.sensed == 0 {
+                if self.hot.nav_until[node] <= self.now && self.hot.sensed[node] == 0 {
                     self.on_channel_idle(node);
                 }
                 return;
@@ -832,7 +892,7 @@ impl Simulator {
             }
             _ => {}
         }
-        if self.stations[node].timer_gen != gen {
+        if self.hot.timer_gen[node] != gen {
             return; // stale
         }
         match kind {
@@ -853,7 +913,7 @@ impl Simulator {
         if st.associated_ap.is_some() || st.departed {
             return; // already associated, or left for good (stale retry)
         }
-        let medium_idx = st.medium_idx;
+        let medium_idx = self.hot.medium_idx[node];
         let first_join = !st.joined;
         self.stations[node].joined = true;
         // Active scanning: a broadcast probe request precedes the first
@@ -874,7 +934,7 @@ impl Simulator {
         let best_on = |sim: &Simulator, m: Option<usize>| -> Option<(NodeId, f64)> {
             let mut best: Option<(NodeId, f64)> = None;
             for (i, ap) in sim.stations.iter().enumerate() {
-                if ap.is_ap() && m.is_none_or(|mm| ap.medium_idx == mm) {
+                if ap.is_ap() && m.is_none_or(|mm| sim.hot.medium_idx[i] == mm) {
                     let rssi = sim.topology.rssi(i, node);
                     if best.is_none_or(|(_, b)| rssi > b) {
                         best = Some((i, rssi));
@@ -888,7 +948,7 @@ impl Simulator {
             // Our channel has no AP (it may have migrated away): scan all
             // channels and retune to the strongest AP found anywhere.
             if let Some((ap_id, rssi)) = best_on(self, None) {
-                let target = self.stations[ap_id].channel_idx;
+                let target = self.hot.channel_idx[ap_id];
                 if self.move_station_channel(node, target) {
                     choice = Some((ap_id, rssi));
                 }
@@ -1073,8 +1133,11 @@ impl Simulator {
 
     /// Starts serving the head-of-line MSDU if the station is free.
     fn try_dequeue(&mut self, node: NodeId) {
+        if self.hot.state[node] != MacState::Idle {
+            return;
+        }
         let st = &mut self.stations[node];
-        if st.current.is_some() || st.state != MacState::Idle {
+        if st.current.is_some() {
             return;
         }
         let Some(msdu) = st.queue.pop_front() else {
@@ -1124,33 +1187,32 @@ impl Simulator {
     fn begin_access(&mut self, node: NodeId) {
         let now = self.now;
         let difs = self.defer_interval(node);
-        let st = &mut self.stations[node];
-        debug_assert!(st.current.is_some());
-        if st.channel_busy(now) {
-            if st.backoff_slots == 0 {
-                let cw = st.cw;
-                st.backoff_slots = draw_backoff(&mut st.rng, cw);
+        debug_assert!(self.stations[node].current.is_some());
+        if self.hot.channel_busy(node, now) {
+            if self.hot.backoff_slots[node] == 0 {
+                let cw = self.hot.cw[node];
+                self.hot.backoff_slots[node] = draw_backoff(&mut self.stations[node].rng, cw);
             }
-            st.state = MacState::Frozen;
+            self.hot.state[node] = MacState::Frozen;
             return;
         }
         // Channel idle. Immediate transmission is allowed only with no
         // pending backoff and a DIFS of idle time already behind us.
-        if st.backoff_slots == 0 && st.idle_since + difs <= now {
+        if self.hot.backoff_slots[node] == 0 && self.hot.idle_since[node] + difs <= now {
             self.transmit_current(node);
             return;
         }
-        if st.backoff_slots == 0 {
-            let cw = st.cw;
-            st.backoff_slots = draw_backoff(&mut st.rng, cw);
+        if self.hot.backoff_slots[node] == 0 {
+            let cw = self.hot.cw[node];
+            self.hot.backoff_slots[node] = draw_backoff(&mut self.stations[node].rng, cw);
         }
-        st.state = MacState::WaitDefer;
-        let ready_at = (st.idle_since + difs).max(now);
+        self.hot.state[node] = MacState::WaitDefer;
+        let ready_at = (self.hot.idle_since[node] + difs).max(now);
         self.arm_timer(node, TimerKind::DeferDone, ready_at);
     }
 
     fn defer_interval(&self, node: NodeId) -> Micros {
-        if self.config.eifs_enabled && self.stations[node].use_eifs {
+        if self.config.eifs_enabled && self.hot.use_eifs[node] {
             self.config.dcf.eifs_us()
         } else {
             self.config.dcf.difs_us()
@@ -1159,21 +1221,20 @@ impl Simulator {
 
     fn on_defer_done(&mut self, node: NodeId) {
         let now = self.now;
-        let st = &mut self.stations[node];
-        if st.state != MacState::WaitDefer {
+        if self.hot.state[node] != MacState::WaitDefer {
             return;
         }
-        st.use_eifs = false;
-        if st.channel_busy(now) {
-            st.state = MacState::Frozen;
+        self.hot.use_eifs[node] = false;
+        if self.hot.channel_busy(node, now) {
+            self.hot.state[node] = MacState::Frozen;
             return;
         }
-        if st.backoff_slots == 0 {
+        let slots = self.hot.backoff_slots[node];
+        if slots == 0 {
             self.transmit_current(node);
             return;
         }
-        let slots = st.backoff_slots;
-        st.state = MacState::Backoff {
+        self.hot.state[node] = MacState::Backoff {
             started: now,
             slots_at_start: slots,
         };
@@ -1182,11 +1243,10 @@ impl Simulator {
     }
 
     fn on_backoff_done(&mut self, node: NodeId) {
-        let st = &mut self.stations[node];
-        if !matches!(st.state, MacState::Backoff { .. }) {
+        if !matches!(self.hot.state[node], MacState::Backoff { .. }) {
             return;
         }
-        st.backoff_slots = 0;
+        self.hot.backoff_slots[node] = 0;
         self.transmit_current(node);
     }
 
@@ -1194,22 +1254,19 @@ impl Simulator {
     fn on_channel_busy(&mut self, node: NodeId) {
         let now = self.now;
         let slot = self.config.dcf.slot_us;
-        let cancelled = {
-            let st = &mut self.stations[node];
-            match st.state {
-                MacState::WaitDefer => {
-                    st.bump_timer_gen();
-                    st.state = MacState::Frozen;
-                    true
-                }
-                MacState::Backoff { started, .. } => {
-                    st.bump_timer_gen();
-                    st.consume_backoff(now - started, slot);
-                    st.state = MacState::Frozen;
-                    true
-                }
-                _ => false,
+        let cancelled = match self.hot.state[node] {
+            MacState::WaitDefer => {
+                self.hot.bump_timer_gen(node);
+                self.hot.state[node] = MacState::Frozen;
+                true
             }
+            MacState::Backoff { started, .. } => {
+                self.hot.bump_timer_gen(node);
+                self.hot.consume_backoff(node, now - started, slot);
+                self.hot.state[node] = MacState::Frozen;
+                true
+            }
+            _ => false,
         };
         if cancelled {
             self.queue.cancel_timer(node);
@@ -1219,10 +1276,9 @@ impl Simulator {
     /// The channel turned idle for `node`: restart the defer.
     fn on_channel_idle(&mut self, node: NodeId) {
         let now = self.now;
-        let st = &mut self.stations[node];
-        st.idle_since = now;
-        if st.state == MacState::Frozen {
-            st.state = MacState::WaitDefer;
+        self.hot.idle_since[node] = now;
+        if self.hot.state[node] == MacState::Frozen {
+            self.hot.state[node] = MacState::WaitDefer;
             let difs = self.defer_interval(node);
             self.arm_timer(node, TimerKind::DeferDone, now + difs);
         }
@@ -1320,12 +1376,9 @@ impl Simulator {
         let preamble = self.config.preamble;
         let air = frame_airtime_us(frame.mac_bytes as u64, rate, preamble);
         let end = now + air;
-        let medium = self.stations[node].medium_idx;
-        {
-            let st = &mut self.stations[node];
-            st.state = MacState::Transmitting { phase };
-            st.tx_until = end;
-        }
+        let medium = self.hot.medium_idx[node];
+        self.hot.state[node] = MacState::Transmitting { phase };
+        self.hot.tx_until[node] = end;
         // Decide who will sense this transmission: the cached carrier-sense
         // row masked by the medium's membership — a few word ANDs where the
         // unoptimized loop did O(stations) path-loss math per frame. The
@@ -1394,8 +1447,8 @@ impl Simulator {
             while bits != 0 {
                 let i = wi * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let was_busy = self.stations[i].channel_busy(now);
-                self.stations[i].sensed += 1;
+                let was_busy = self.hot.channel_busy(i, now);
+                self.hot.sensed[i] += 1;
                 if !was_busy {
                     self.on_channel_busy(i);
                 }
@@ -1408,7 +1461,7 @@ impl Simulator {
         let Some(frame) = self.stations[node].pending_response.take() else {
             return;
         };
-        let state = self.stations[node].state;
+        let state = self.hot.state[node];
         let (phase, rate) = match frame.kind {
             // The data frame of an RTS-protected exchange (released a SIFS
             // after its CTS, state AwaitCts) or the next fragment of a burst
@@ -1507,10 +1560,9 @@ impl Simulator {
                 while bits != 0 {
                     let i = wi * 64 + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let st = &mut self.stations[i];
-                    debug_assert!(st.sensed > 0);
-                    st.sensed -= 1;
-                    if !st.channel_busy(now) {
+                    debug_assert!(self.hot.sensed[i] > 0);
+                    self.hot.sensed[i] -= 1;
+                    if !self.hot.channel_busy(i, now) {
                         self.on_channel_idle(i);
                     }
                 }
@@ -1519,8 +1571,8 @@ impl Simulator {
         }
         // The transmitter itself: its own channel went quiet from its side.
         // (A ghost's transmitter is a shell here; it never contends.)
-        if !tx.ghost && !self.stations[tx.node].channel_busy(now) {
-            self.stations[tx.node].idle_since = now;
+        if !tx.ghost && !self.hot.channel_busy(tx.node, now) {
+            self.hot.idle_since[tx.node] = now;
         }
         // 7. Recycle the transmission's listener set and interferer list.
         self.media[medium].recycle(tx);
@@ -1529,12 +1581,12 @@ impl Simulator {
     fn advance_transmitter(&mut self, tx: &crate::medium::Transmission) {
         let node = tx.node;
         let now = self.now;
-        let MacState::Transmitting { phase } = self.stations[node].state else {
+        let MacState::Transmitting { phase } = self.hot.state[node] else {
             return;
         };
         match phase {
             TxPhase::Rts => {
-                self.stations[node].state = MacState::AwaitCts;
+                self.hot.state[node] = MacState::AwaitCts;
                 let timeout = now + delay::SIFS + delay::CTS + TIMEOUT_MARGIN_US;
                 self.arm_timer(node, TimerKind::CtsTimeout, timeout);
             }
@@ -1542,7 +1594,7 @@ impl Simulator {
                 if tx.frame.is_broadcast() {
                     self.complete_delivery(node, false);
                 } else {
-                    self.stations[node].state = MacState::AwaitAck;
+                    self.hot.state[node] = MacState::AwaitAck;
                     let timeout = now + delay::SIFS + delay::ACK + TIMEOUT_MARGIN_US;
                     self.arm_timer(node, TimerKind::AckTimeout, timeout);
                 }
@@ -1554,13 +1606,13 @@ impl Simulator {
                 // backoff.
                 let has_work = self.stations[node].current.is_some();
                 if has_work {
-                    self.stations[node].state = MacState::Frozen;
-                    if !self.stations[node].channel_busy(now) {
+                    self.hot.state[node] = MacState::Frozen;
+                    if !self.hot.channel_busy(node, now) {
                         self.on_channel_idle(node);
                     }
                 } else {
-                    self.stations[node].state = MacState::Idle;
-                    self.stations[node].idle_since = now;
+                    self.hot.state[node] = MacState::Idle;
+                    self.hot.idle_since[node] = now;
                     self.try_dequeue(node);
                 }
             }
@@ -1580,17 +1632,17 @@ impl Simulator {
         let Some(&rx_node) = self.mac_index.get(&frame.dst) else {
             return;
         };
-        if rx_node == tx.node || self.stations[rx_node].medium_idx != medium {
+        if rx_node == tx.node || self.hot.medium_idx[rx_node] != medium {
             return;
         }
-        if self.stations[rx_node].shell {
+        if self.hot.shell[rx_node] {
             return; // lockstep shell: reception (and its RNG draw) happens
                     // on the receiver's owning shard
         }
         if !self.topology.coupled(tx.node, rx_node) {
             return; // below the pair-coupling floor: no interaction
         }
-        if self.stations[rx_node].was_transmitting_during(tx.start, tx.end) {
+        if self.hot.was_transmitting_during(rx_node, tx.start, tx.end) {
             return; // half-duplex
         }
         let rssi = self.faded_rssi(tx.node, rx_node);
@@ -1604,7 +1656,7 @@ impl Simulator {
             .frame_success_prob(sinr, tx.rate, frame.mac_bytes);
         if self.stations[rx_node].rng.gen::<f64>() >= p {
             if self.config.eifs_enabled {
-                self.stations[rx_node].use_eifs = true;
+                self.hot.use_eifs[rx_node] = true;
             }
             return;
         }
@@ -1620,16 +1672,16 @@ impl Simulator {
         let now = self.now;
         for i in 0..self.stations.len() {
             if !self.stations[i].is_ap()
-                || self.stations[i].medium_idx != medium
+                || self.hot.medium_idx[i] != medium
                 || i == tx.node
-                || self.stations[i].shell
+                || self.hot.shell[i]
             {
                 continue;
             }
             if !self.topology.coupled(tx.node, i) {
                 continue; // below the pair-coupling floor
             }
-            if self.stations[i].was_transmitting_during(tx.start, tx.end) {
+            if self.hot.was_transmitting_during(i, tx.start, tx.end) {
                 continue;
             }
             let rssi = self.faded_rssi(tx.node, i);
@@ -1665,8 +1717,8 @@ impl Simulator {
         }
         match frame.kind {
             FrameKind::Ack => {
-                if self.stations[rx_node].state == MacState::AwaitAck {
-                    self.stations[rx_node].bump_timer_gen(); // cancel AckTimeout
+                if self.hot.state[rx_node] == MacState::AwaitAck {
+                    self.hot.bump_timer_gen(rx_node); // cancel AckTimeout
                     self.queue.cancel_timer(rx_node);
                     let has_more = self.stations[rx_node]
                         .current
@@ -1680,8 +1732,8 @@ impl Simulator {
                 }
             }
             FrameKind::Cts => {
-                if self.stations[rx_node].state == MacState::AwaitCts {
-                    self.stations[rx_node].bump_timer_gen(); // cancel CtsTimeout
+                if self.hot.state[rx_node] == MacState::AwaitCts {
+                    self.hot.bump_timer_gen(rx_node); // cancel CtsTimeout
                     self.queue.cancel_timer(rx_node);
                     if let Some(op) = self.stations[rx_node].current.as_mut() {
                         op.cts_received = true;
@@ -1692,7 +1744,7 @@ impl Simulator {
             }
             FrameKind::Rts => {
                 // Respond with CTS only if our NAV is clear.
-                if self.stations[rx_node].nav_until <= now {
+                if self.hot.nav_until[rx_node] <= now {
                     let src = frame.src.expect("RTS carries a transmitter");
                     let dur = (frame.duration_us as u64)
                         .saturating_sub(delay::SIFS + delay::CTS)
@@ -1748,14 +1800,14 @@ impl Simulator {
         // simply retries — comparable to real-hardware behaviour under the
         // same (collision-heavy) conditions.
         if matches!(
-            self.stations[node].state,
+            self.hot.state[node],
             MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
         ) {
             return;
         }
         let now = self.now;
         self.stations[node].pending_response = Some(frame);
-        let gen = self.stations[node].timer_gen;
+        let gen = self.hot.timer_gen[node];
         self.queue.push(
             now + delay::SIFS,
             Event::Timer {
@@ -1790,7 +1842,7 @@ impl Simulator {
         );
         st.stats.tx_attempts += 1;
         st.pending_response = Some(frame);
-        let gen = st.timer_gen;
+        let gen = self.hot.timer_gen[node];
         self.ground_truth.data_tx += 1;
         self.queue.push(
             now + delay::SIFS,
@@ -1806,7 +1858,7 @@ impl Simulator {
         let now = self.now;
         let until = now + tx.frame.duration_us as Micros;
         for i in 0..self.stations.len() {
-            if i == tx.node || self.stations[i].medium_idx != medium || self.stations[i].shell {
+            if i == tx.node || self.hot.medium_idx[i] != medium || self.hot.shell[i] {
                 continue;
             }
             if self.stations[i].mac == tx.frame.dst {
@@ -1815,7 +1867,7 @@ impl Simulator {
             if !self.topology.coupled(tx.node, i) {
                 continue; // below the pair-coupling floor
             }
-            if self.stations[i].was_transmitting_during(tx.start, tx.end) {
+            if self.hot.was_transmitting_during(i, tx.start, tx.end) {
                 continue;
             }
             let rssi = self.faded_rssi(tx.node, i);
@@ -1827,9 +1879,9 @@ impl Simulator {
                 .config
                 .error
                 .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
-            if self.stations[i].rng.gen::<f64>() < p && until > self.stations[i].nav_until {
-                let was_busy = self.stations[i].channel_busy(now);
-                self.stations[i].nav_until = until;
+            if self.stations[i].rng.gen::<f64>() < p && until > self.hot.nav_until[i] {
+                let was_busy = self.hot.channel_busy(i, now);
+                self.hot.nav_until[i] = until;
                 if !was_busy {
                     self.on_channel_busy(i);
                 }
@@ -1842,6 +1894,15 @@ impl Simulator {
         let ch = self.config.channels[self.medium_channel[medium]];
         let now = self.now;
         let floor = self.config.radio.effective_coupling_floor_dbm();
+        // Pass 1: gather every sniffer that hears this frame (RSSI + SINR
+        // against its local interferer view). Per-sniffer decode draws live
+        // on independent RNG streams, so splitting the evaluation from the
+        // draws reorders nothing.
+        let mut hear = std::mem::take(&mut self.sniffer_hear_scratch);
+        let mut sinrs = std::mem::take(&mut self.sniffer_sinr_scratch);
+        hear.clear();
+        sinrs.clear();
+        let fading = self.config.radio.fading;
         for idx in 0..self.sniffers.len() {
             if self.sniffer_medium[idx] != medium {
                 continue;
@@ -1865,25 +1926,54 @@ impl Simulator {
             }
             let mut interf = std::mem::take(&mut self.interferer_rssi);
             interf.clear();
-            for &nid in &tx.interferers {
-                if self.topology.sniffer_rssi(idx, nid) < floor {
-                    continue; // below the floor at this sniffer
+            if fading.sigma_db == 0.0 {
+                for &nid in &tx.interferers {
+                    let path = self.topology.sniffer_rssi(idx, nid);
+                    if path < floor {
+                        continue; // below the floor at this sniffer
+                    }
+                    interf.push(path + fade_scale * 0.0);
                 }
-                interf.push(
-                    self.topology.sniffer_rssi(idx, nid) + fade_scale * self.sniffer_fade(idx, nid),
-                );
+            } else {
+                // Same coherence-bucket prefetch as `station_sinr`, walking
+                // this sniffer's fade-cache row directly.
+                self.fade_bucket();
+                let n = self.stations.len();
+                let link = SNIFFER_LINK_BASE + self.sniffer_keys[idx];
+                for &nid in &tx.interferers {
+                    let path = self.topology.sniffer_rssi(idx, nid);
+                    if path < floor {
+                        continue; // below the floor at this sniffer
+                    }
+                    let slot = &mut self.sniffer_fade_cache[idx * n + nid];
+                    if slot.is_nan() {
+                        *slot = fading.fade_db(self.hot.key[nid], link, now);
+                    }
+                    interf.push(path + fade_scale * *slot);
+                }
             }
-            let sinr = effective_sinr_db(
+            let sinr = batch::effective_sinr_db(
                 rssi,
                 &interf,
                 self.config.radio.noise_floor_dbm,
                 processing_gain_db(tx.rate),
             );
             self.interferer_rssi = interf;
-            let p = self
-                .config
-                .error
-                .frame_success_prob(sinr, tx.rate, tx.frame.mac_bytes);
+            hear.push((idx, rssi));
+            sinrs.push(sinr);
+        }
+        // One batched success-probability evaluation across all concurrent
+        // receptions of this frame, then pass 2: draw, token, capture.
+        let mut probs = std::mem::take(&mut self.sniffer_prob_scratch);
+        probs.clear();
+        batch::frame_success_probs(
+            &self.config.error,
+            &sinrs,
+            tx.rate,
+            tx.frame.mac_bytes,
+            &mut probs,
+        );
+        for (&(idx, rssi), &p) in hear.iter().zip(&probs) {
             if self.sniffer_rngs[idx].gen::<f64>() >= p {
                 if tx.interferers.is_empty() {
                     self.sniffers[idx].stats.missed_clean += 1;
@@ -1898,6 +1988,9 @@ impl Simulator {
             let record = tx.frame.to_record(tx.end, tx.rate, ch, rssi.round() as i8);
             self.sniffers[idx].capture(record);
         }
+        self.sniffer_hear_scratch = hear;
+        self.sniffer_sinr_scratch = sinrs;
+        self.sniffer_prob_scratch = probs;
     }
 
     // ------------------------------------------------------------------
@@ -1926,6 +2019,7 @@ impl Simulator {
         let (best, best_load, cur, cur_load) = {
             let Simulator {
                 stations,
+                hot,
                 chan_airtime_us,
                 eval_deltas,
                 ..
@@ -1939,7 +2033,7 @@ impl Simulator {
                     .map(|(now_v, then_v)| now_v.saturating_sub(*then_v)),
             );
             st.chan_airtime_snapshot.copy_from_slice(chan_airtime_us);
-            let cur = st.channel_idx;
+            let cur = hot.channel_idx[node];
             let Some((best, &best_load)) = eval_deltas
                 .iter()
                 .enumerate()
@@ -2004,13 +2098,13 @@ impl Simulator {
     fn move_station_channel(&mut self, node: NodeId, new_idx: usize) -> bool {
         assert!(new_idx < self.config.channels.len(), "bad channel index");
         if matches!(
-            self.stations[node].state,
+            self.hot.state[node],
             MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
         ) || self.stations[node].pending_response.is_some()
         {
             return false;
         }
-        let old_idx = self.stations[node].channel_idx;
+        let old_idx = self.hot.channel_idx[node];
         if old_idx == new_idx {
             return true;
         }
@@ -2018,23 +2112,19 @@ impl Simulator {
         // Detach from the old channel's in-flight transmissions.
         for tx in self.media[old_idx].active_mut() {
             if tx.sensed_by.remove(node) && tx.cs_applied {
-                let st = &mut self.stations[node];
-                debug_assert!(st.sensed > 0);
-                st.sensed = st.sensed.saturating_sub(1);
+                debug_assert!(self.hot.sensed[node] > 0);
+                self.hot.sensed[node] = self.hot.sensed[node].saturating_sub(1);
             }
         }
         // Pause any contention countdown; NAV from the old channel is void.
         self.on_channel_busy(node); // freezes WaitDefer/Backoff safely
-        {
-            let st = &mut self.stations[node];
-            st.nav_until = 0;
-            st.use_eifs = false;
-            st.channel_idx = new_idx;
-            // Channel management only runs unpartitioned (media == channels),
-            // so the medium index moves in lockstep with the channel index.
-            debug_assert!(!self.partitioned);
-            st.medium_idx = new_idx;
-        }
+        self.hot.nav_until[node] = 0;
+        self.hot.use_eifs[node] = false;
+        self.hot.channel_idx[node] = new_idx;
+        // Channel management only runs unpartitioned (media == channels),
+        // so the medium index moves in lockstep with the channel index.
+        debug_assert!(!self.partitioned);
+        self.hot.medium_idx[node] = new_idx;
         self.medium_members[old_idx].remove(node);
         self.medium_members[new_idx].insert(node);
         // Attach to the new channel's in-flight transmissions (carrier-sense
@@ -2053,12 +2143,9 @@ impl Simulator {
                 }
             }
         }
-        {
-            let st = &mut self.stations[node];
-            st.sensed += sensed_gain;
-            st.idle_since = now;
-        }
-        if self.stations[node].state == MacState::Frozen && !self.stations[node].channel_busy(now) {
+        self.hot.sensed[node] += sensed_gain;
+        self.hot.idle_since[node] = now;
+        if self.hot.state[node] == MacState::Frozen && !self.hot.channel_busy(node, now) {
             self.on_channel_idle(node);
         }
         true
@@ -2069,7 +2156,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn on_exchange_timeout(&mut self, node: NodeId, expected: MacState) {
-        if self.stations[node].state != expected {
+        if self.hot.state[node] != expected {
             return;
         }
         let drop;
@@ -2086,7 +2173,7 @@ impl Simulator {
             op.retries += 1;
             op.cts_received = false;
             drop = op.retries > dcf.short_retry_limit;
-            st.cw = dcf.cw_after(op.retries);
+            self.hot.cw[node] = dcf.cw_after(op.retries);
         }
         // Rate-adaptation feedback for data frames. This is exactly the
         // deficiency the paper identifies: the adapter cannot distinguish a
@@ -2104,9 +2191,9 @@ impl Simulator {
             let backoff = draw_backoff(&mut st.rng, cw_min);
             st.stats.retry_drops += 1;
             st.current = None;
-            st.cw = cw_min;
-            st.backoff_slots = backoff;
-            st.state = MacState::Idle;
+            self.hot.cw[node] = cw_min;
+            self.hot.backoff_slots[node] = backoff;
+            self.hot.state[node] = MacState::Idle;
             self.ground_truth.retry_drops += 1;
             if is_assoc_req && self.stations[node].joined {
                 self.queue
@@ -2124,9 +2211,9 @@ impl Simulator {
                     op.rate = new_rate;
                 }
             }
-            let cw = st.cw;
-            st.backoff_slots = draw_backoff(&mut st.rng, cw);
-            st.state = MacState::Idle;
+            let cw = self.hot.cw[node];
+            self.hot.backoff_slots[node] = draw_backoff(&mut st.rng, cw);
+            self.hot.state[node] = MacState::Idle;
         }
         self.begin_access(node);
     }
@@ -2159,7 +2246,7 @@ impl Simulator {
         );
         st.stats.tx_attempts += 1;
         st.pending_response = Some(frame);
-        let gen = st.timer_gen;
+        let gen = self.hot.timer_gen[node];
         self.ground_truth.data_tx += 1;
         self.queue.push(
             now + delay::SIFS,
@@ -2183,10 +2270,10 @@ impl Simulator {
             is_data = matches!(op.msdu.kind, MsduKind::Data { .. });
             st.stats.delivered += 1;
             st.stats.delivery_delay_total_us += now.saturating_sub(op.msdu.enqueued_at);
-            st.cw = self.config.dcf.cw_min;
-            let cw = st.cw;
-            st.backoff_slots = draw_backoff(&mut st.rng, cw);
-            st.state = MacState::Idle;
+            let cw = self.config.dcf.cw_min;
+            self.hot.cw[node] = cw;
+            self.hot.backoff_slots[node] = draw_backoff(&mut st.rng, cw);
+            self.hot.state[node] = MacState::Idle;
         }
         self.ground_truth.delivered += 1;
         if acked && is_data {

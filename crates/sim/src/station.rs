@@ -16,7 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use wifi_frames::fc::FrameKind;
 use wifi_frames::mac::MacAddr;
 use wifi_frames::phy::Rate;
-use wifi_frames::timing::{Dcf, Micros};
+use wifi_frames::timing::Micros;
 
 /// When a station precedes data frames with an RTS/CTS exchange.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,28 +176,145 @@ pub struct StationStats {
     pub delivery_delay_total_us: u64,
 }
 
-/// A station (AP or client).
+/// Struct-of-arrays block of the per-station *hot* state: the fields the
+/// event loop touches on every carrier-sense transition, timer delivery and
+/// reception, extracted from [`Station`] into parallel vectors indexed by
+/// [`NodeId`].
+///
+/// The carrier-sense busy/release loops walk a listener bitset and touch
+/// `sensed`/`nav_until`/`state` for every listening station of every frame;
+/// with the fields inline in `Station` (a multi-hundred-byte struct holding
+/// queues and adapter maps) each touch was a fresh cache line. Packed
+/// columns put 8–16 stations' worth of one field on a line. Cold state
+/// (MAC, queue payloads, stats, RNG, adapters) stays in [`Station`] behind
+/// the same `NodeId` indexing.
+#[derive(Default)]
+pub struct HotState {
+    /// Contention state.
+    pub state: Vec<MacState>,
+    /// Remaining backoff slots (meaningful in WaitDefer/Frozen/Backoff).
+    pub backoff_slots: Vec<u32>,
+    /// Current contention-window size.
+    pub cw: Vec<u32>,
+    /// Timer generation stamp. The event queue removes cancelled
+    /// contention timers eagerly (`EventQueue::cancel_timer`); the
+    /// generation survives as a belt-and-braces cross-check at delivery —
+    /// a popped timer whose stamp mismatches is stale and dropped. Bump
+    /// sites pair with a queue-side cancellation.
+    pub timer_gen: Vec<u64>,
+    /// Number of carrier-sensed in-flight transmissions.
+    pub sensed: Vec<u32>,
+    /// NAV expiry.
+    pub nav_until: Vec<Micros>,
+    /// When the channel last became idle for this station.
+    pub idle_since: Vec<Micros>,
+    /// Whether the next defer must use EIFS (after an undecodable frame).
+    pub use_eifs: Vec<bool>,
+    /// End time of the station's own most recent transmission
+    /// (half-duplex check).
+    pub tx_until: Vec<Micros>,
+    /// Index into the simulator's channel list.
+    pub channel_idx: Vec<usize>,
+    /// Index into the simulator's media. In an unsharded simulator media
+    /// are per-channel and this equals `channel_idx`; in a sharded one each
+    /// medium is one RF-isolation component (see [`crate::shard`]).
+    pub medium_idx: Vec<usize>,
+    /// Global station key: the station's index in the *scenario-wide* build
+    /// order, stable across shard partitionings (equals the node id in an
+    /// unsharded simulator). Keys the station's RNG stream and its fade
+    /// links, so a station draws the same values whichever shard it runs in.
+    pub key: Vec<u64>,
+    /// Lockstep sharding: this station is a passive *shell* — it exists for
+    /// identity only (node id, MAC, RNG keying, topology row) and is owned
+    /// by another shard. Shells seed no events, draw no randomness, join no
+    /// medium, and are skipped by every listener-side handler; their real
+    /// behaviour plays out on the owning shard and reaches this one as
+    /// ghost transmissions. Always `false` outside lockstep shards.
+    pub shell: Vec<bool>,
+}
+
+impl HotState {
+    /// Appends one station's row; returns its node id.
+    pub fn push(
+        &mut self,
+        channel_idx: usize,
+        medium_idx: usize,
+        key: u64,
+        cw_min: u32,
+        shell: bool,
+    ) -> NodeId {
+        let id = self.state.len();
+        self.state.push(MacState::Idle);
+        self.backoff_slots.push(0);
+        self.cw.push(cw_min);
+        self.timer_gen.push(0);
+        self.sensed.push(0);
+        self.nav_until.push(0);
+        self.idle_since.push(0);
+        self.use_eifs.push(false);
+        self.tx_until.push(0);
+        self.channel_idx.push(channel_idx);
+        self.medium_idx.push(medium_idx);
+        self.key.push(key);
+        self.shell.push(shell);
+        id
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no stations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The channel is busy for station `node` right now?
+    #[inline]
+    pub fn channel_busy(&self, node: NodeId, now: Micros) -> bool {
+        self.sensed[node] > 0 || self.nav_until[node] > now
+    }
+
+    /// Was station `node` transmitting at any point in `[start, end]`?
+    #[inline]
+    pub fn was_transmitting_during(&self, node: NodeId, start: Micros, end: Micros) -> bool {
+        // tx_until > start means the last transmission was still in the air
+        // after `start`; transmissions always begin before the station could
+        // hear anything, so overlap reduces to this check.
+        let _ = end;
+        self.tx_until[node] > start
+    }
+
+    /// Invalidates any armed timers of `node`; returns the new generation.
+    #[inline]
+    pub fn bump_timer_gen(&mut self, node: NodeId) -> u64 {
+        self.timer_gen[node] += 1;
+        self.timer_gen[node]
+    }
+
+    /// Consumes elapsed backoff time of `node`: decrements the remaining
+    /// slot count by the number of whole slots that fit in `elapsed`.
+    #[inline]
+    pub fn consume_backoff(&mut self, node: NodeId, elapsed: Micros, slot_us: Micros) {
+        let consumed = (elapsed / slot_us) as u32;
+        self.backoff_slots[node] = self.backoff_slots[node].saturating_sub(consumed);
+    }
+}
+
+/// A station (AP or client): the *cold* per-station state — identity,
+/// queues, adapters and counters. The event-loop-hot contention fields live
+/// in the simulator's [`HotState`] columns under the same node id.
 pub struct Station {
     /// Node id within the simulation.
     pub id: NodeId,
-    /// Global station key: the station's index in the *scenario-wide* build
-    /// order, stable across shard partitionings (equals `id` in an
-    /// unsharded simulator). Keys the station's RNG stream and its fade
-    /// links, so a station draws the same values whichever shard it runs in.
-    pub key: u64,
     /// This station's private random stream (backoff, traffic, decode and
-    /// jitter draws), keyed by `(scenario seed, key)`.
+    /// jitter draws), keyed by `(scenario seed, global station key)`.
     pub rng: SimRng,
     /// MAC address.
     pub mac: MacAddr,
     /// Fixed position.
     pub pos: Pos,
-    /// Index into the simulator's channel list.
-    pub channel_idx: usize,
-    /// Index into the simulator's media. In an unsharded simulator media
-    /// are per-channel and this equals `channel_idx`; in a sharded one each
-    /// medium is one RF-isolation component (see [`crate::shard`]).
-    pub medium_idx: usize,
     /// AP or client.
     pub role: Role,
     /// Transmit queue.
@@ -206,28 +323,6 @@ pub struct Station {
     pub queue_cap: usize,
     /// In-flight operation for the head-of-line MSDU.
     pub current: Option<TxOp>,
-    /// Contention state.
-    pub state: MacState,
-    /// Remaining backoff slots (meaningful in WaitDefer/Frozen/Backoff).
-    pub backoff_slots: u32,
-    /// Current contention-window size.
-    pub cw: u32,
-    /// Timer generation stamp. The event queue removes cancelled
-    /// contention timers eagerly (`EventQueue::cancel_timer`); the
-    /// generation survives as a belt-and-braces cross-check at delivery —
-    /// a popped timer whose stamp mismatches is stale and dropped. Bump
-    /// sites pair with a queue-side cancellation.
-    pub timer_gen: u64,
-    /// Number of carrier-sensed in-flight transmissions.
-    pub sensed: u32,
-    /// NAV expiry.
-    pub nav_until: Micros,
-    /// When the channel last became idle for this station.
-    pub idle_since: Micros,
-    /// Whether the next defer must use EIFS (after an undecodable frame).
-    pub use_eifs: bool,
-    /// End time of our own most recent transmission (half-duplex check).
-    pub tx_until: Micros,
     /// A response (CTS/ACK) owed after SIFS.
     pub pending_response: Option<SimFrame>,
     /// RTS policy for unicast data.
@@ -261,50 +356,28 @@ pub struct Station {
     pub power_save_interval_us: Option<Micros>,
     /// Current power-management bit (toggles with each Null frame).
     pub power_save_state: bool,
-    /// Lockstep sharding: this station is a passive *shell* — it exists for
-    /// identity only (node id, MAC, RNG keying, topology row) and is owned
-    /// by another shard. Shells seed no events, draw no randomness, join no
-    /// medium, and are skipped by every listener-side handler; their real
-    /// behaviour plays out on the owning shard and reaches this one as
-    /// ghost transmissions. Always `false` outside lockstep shards.
-    pub shell: bool,
 }
 
 impl Station {
     /// Creates a station with empty state.
-    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: NodeId,
         mac: MacAddr,
         pos: Pos,
-        channel_idx: usize,
         role: Role,
         rts_policy: RtsPolicy,
         adapter_cfg: RateAdaptation,
         traffic: TrafficProfile,
-        dcf: &Dcf,
     ) -> Station {
         Station {
             id,
-            key: id as u64,
             rng: SimRng::new(0, id as u64),
             mac,
             pos,
-            channel_idx,
-            medium_idx: channel_idx,
             role,
             queue: VecDeque::new(),
             queue_cap: 128,
             current: None,
-            state: MacState::Idle,
-            backoff_slots: 0,
-            cw: dcf.cw_min,
-            timer_gen: 0,
-            sensed: 0,
-            nav_until: 0,
-            idle_since: 0,
-            use_eifs: false,
-            tx_until: 0,
             pending_response: None,
             rts_policy,
             adapter_cfg,
@@ -320,7 +393,6 @@ impl Station {
             frag_threshold: None,
             power_save_interval_us: None,
             power_save_state: false,
-            shell: false,
         }
     }
 
@@ -344,31 +416,11 @@ impl Station {
         self.queue.push_front(msdu);
     }
 
-    /// The channel is busy for this station right now?
-    pub fn channel_busy(&self, now: Micros) -> bool {
-        self.sensed > 0 || self.nav_until > now
-    }
-
-    /// Was this station transmitting at any point in `[start, end]`?
-    pub fn was_transmitting_during(&self, start: Micros, end: Micros) -> bool {
-        // tx_until > start means our last transmission was still in the air
-        // after `start`; our transmissions always begin before we could hear
-        // anything, so overlap reduces to this check.
-        let _ = end;
-        self.tx_until > start
-    }
-
     /// Assigns the next sequence number.
     pub fn take_seq(&mut self) -> u16 {
         let s = self.next_seq;
         self.next_seq = (self.next_seq + 1) % 4096;
         s
-    }
-
-    /// Invalidates any armed timers and returns the new generation.
-    pub fn bump_timer_gen(&mut self) -> u64 {
-        self.timer_gen += 1;
-        self.timer_gen
     }
 
     /// The rate adapter for `peer`, created on first use.
@@ -382,13 +434,6 @@ impl Station {
         let hint = self.snr_hints.get(&peer).copied();
         self.adapter_for(peer).rate(hint)
     }
-
-    /// Consumes elapsed backoff time: decrements the remaining slot count by
-    /// the number of whole slots that fit in `elapsed`.
-    pub fn consume_backoff(&mut self, elapsed: Micros, slot_us: Micros) {
-        let consumed = (elapsed / slot_us) as u32;
-        self.backoff_slots = self.backoff_slots.saturating_sub(consumed);
-    }
 }
 
 #[cfg(test)]
@@ -400,13 +445,17 @@ mod tests {
             0,
             MacAddr::from_id(1),
             Pos::default(),
-            0,
             Role::Client,
             RtsPolicy::Never,
             RateAdaptation::Arf(Rate::R11),
             TrafficProfile::silent(),
-            &Dcf::standard(),
         )
+    }
+
+    fn hot_with_one() -> HotState {
+        let mut h = HotState::default();
+        h.push(0, 0, 0, 31, false);
+        h
     }
 
     fn msdu() -> Msdu {
@@ -460,24 +509,24 @@ mod tests {
 
     #[test]
     fn busy_combines_carrier_sense_and_nav() {
-        let mut s = station();
-        assert!(!s.channel_busy(100));
-        s.sensed = 1;
-        assert!(s.channel_busy(100));
-        s.sensed = 0;
-        s.nav_until = 200;
-        assert!(s.channel_busy(100));
-        assert!(!s.channel_busy(200));
+        let mut h = hot_with_one();
+        assert!(!h.channel_busy(0, 100));
+        h.sensed[0] = 1;
+        assert!(h.channel_busy(0, 100));
+        h.sensed[0] = 0;
+        h.nav_until[0] = 200;
+        assert!(h.channel_busy(0, 100));
+        assert!(!h.channel_busy(0, 200));
     }
 
     #[test]
     fn backoff_consumption_floors_partial_slots() {
-        let mut s = station();
-        s.backoff_slots = 10;
-        s.consume_backoff(59, 20); // 2.95 slots -> 2
-        assert_eq!(s.backoff_slots, 8);
-        s.consume_backoff(1_000_000, 20); // saturates at zero
-        assert_eq!(s.backoff_slots, 0);
+        let mut h = hot_with_one();
+        h.backoff_slots[0] = 10;
+        h.consume_backoff(0, 59, 20); // 2.95 slots -> 2
+        assert_eq!(h.backoff_slots[0], 8);
+        h.consume_backoff(0, 1_000_000, 20); // saturates at zero
+        assert_eq!(h.backoff_slots[0], 0);
     }
 
     #[test]
@@ -493,17 +542,17 @@ mod tests {
 
     #[test]
     fn timer_generation_invalidates() {
-        let mut s = station();
-        let g0 = s.timer_gen;
-        let g1 = s.bump_timer_gen();
+        let mut h = hot_with_one();
+        let g0 = h.timer_gen[0];
+        let g1 = h.bump_timer_gen(0);
         assert!(g1 > g0);
     }
 
     #[test]
     fn half_duplex_overlap_check() {
-        let mut s = station();
-        s.tx_until = 1000;
-        assert!(s.was_transmitting_during(500, 2000));
-        assert!(!s.was_transmitting_during(1000, 2000));
+        let mut h = hot_with_one();
+        h.tx_until[0] = 1000;
+        assert!(h.was_transmitting_during(0, 500, 2000));
+        assert!(!h.was_transmitting_during(0, 1000, 2000));
     }
 }

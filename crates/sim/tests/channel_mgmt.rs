@@ -89,8 +89,9 @@ fn dynamic_assignment_rebalances_the_hot_channel() {
     let ap_channels: Vec<usize> = sim
         .stations()
         .iter()
-        .filter(|s| s.is_ap())
-        .map(|s| s.channel_idx)
+        .enumerate()
+        .filter(|(_, s)| s.is_ap())
+        .map(|(i, _)| sim.hot().channel_idx[i])
         .collect();
     assert!(
         ap_channels.iter().any(|&c| c != 0),
@@ -140,8 +141,9 @@ fn balanced_load_does_not_flap() {
     let ap_channels: Vec<usize> = sim
         .stations()
         .iter()
-        .filter(|s| s.is_ap())
-        .map(|s| s.channel_idx)
+        .enumerate()
+        .filter(|(_, s)| s.is_ap())
+        .map(|(i, _)| sim.hot().channel_idx[i])
         .collect();
     assert_eq!(ap_channels, vec![0, 1, 2], "balanced network must not flap");
 }

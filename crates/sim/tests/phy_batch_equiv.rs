@@ -1,0 +1,102 @@
+//! Property tests pinning the batched PHY kernels to their scalar
+//! originals, bit for bit.
+//!
+//! The golden digests depend on every SINR and frame-success value the
+//! simulator ever computes, so `radio::batch` is only allowed to remove
+//! loop overhead — never to reassociate a floating-point operation. These
+//! tests compare `to_bits()` (not approximate equality) across random
+//! interferer sets, rates, and frame sizes; any reordering of the
+//! milliwatt accumulation or the logistic tail shows up as a last-ulp
+//! mismatch long before it would move a golden.
+
+use proptest::prelude::*;
+use wifi_frames::phy::Rate;
+use wifi_sim::radio::{batch, effective_sinr_db, processing_gain_db, ErrorModel};
+
+/// dBm values are generated as integer tenths so strategies stay integral
+/// while covering the full dynamic range at sub-dB granularity.
+fn dbm(tenths: i32) -> f64 {
+    tenths as f64 / 10.0
+}
+
+fn rate(idx: u8) -> Rate {
+    match idx % 4 {
+        0 => Rate::R1,
+        1 => Rate::R2,
+        2 => Rate::R5_5,
+        _ => Rate::R11,
+    }
+}
+
+proptest! {
+    /// Batched SINR equals the scalar iterator fold exactly, for every
+    /// prefix of the interferer list (prefixes catch an accumulation-order
+    /// change that happens to cancel over the full list).
+    fn batch_sinr_bit_identical(
+        signal in -1200i32..300,
+        interf in proptest::collection::vec(-1200i32..300, 0..24),
+        noise in -1100i32..-600,
+        rate_idx in 0u8..4,
+    ) {
+        let interf: Vec<f64> = interf.into_iter().map(dbm).collect();
+        let pg = processing_gain_db(rate(rate_idx));
+        for k in 0..=interf.len() {
+            let scalar = effective_sinr_db(dbm(signal), &interf[..k], dbm(noise), pg);
+            let batched = batch::effective_sinr_db(dbm(signal), &interf[..k], dbm(noise), pg);
+            prop_assert_eq!(
+                scalar.to_bits(),
+                batched.to_bits(),
+                "prefix {}: scalar {} batch {}",
+                k,
+                scalar,
+                batched
+            );
+        }
+    }
+
+    /// Batched frame-success probabilities equal per-SINR scalar calls
+    /// exactly: hoisting the per-frame constants out of the loop must not
+    /// change a single result, element by element and in order.
+    fn batch_success_bit_identical(
+        sinrs in proptest::collection::vec(-400i32..800, 0..24),
+        rate_idx in 0u8..4,
+        bytes in 1u32..4096,
+        steepness_tenths in 5i32..60,
+        ref_bytes in 256u32..4096,
+    ) {
+        let sinrs: Vec<f64> = sinrs.into_iter().map(dbm).collect();
+        let model = ErrorModel {
+            steepness_db: dbm(steepness_tenths * 10),
+            ref_bytes: ref_bytes as f64,
+        };
+        let r = rate(rate_idx);
+        let mut out = Vec::new();
+        batch::frame_success_probs(&model, &sinrs, r, bytes, &mut out);
+        prop_assert_eq!(out.len(), sinrs.len());
+        for (i, &sinr) in sinrs.iter().enumerate() {
+            let scalar = model.frame_success_prob(sinr, r, bytes);
+            prop_assert_eq!(
+                scalar.to_bits(),
+                out[i].to_bits(),
+                "element {}: scalar {} batch {}",
+                i,
+                scalar,
+                out[i]
+            );
+        }
+    }
+
+    /// The batch kernel appends: existing contents of `out` are preserved,
+    /// so callers can reuse one scratch buffer across frames.
+    fn batch_success_appends(
+        sinrs in proptest::collection::vec(-400i32..800, 0..12),
+        bytes in 1u32..4096,
+    ) {
+        let sinrs: Vec<f64> = sinrs.into_iter().map(dbm).collect();
+        let model = ErrorModel::default();
+        let mut out = vec![0.5f64];
+        batch::frame_success_probs(&model, &sinrs, Rate::R2, bytes, &mut out);
+        prop_assert_eq!(out.len(), sinrs.len() + 1);
+        prop_assert_eq!(out[0].to_bits(), 0.5f64.to_bits());
+    }
+}

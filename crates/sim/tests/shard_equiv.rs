@@ -88,11 +88,11 @@ fn collect(mut sims: Vec<(Simulator, Vec<usize>)>, sniffers: usize) -> Observed 
             sniffer_traces[global] = std::mem::take(&mut sim.sniffers_mut()[local].trace);
             sniffer_stats[global] = format!("{:?}", sim.sniffers()[local].stats);
         }
-        for st in sim.stations() {
-            if st.shell {
+        for (i, st) in sim.stations().iter().enumerate() {
+            if sim.hot().shell[i] {
                 continue;
             }
-            station_stats.push((st.key, format!("{:?}", st.stats)));
+            station_stats.push((sim.hot().key[i], format!("{:?}", st.stats)));
         }
         ground_truth.extend(sim.ground_truth.records.iter().copied());
         if medium_stats.is_empty() {
