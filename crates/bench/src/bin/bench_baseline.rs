@@ -12,6 +12,9 @@
 //! * `venue-5k`     — the whole conference campus: ≈5,000 users, 39 APs over
 //!   channels 1/6/11 in 13 RF-isolated halls, 10 s, run on the sharded
 //!   intra-scenario parallel path (`--threads`)   → `BENCH_sim_venue.json`
+//! * `churn`        — the mobile venue: 160 users on the nine-AP floor,
+//!   a third walking waypoint routes and roaming between APs on coherence
+//!   ticks (incremental topology maintenance)     → `BENCH_sim_churn.json`
 //!
 //! ```text
 //! cargo run --release -p congestion-bench --bin bench_baseline -- --pin ramp-320
@@ -40,10 +43,12 @@
 //! the entry's scenario fingerprint (seed/users/duration/event count), so a
 //! stale file can't silently gate against the wrong workload.
 
-use congestion_bench::streaming::{run_sharded, run_streaming_pipelined, StreamedRun};
+use congestion_bench::streaming::{
+    run_sharded, run_streaming_mobile, run_streaming_pipelined, MobilityStats, StreamedRun,
+};
 use ietf_workloads::{
-    ietf_plenary, ietf_plenary_sharded, load_ramp, venue_campus, CampusScale, Scenario,
-    SessionScale,
+    ietf_plenary, ietf_plenary_sharded, load_ramp, mobile_venue, venue_campus, CampusScale,
+    ChurnScale, Scenario, SessionScale,
 };
 
 /// The pinned scenarios: identity and scale are part of the baseline
@@ -54,6 +59,7 @@ enum PinName {
     Ramp320,
     Plenary523,
     Venue5k,
+    Churn,
 }
 
 struct Pin {
@@ -99,6 +105,15 @@ impl Pin {
                 users: 5_000,
                 duration_s: 10,
             },
+            // The mobile venue: waypoint walkers roaming the nine-AP floor
+            // on coherence ticks — the churn workload family opened by
+            // incremental topology maintenance.
+            "churn" => Pin {
+                name: PinName::Churn,
+                seed: 11,
+                users: 160,
+                duration_s: 60,
+            },
             _ => return None,
         };
         Some(pin)
@@ -110,6 +125,7 @@ impl Pin {
             PinName::Ramp320 => "ramp-320",
             PinName::Plenary523 => "plenary-523",
             PinName::Venue5k => "venue-5k",
+            PinName::Churn => "churn",
         }
     }
 
@@ -119,6 +135,7 @@ impl Pin {
             PinName::Ramp320 => "BENCH_sim.json",
             PinName::Plenary523 => "BENCH_sim_plenary.json",
             PinName::Venue5k => "BENCH_sim_venue.json",
+            PinName::Churn => "BENCH_sim_churn.json",
         }
     }
 
@@ -135,6 +152,7 @@ impl Pin {
                 rts_fraction: 0.02,
             }),
             PinName::Venue5k => unreachable!("venue-5k runs the sharded path"),
+            PinName::Churn => unreachable!("churn runs the mobile streaming path"),
         };
         // Perf run: skip the ground-truth tape (it is O(frames) memory and
         // no figure reads it here); the on-air counter still runs.
@@ -152,8 +170,20 @@ impl Pin {
         &self,
         threads: usize,
         max_shards: usize,
-    ) -> (StreamedRun, Option<(usize, usize, bool)>) {
+    ) -> (
+        StreamedRun,
+        Option<(usize, usize, bool)>,
+        Option<MobilityStats>,
+    ) {
         match self.name {
+            PinName::Churn => {
+                let scale = ChurnScale::venue_default(self.seed);
+                debug_assert!(scale.users == self.users && scale.duration_s == self.duration_s);
+                let mut scenario = mobile_venue(scale);
+                scenario.sim.config.record_ground_truth = false;
+                let (run, mobility) = run_streaming_mobile(scenario, 1_000_000);
+                (run, None, Some(mobility))
+            }
             PinName::Venue5k => {
                 let scale = CampusScale::venue_5k(self.seed);
                 debug_assert!(scale.users == self.users && scale.duration_s == self.duration_s);
@@ -163,6 +193,7 @@ impl Pin {
                 (
                     sharded.run,
                     Some((sharded.shards, sharded.components, sharded.lockstep)),
+                    None,
                 )
             }
             PinName::Plenary523 if max_shards > 1 => {
@@ -178,9 +209,10 @@ impl Pin {
                 (
                     sharded.run,
                     Some((sharded.shards, sharded.components, sharded.lockstep)),
+                    None,
                 )
             }
-            _ => (run_streaming_pipelined(self.build(), 1_000_000), None),
+            _ => (run_streaming_pipelined(self.build(), 1_000_000), None, None),
         }
     }
 }
@@ -190,6 +222,7 @@ fn main() {
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
     let mut entry_label = "current".to_string();
+    let mut notes: Option<String> = None;
     let mut threads = 1usize;
     let mut max_shards: Option<usize> = None;
     let mut it = std::env::args().skip(1);
@@ -200,6 +233,7 @@ fn main() {
             "--check" => check = Some(it.next().expect("--check needs a file")),
             "--out" => out = Some(it.next().expect("--out needs a file")),
             "--label" => entry_label = it.next().expect("--label needs a string"),
+            "--notes" => notes = Some(it.next().expect("--notes needs a string")),
             "--threads" => {
                 threads = it
                     .next()
@@ -217,15 +251,18 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_baseline [--pin NAME] [--label L] [--threads N] \
-                     [--max-shards M] [--out FILE] [--check BASELINE]\n\
+                    "usage: bench_baseline [--pin NAME] [--label L] [--notes S] \
+                     [--threads N] [--max-shards M] [--out FILE] [--check BASELINE]\n\
                      \n\
                      Pins: ramp-quick (48u/60s), ramp-320 (320u/30s, default),\n\
                      plenary-523 (523u plenary/30s), venue-5k (5000u campus/10s,\n\
-                     sharded over RF-isolation domains on --threads workers).\n\
+                     sharded over RF-isolation domains on --threads workers),\n\
+                     churn (160u mobile venue/60s, waypoint walkers roaming\n\
+                     the nine-AP floor).\n\
                      Runs the pinned scenario and appends one entry (tagged\n\
-                     --label) to the pin's trajectory JSON (default\n\
-                     BENCH_sim[_quick|_plenary|_venue].json). --quick =\n\
+                     --label, with optional free-form --notes) to the pin's\n\
+                     trajectory JSON (default\n\
+                     BENCH_sim[_quick|_plenary|_venue|_churn].json). --quick =\n\
                      --pin ramp-quick. --max-shards caps the partition; for\n\
                      plenary-523 a value > 1 takes the sharded path, splitting\n\
                      the coupled per-channel cells by time-window lockstep\n\
@@ -244,7 +281,8 @@ fn main() {
 
     let Some(pin) = Pin::by_name(&pin_name) else {
         eprintln!(
-            "error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523 | venue-5k)"
+            "error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523 | \
+             venue-5k | churn)"
         );
         std::process::exit(2);
     };
@@ -266,7 +304,7 @@ fn main() {
     });
 
     let start = std::time::Instant::now();
-    let (run, sharding) = pin.run(threads, max_shards);
+    let (run, sharding, mobility) = pin.run(threads, max_shards);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let events_per_sec = run.events_processed as f64 / (wall_ms / 1e3).max(1e-9);
@@ -289,12 +327,27 @@ fn main() {
             )
         })
         .unwrap_or_default();
+    // Churn entries record the movement volume behind the numbers: events/s
+    // at 0 moves would mean the walkers never walked.
+    let mobility_fields = mobility
+        .map(|m| {
+            format!(
+                ", \"walkers\": {}, \"moves\": {}, \"roams\": {}",
+                m.walkers, m.moves, m.roams
+            )
+        })
+        .unwrap_or_default();
+    // Free-form context for the entry (what changed, measured side costs);
+    // `--check` only reads named numeric fields, so notes never gate.
+    let notes_field = notes
+        .map(|n| format!(", \"notes\": \"{}\"", n.replace(['"', '\\'], "_")))
+        .unwrap_or_default();
     let entry = format!(
         "    {{\"label\": \"{}\", \"pin\": \"{}\", \"seed\": {}, \"users\": {}, \
          \"duration_s\": {}, \"events\": {}, \"frames_on_air\": {}, \
          \"seconds_analyzed\": {}, \"queue_pushed\": {}, \"queue_popped\": {}, \
          \"queue_stale_dropped\": {}, \"queue_cascaded\": {}, \"wall_ms\": {:.1}, \
-         \"events_per_sec\": {:.0}, \"frames_per_sec\": {:.0}, \"peak_rss_kb\": {}{}}}",
+         \"events_per_sec\": {:.0}, \"frames_per_sec\": {:.0}, \"peak_rss_kb\": {}{}{}{}}}",
         entry_label.replace(['"', '\\'], "_"),
         pin.label(),
         pin.seed,
@@ -312,6 +365,8 @@ fn main() {
         frames_per_sec,
         peak_rss_kb(),
         sharding_fields,
+        mobility_fields,
+        notes_field,
     );
     if let Err(e) = append_entry(&out, pin.label(), &entry) {
         eprintln!("error: cannot write {out}: {e}");

@@ -26,7 +26,7 @@
 //! unsharded run.
 
 use congestion::persec::{SecondAccumulator, SecondStats};
-use ietf_workloads::{Scenario, ShardScenario};
+use ietf_workloads::{MobileScenario, Scenario, ShardScenario};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wifi_frames::record::FrameRecord;
@@ -101,6 +101,69 @@ pub fn run_streaming(mut scenario: Scenario, chunk_us: Micros) -> StreamedRun {
         frames_on_air: scenario.sim.ground_truth.transmissions,
         queue: scenario.sim.queue_stats(),
     }
+}
+
+/// Mobility counters of a finished [`run_streaming_mobile`] run, reported
+/// alongside the [`StreamedRun`] for the churn trajectory entries.
+#[derive(Clone, Copy, Debug)]
+pub struct MobilityStats {
+    /// Walkers registered with the waypoint model.
+    pub walkers: usize,
+    /// Positions applied via `Simulator::move_station`.
+    pub moves: u64,
+    /// Roams triggered via `Simulator::reassociate_strongest`.
+    pub roams: u64,
+}
+
+/// [`run_streaming`] for a [`MobileScenario`]: chunked execution with the
+/// waypoint walkers advanced at every mobility-tick boundary. Chunks are
+/// clipped to tick boundaries so a move can never land mid-chunk — the
+/// stream is a pure continuation of the same event queue between moves,
+/// exactly like the static runner.
+pub fn run_streaming_mobile(
+    mut scenario: MobileScenario,
+    chunk_us: Micros,
+) -> (StreamedRun, MobilityStats) {
+    let chunk_us = chunk_us.max(1);
+    let tick_us = scenario.tick_us.max(1);
+    let mut accs: Vec<SecondAccumulator> = scenario
+        .sim
+        .sniffers()
+        .iter()
+        .map(|_| SecondAccumulator::new())
+        .collect();
+    let mut now: Micros = 0;
+    let mut next_tick = tick_us;
+    while now < scenario.duration_us {
+        now = (now + chunk_us).min(scenario.duration_us).min(next_tick);
+        scenario.sim.run_until(now);
+        for (sniffer, acc) in scenario.sim.sniffers_mut().iter_mut().zip(&mut accs) {
+            for record in sniffer.trace.drain(..) {
+                acc.push(record);
+            }
+        }
+        if now == next_tick {
+            if now < scenario.duration_us {
+                scenario.mobility.advance(&mut scenario.sim, tick_us);
+            }
+            next_tick += tick_us;
+        }
+    }
+    let stats = MobilityStats {
+        walkers: scenario.mobility.walker_count(),
+        moves: scenario.mobility.moves,
+        roams: scenario.mobility.roams,
+    };
+    let run = StreamedRun {
+        name: scenario.name,
+        per_sniffer_seconds: accs.into_iter().map(SecondAccumulator::finish).collect(),
+        sniffer_stats: scenario.sim.sniffers().iter().map(|s| s.stats).collect(),
+        medium_stats: scenario.sim.medium_stats(),
+        events_processed: scenario.sim.events_processed(),
+        frames_on_air: scenario.sim.ground_truth.transmissions,
+        queue: scenario.sim.queue_stats(),
+    };
+    (run, stats)
 }
 
 /// [`run_streaming`] with simulation and analysis overlapped on two threads.

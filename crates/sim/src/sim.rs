@@ -363,8 +363,8 @@ impl Simulator {
             return 0.0;
         }
         self.fade_bucket();
-        let tx_key = self.hot.key[tx_node];
-        let rx_key = self.hot.key[rx_node];
+        let tx_key = self.hot.fade_key(tx_node);
+        let rx_key = self.hot.fade_key(rx_node);
         let n = self.stations.len();
         let slot = &mut self.fade_cache[tx_node * n + rx_node];
         if slot.is_nan() {
@@ -382,7 +382,7 @@ impl Simulator {
             return 0.0;
         }
         self.fade_bucket();
-        let tx_key = self.hot.key[tx_node];
+        let tx_key = self.hot.fade_key(tx_node);
         let link = SNIFFER_LINK_BASE + self.sniffer_keys[idx];
         let n = self.stations.len();
         let slot = &mut self.sniffer_fade_cache[idx * n + tx_node];
@@ -417,11 +417,11 @@ impl Simulator {
             self.fade_bucket();
             let n = self.stations.len();
             let now = self.now;
-            let rx_key = self.hot.key[rx_node];
+            let rx_key = self.hot.fade_key(rx_node);
             for &nid in &tx.interferers {
                 let slot = &mut self.fade_cache[nid * n + rx_node];
                 if slot.is_nan() {
-                    *slot = fading.fade_db(self.hot.key[nid], rx_key, now);
+                    *slot = fading.fade_db(self.hot.fade_key(nid), rx_key, now);
                 }
                 interf.push(self.topology.rssi(nid, rx_node) + *slot);
             }
@@ -436,11 +436,16 @@ impl Simulator {
         sinr
     }
 
-    /// Rebuilds the sensing-topology cache if stations or sniffers were
-    /// added since the last run. Population changes only happen between
-    /// `run_until` calls, so one check per call suffices.
+    /// Sizes the fade memos for the current population. The topology
+    /// itself needs no check here: the station/sniffer adders and
+    /// [`Self::move_station`] maintain it eagerly and incrementally (one
+    /// dirty row + column per change, [`crate::topology`]), so by
+    /// construction it always covers the population — asserted, not
+    /// guessed from counts.
     fn ensure_topology(&mut self) {
         let (n, sniffers) = (self.stations.len(), self.sniffers.len());
+        debug_assert_eq!(self.topology.station_count(), n);
+        debug_assert_eq!(self.topology.sniffer_count(), sniffers);
         // Size the fade memos alongside the topology matrix; a population
         // change rebuilds them all-`NAN` ("never drawn"). Fresh exact-size
         // allocations, for the same reason as the RSSI matrix: incremental
@@ -456,13 +461,6 @@ impl Simulator {
             self.sniffer_fade_cache.reserve_exact(sniffers * n);
             self.sniffer_fade_cache.resize(sniffers * n, f64::NAN);
         }
-        if self.topology.matches(n, sniffers) {
-            return;
-        }
-        let station_pos: Vec<Pos> = self.stations.iter().map(|s| s.pos).collect();
-        let sniffer_pos: Vec<Pos> = self.sniffers.iter().map(|s| s.config.pos).collect();
-        self.topology
-            .rebuild(&station_pos, &sniffer_pos, &self.config.radio);
     }
 
     /// Adds an access point. Returns its node id. The first beacon is
@@ -555,6 +553,9 @@ impl Simulator {
             self.config.dcf.cw_min,
             self.shell_mode,
         );
+        // Eager incremental topology maintenance: one dirty row + column,
+        // shells included (every shard must agree on the full matrix).
+        self.topology.add_station(pos, &self.config.radio);
         self.mac_index.insert(mac, id);
         if self.shell_mode {
             // Passive shell: identity only. No medium membership, no beacon
@@ -621,6 +622,7 @@ impl Simulator {
             self.config.dcf.cw_min,
             self.shell_mode,
         );
+        self.topology.add_station(cfg.pos, &self.config.radio);
         self.mac_index.insert(mac, id);
         if self.shell_mode {
             return id; // passive shell (see add_ap_keyed)
@@ -662,8 +664,25 @@ impl Simulator {
         self.sniffer_keys.push(key);
         self.sniffer_rngs
             .push(SimRng::new(self.config.seed, SNIFFER_LINK_BASE + key));
+        self.topology.add_sniffer(cfg.pos, &self.config.radio);
         self.sniffers.push(Sniffer::new(cfg));
         self.sniffers.len() - 1
+    }
+
+    /// Pre-sizes the topology cache for a known final population: one
+    /// exact allocation instead of geometric growth while stations join.
+    /// Scenario builders call this with their final counts; the resulting
+    /// footprint matches a one-shot full rebuild exactly.
+    pub fn reserve_stations(&mut self, stations: usize, sniffers: usize) {
+        self.topology.reserve(stations, sniffers);
+    }
+
+    /// The maintained sensing-topology cache (always covering the current
+    /// population — the adders and [`Self::move_station`] update it
+    /// eagerly). Shard drift detection reads coupling rows and the
+    /// mutation epoch from here.
+    pub fn topology(&self) -> &SensingTopology {
+        &self.topology
     }
 
     // ------------------------------------------------------------------
@@ -1947,7 +1966,7 @@ impl Simulator {
                     }
                     let slot = &mut self.sniffer_fade_cache[idx * n + nid];
                     if slot.is_nan() {
-                        *slot = fading.fade_db(self.hot.key[nid], link, now);
+                        *slot = fading.fade_db(self.hot.fade_key(nid), link, now);
                     }
                     interf.push(path + fade_scale * *slot);
                 }
@@ -2148,6 +2167,94 @@ impl Simulator {
         if self.hot.state[node] == MacState::Frozen && !self.hot.channel_busy(node, now) {
             self.on_channel_idle(node);
         }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Mobility (driven between `run_until` calls; see ietf-workloads'
+    // waypoint model and docs/DETERMINISM.md §mobility)
+    // ------------------------------------------------------------------
+
+    /// Moves a station to `pos` — the position half of a mobility tick,
+    /// called between `run_until` calls. The topology cache takes one
+    /// incremental row + column update (O(population), not a rebuild); the
+    /// station's fade generation is bumped so its links draw fresh fade
+    /// realizations, and exactly its row + column of the link fade cache
+    /// (plus its column of every sniffer's cache) are invalidated — every
+    /// other memoized fade in the coherence bucket stays valid.
+    ///
+    /// Frames already in the air keep the physics they started with:
+    /// `sensed_by` sets and interferer lists are snapshotted at TX start,
+    /// and their carrier-sense release consumes those snapshots, so moving
+    /// a station mid-frame leaves no dangling CS counts. The new position
+    /// governs every transmission that starts after the move.
+    pub fn move_station(&mut self, node: NodeId, pos: Pos) {
+        self.stations[node].pos = pos;
+        self.topology.update_station(node, pos, &self.config.radio);
+        self.hot.fade_gen[node] += 1;
+        let n = self.stations.len();
+        // Per-moved-station invalidation, not a global epoch bump: NAN the
+        // dirty row + column only. Caches not yet sized (before the first
+        // `run_until`) start all-NAN anyway.
+        if self.fade_cache.len() == n * n {
+            self.fade_cache[node * n..(node + 1) * n].fill(f64::NAN);
+            for rx in 0..n {
+                self.fade_cache[rx * n + node] = f64::NAN;
+            }
+        }
+        if self.sniffer_fade_cache.len() == self.sniffers.len() * n {
+            for idx in 0..self.sniffers.len() {
+                self.sniffer_fade_cache[idx * n + node] = f64::NAN;
+            }
+        }
+    }
+
+    /// Strongest-AP reassociation with hysteresis — the roaming half of a
+    /// mobility tick. When some co-medium AP's cached path-loss RSSI beats
+    /// the currently associated AP's by at least `hysteresis_db`, the
+    /// client disassociates and a `UserJoin` event is queued at the current
+    /// time, so the re-association exchange (and the traffic restart it
+    /// triggers) runs through the canonical event order of the next
+    /// `run_until`. Returns whether a roam was initiated.
+    ///
+    /// Stations mid-frame-exchange, unassociated, departed, or APs return
+    /// `false` unchanged — the next tick simply re-evaluates.
+    pub fn reassociate_strongest(&mut self, node: NodeId, hysteresis_db: f64) -> bool {
+        let st = &self.stations[node];
+        if st.is_ap() || !st.joined || st.departed {
+            return false;
+        }
+        let Some(cur) = st.associated_ap else {
+            return false; // association in flight; let it land first
+        };
+        if matches!(
+            self.hot.state[node],
+            MacState::Transmitting { .. } | MacState::AwaitCts | MacState::AwaitAck
+        ) || st.pending_response.is_some()
+        {
+            return false;
+        }
+        let medium_idx = self.hot.medium_idx[node];
+        // Same scan (and tie-break: first maximum in build order) as
+        // `on_user_join`, so the roam target is exactly the AP the join
+        // path would pick.
+        let mut best: Option<(NodeId, f64)> = None;
+        for (i, ap) in self.stations.iter().enumerate() {
+            if ap.is_ap() && self.hot.medium_idx[i] == medium_idx {
+                let rssi = self.topology.rssi(i, node);
+                if best.is_none_or(|(_, b)| rssi > b) {
+                    best = Some((i, rssi));
+                }
+            }
+        }
+        let Some((best_ap, best_rssi)) = best else {
+            return false;
+        };
+        if best_ap == cur || best_rssi < self.topology.rssi(cur, node) + hysteresis_db {
+            return false;
+        }
+        self.stations[node].associated_ap = None;
+        self.queue.push(self.now, Event::UserJoin { node });
         true
     }
 

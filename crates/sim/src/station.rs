@@ -224,6 +224,11 @@ pub struct HotState {
     /// unsharded simulator). Keys the station's RNG stream and its fade
     /// links, so a station draws the same values whichever shard it runs in.
     pub key: Vec<u64>,
+    /// Mobility generation: how many times the station has moved. Mixed
+    /// into the fade-link key ([`HotState::fade_key`]) so a moved station
+    /// draws *fresh* fade realizations — physically its links changed —
+    /// instead of replaying the fades memoized for its old position.
+    pub fade_gen: Vec<u64>,
     /// Lockstep sharding: this station is a passive *shell* — it exists for
     /// identity only (node id, MAC, RNG keying, topology row) and is owned
     /// by another shard. Shells seed no events, draw no randomness, join no
@@ -256,8 +261,21 @@ impl HotState {
         self.channel_idx.push(channel_idx);
         self.medium_idx.push(medium_idx);
         self.key.push(key);
+        self.fade_gen.push(0);
         self.shell.push(shell);
         id
+    }
+
+    /// The fade-link key of `node`: its global station key, decorrelated by
+    /// its mobility generation. Generation 0 (every station until it first
+    /// moves) is exactly the bare key, so static scenarios draw the same
+    /// fades as ever; each move shifts the station onto fresh fade streams
+    /// for all of its links. The generation occupies bits ≥ 44, disjoint
+    /// from both the station key space (build indices) and the sniffer link
+    /// space at `SNIFFER_LINK_BASE = 1 << 40`.
+    #[inline]
+    pub fn fade_key(&self, node: NodeId) -> u64 {
+        self.key[node] ^ (self.fade_gen[node] << 44)
     }
 
     /// Number of stations.
@@ -313,7 +331,9 @@ pub struct Station {
     pub rng: SimRng,
     /// MAC address.
     pub mac: MacAddr,
-    /// Fixed position.
+    /// Current position. Fixed for the life of a scenario unless the
+    /// driver moves the station ([`crate::Simulator::move_station`]), which
+    /// keeps the topology cache and fade keying in sync.
     pub pos: Pos,
     /// AP or client.
     pub role: Role,

@@ -128,39 +128,44 @@ impl Scenario {
     /// Runs the scenario to completion.
     pub fn run(mut self) -> ScenarioResult {
         self.sim.run_until(self.duration_us);
-        let sniffer_stats = self.sim.sniffers().iter().map(|s| s.stats).collect();
-        let traces = self
-            .sim
-            .sniffers_mut()
-            .iter_mut()
-            .map(|s| std::mem::take(&mut s.trace))
-            .collect();
-        let stations = self
-            .sim
-            .stations()
-            .iter()
-            .map(|s| StationSummary {
-                mac: s.mac,
-                is_ap: s.is_ap(),
-                uses_rts: s.rts_policy != RtsPolicy::Never,
-                delivered: s.stats.delivered,
-                attempts: s.stats.tx_attempts,
-                retry_drops: s.stats.retry_drops,
-                queue_drops: s.stats.queue_drops,
-                delay_total_us: s.stats.delivery_delay_total_us,
-            })
-            .collect();
-        ScenarioResult {
-            name: self.name,
-            traces,
-            sniffer_stats,
-            ground_truth: std::mem::take(&mut self.sim.ground_truth.records),
-            medium_stats: self.sim.medium_stats(),
-            stations,
-            events_processed: self.sim.events_processed(),
-            frames_on_air: self.sim.ground_truth.transmissions,
-            queue: self.sim.queue_stats(),
-        }
+        collect_result(self.name, &mut self.sim)
+    }
+}
+
+/// Drains a finished simulator into a [`ScenarioResult`] — shared by
+/// [`Scenario::run`] and the mobility driver
+/// ([`crate::mobility::MobileScenario::run`]).
+pub(crate) fn collect_result(name: String, sim: &mut Simulator) -> ScenarioResult {
+    let sniffer_stats = sim.sniffers().iter().map(|s| s.stats).collect();
+    let traces = sim
+        .sniffers_mut()
+        .iter_mut()
+        .map(|s| std::mem::take(&mut s.trace))
+        .collect();
+    let stations = sim
+        .stations()
+        .iter()
+        .map(|s| StationSummary {
+            mac: s.mac,
+            is_ap: s.is_ap(),
+            uses_rts: s.rts_policy != RtsPolicy::Never,
+            delivered: s.stats.delivered,
+            attempts: s.stats.tx_attempts,
+            retry_drops: s.stats.retry_drops,
+            queue_drops: s.stats.queue_drops,
+            delay_total_us: s.stats.delivery_delay_total_us,
+        })
+        .collect();
+    ScenarioResult {
+        name,
+        traces,
+        sniffer_stats,
+        ground_truth: std::mem::take(&mut sim.ground_truth.records),
+        medium_stats: sim.medium_stats(),
+        stations,
+        events_processed: sim.events_processed(),
+        frames_on_air: sim.ground_truth.transmissions,
+        queue: sim.queue_stats(),
     }
 }
 
@@ -191,7 +196,7 @@ pub fn ietf_radio(seed: u64) -> RadioConfig {
 
 /// Per-user mean frame rate (each direction), before the activity factor:
 /// most attendees idle with occasional bursts, a few heavy users.
-fn draw_user_fps(rng: &mut SmallRng) -> f64 {
+pub(crate) fn draw_user_fps(rng: &mut SmallRng) -> f64 {
     let roll: f64 = rng.gen();
     if roll < 0.70 {
         rng.gen_range(0.05..1.0)
@@ -205,7 +210,7 @@ fn draw_user_fps(rng: &mut SmallRng) -> f64 {
 /// Builds a client's two flows: conference traffic is download-dominated
 /// and bursty (page loads, mail fetches); a small uploader minority pushes
 /// data the other way.
-fn draw_traffic(rng: &mut SmallRng, fps: f64) -> TrafficProfile {
+pub(crate) fn draw_traffic(rng: &mut SmallRng, fps: f64) -> TrafficProfile {
     let uploader = rng.gen_bool(0.04);
     let (up, down) = if uploader {
         (fps * 3.0, fps * 0.5)
@@ -220,7 +225,7 @@ fn draw_traffic(rng: &mut SmallRng, fps: f64) -> TrafficProfile {
 
 /// Laptops of the era aggressively toggled power save between fetches:
 /// a sizeable minority of clients emit Null-frame chatter.
-fn draw_power_save(rng: &mut SmallRng) -> Option<u64> {
+pub(crate) fn draw_power_save(rng: &mut SmallRng) -> Option<u64> {
     if rng.gen_bool(0.4) {
         Some(rng.gen_range(10_000_000..40_000_000))
     } else {
@@ -416,6 +421,10 @@ pub fn load_ramp_with(
         radio: ietf_radio(seed),
         ..SimConfig::default()
     });
+    // Joins stream in through the whole ramp, each an incremental O(N)
+    // topology extension; the hint sizes the cache once so no join pays a
+    // re-stride.
+    sim.reserve_stations(3 + users, 1);
     // Three APs sharing the channel, as co-channel cells in a dense
     // deployment do.
     sim.add_ap(Pos::new(16.0, 18.0), 0, 6);
