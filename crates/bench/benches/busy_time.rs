@@ -29,7 +29,7 @@ fn synthetic_trace(n: usize) -> Vec<FrameRecord> {
             dst: MacAddr::from_id(99),
             src: Some(MacAddr::from_id(src)),
             bssid: Some(MacAddr::from_id(99)),
-            retry: i % 7 == 0,
+            retry: i.is_multiple_of(7),
             seq: Some((i % 4096) as u16),
             mac_bytes: payload + 28,
             payload_bytes: payload,
@@ -52,7 +52,7 @@ fn synthetic_trace(n: usize) -> Vec<FrameRecord> {
             signal_dbm: -60,
             duration_us: 0,
         });
-        if i % 25 == 0 {
+        if i.is_multiple_of(25) {
             t += 400;
             out.push(FrameRecord {
                 timestamp_us: t,

@@ -15,6 +15,9 @@
 //! * `churn`        — the mobile venue: 160 users on the nine-AP floor,
 //!   a third walking waypoint routes and roaming between APs on coherence
 //!   ticks (incremental topology maintenance)     → `BENCH_sim_churn.json`
+//! * `trace-merge-3x` — the ingestion fast path: three skewed, lossy 30 s
+//!   sniffer captures of one channel streamed through parallel decode,
+//!   the k-way online merge, and per-second analysis → `BENCH_trace.json`
 //!
 //! ```text
 //! cargo run --release -p congestion-bench --bin bench_baseline -- --pin ramp-320
@@ -60,6 +63,7 @@ enum PinName {
     Plenary523,
     Venue5k,
     Churn,
+    TraceMerge3x,
 }
 
 struct Pin {
@@ -114,6 +118,16 @@ impl Pin {
                 users: 160,
                 duration_s: 60,
             },
+            // The trace-ingestion fast path: three skewed, lossy 30 s
+            // sniffer captures of one synthetic channel, streamed through
+            // parallel decode + k-way merge + per-second analysis. `users`
+            // is the sniffer count here.
+            "trace-merge-3x" => Pin {
+                name: PinName::TraceMerge3x,
+                seed: 11,
+                users: 3,
+                duration_s: 30,
+            },
             _ => return None,
         };
         Some(pin)
@@ -126,6 +140,7 @@ impl Pin {
             PinName::Plenary523 => "plenary-523",
             PinName::Venue5k => "venue-5k",
             PinName::Churn => "churn",
+            PinName::TraceMerge3x => "trace-merge-3x",
         }
     }
 
@@ -136,6 +151,7 @@ impl Pin {
             PinName::Plenary523 => "BENCH_sim_plenary.json",
             PinName::Venue5k => "BENCH_sim_venue.json",
             PinName::Churn => "BENCH_sim_churn.json",
+            PinName::TraceMerge3x => "BENCH_trace.json",
         }
     }
 
@@ -153,6 +169,7 @@ impl Pin {
             }),
             PinName::Venue5k => unreachable!("venue-5k runs the sharded path"),
             PinName::Churn => unreachable!("churn runs the mobile streaming path"),
+            PinName::TraceMerge3x => unreachable!("trace-merge-3x runs the ingest path"),
         };
         // Perf run: skip the ground-truth tape (it is O(frames) memory and
         // no figure reads it here); the on-air counter still runs.
@@ -258,7 +275,9 @@ fn main() {
                      plenary-523 (523u plenary/30s), venue-5k (5000u campus/10s,\n\
                      sharded over RF-isolation domains on --threads workers),\n\
                      churn (160u mobile venue/60s, waypoint walkers roaming\n\
-                     the nine-AP floor).\n\
+                     the nine-AP floor), trace-merge-3x (three skewed lossy\n\
+                     30s sniffer captures through the streaming ingest\n\
+                     pipeline: parallel decode + k-way merge + analysis).\n\
                      Runs the pinned scenario and appends one entry (tagged\n\
                      --label, with optional free-form --notes) to the pin's\n\
                      trajectory JSON (default\n\
@@ -282,7 +301,7 @@ fn main() {
     let Some(pin) = Pin::by_name(&pin_name) else {
         eprintln!(
             "error: unknown pin {pin_name:?} (ramp-quick | ramp-320 | plenary-523 | \
-             venue-5k | churn)"
+             venue-5k | churn | trace-merge-3x)"
         );
         std::process::exit(2);
     };
@@ -295,6 +314,18 @@ fn main() {
             std::process::exit(1);
         })
     });
+
+    if pin.name == PinName::TraceMerge3x {
+        run_trace_pin(
+            &pin,
+            &out,
+            check.as_deref(),
+            baseline.as_deref(),
+            &entry_label,
+            notes.as_deref(),
+        );
+        return;
+    }
 
     // Venue-5k defaults to "as many shards as the topology allows"; the
     // serial pins default to the unsharded path.
@@ -389,52 +420,229 @@ fn main() {
     );
 
     if let Some(baseline) = baseline {
-        let baseline_path = check.as_deref().unwrap_or("");
-        let entry = last_entry(&baseline).unwrap_or_else(|| {
-            eprintln!("error: baseline {baseline_path} has no trajectory entries");
+        check_regression(
+            &baseline,
+            check.as_deref().unwrap_or(""),
+            &[
+                ("seed", pin.seed as f64),
+                ("users", pin.users as f64),
+                ("duration_s", pin.duration_s as f64),
+                ("events", run.events_processed as f64),
+            ],
+            events_per_sec,
+        );
+    }
+}
+
+/// Gates this run's events/s against the last entry of a committed baseline
+/// trajectory: the fingerprint fields must match exactly (a baseline from a
+/// different pinned workload — or a semantics-changing build — would make
+/// the throughput ratio meaningless), then a >15 % drop fails.
+///
+/// The 15 % gate (was 30 % while the trajectories were still moving):
+/// interleaved same-host medians vary well under this band, so a breach
+/// means a real regression, not scheduler noise.
+fn check_regression(
+    baseline: &str,
+    baseline_path: &str,
+    fingerprint: &[(&str, f64)],
+    events_per_sec: f64,
+) {
+    let entry = last_entry(baseline).unwrap_or_else(|| {
+        eprintln!("error: baseline {baseline_path} has no trajectory entries");
+        std::process::exit(1);
+    });
+    for &(field, want) in fingerprint {
+        let got = json_number(entry, field).unwrap_or_else(|| {
+            eprintln!("error: baseline {baseline_path} missing field {field:?}");
             std::process::exit(1);
         });
-        // The fingerprint fields must match — a baseline from a different
-        // pinned scenario (or a semantics-changing build) would make the
-        // throughput ratio meaningless.
-        for (field, want) in [
-            ("seed", pin.seed as f64),
-            ("users", pin.users as f64),
-            ("duration_s", pin.duration_s as f64),
-            ("events", run.events_processed as f64),
-        ] {
-            let got = json_number(entry, field).unwrap_or_else(|| {
-                eprintln!("error: baseline {baseline_path} missing field {field:?}");
-                std::process::exit(1);
-            });
-            if got != want {
-                eprintln!(
-                    "error: baseline fingerprint mismatch on {field:?}: \
-                     baseline has {got}, this run has {want}"
-                );
-                std::process::exit(1);
-            }
-        }
-        let base_eps = json_number(entry, "events_per_sec").unwrap_or_else(|| {
-            eprintln!("error: baseline {baseline_path} missing events_per_sec");
-            std::process::exit(1);
-        });
-        // 15% gate (was 30% while the trajectory was still moving):
-        // interleaved same-host medians vary well under this band, so a
-        // breach means a real regression, not scheduler noise.
-        let floor = 0.85 * base_eps;
-        if events_per_sec < floor {
+        if got != want {
             eprintln!(
-                "FAIL: events/s regressed >15%: {events_per_sec:.0} < 0.85 x \
-                 baseline {base_eps:.0}"
+                "error: baseline fingerprint mismatch on {field:?}: \
+                 baseline has {got}, this run has {want}"
             );
             std::process::exit(1);
         }
+    }
+    let base_eps = json_number(entry, "events_per_sec").unwrap_or_else(|| {
+        eprintln!("error: baseline {baseline_path} missing events_per_sec");
+        std::process::exit(1);
+    });
+    let floor = 0.85 * base_eps;
+    if events_per_sec < floor {
         eprintln!(
-            "check ok: {:.0} events/s vs baseline {:.0} ({:+.0}%)",
+            "FAIL: events/s regressed >15%: {events_per_sec:.0} < 0.85 x \
+             baseline {base_eps:.0}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "check ok: {:.0} events/s vs baseline {:.0} ({:+.0}%)",
+        events_per_sec,
+        base_eps,
+        (events_per_sec / base_eps - 1.0) * 100.0
+    );
+}
+
+/// The trace-ingestion pin: generates the pinned sniffer captures — three
+/// skewed, 20 %-lossy views of one dense synthetic 30 s channel, written
+/// record-by-record so generation never materializes a trace and the timed
+/// phase dominates peak RSS — then times the streaming pipeline end to end:
+/// parallel per-sniffer decode, bounded channels, k-way online merge with
+/// dedup, per-second congestion analysis.
+///
+/// `events` in the trajectory entry is the total records decoded across all
+/// sniffers (the fingerprint: generation is deterministic in the pin's
+/// seed), `events_per_sec` is the gated throughput.
+fn run_trace_pin(
+    pin: &Pin,
+    out: &str,
+    check: Option<&str>,
+    baseline: Option<&str>,
+    entry_label: &str,
+    notes: Option<&str>,
+) {
+    use ietf80211_congestion::ingest::analyze_capture_streams;
+    use ietf80211_congestion::trace::CaptureWriter;
+    use wifi_frames::fc::FrameKind;
+    use wifi_frames::mac::MacAddr;
+    use wifi_frames::phy::{Channel, Rate};
+    use wifi_frames::record::FrameRecord;
+
+    let sniffers = pin.users as u64;
+    // ~1500 data/ACK exchanges per second — a hot 802.11b channel.
+    let exchanges = pin.duration_s * 1_500;
+    let rates = [Rate::R1, Rate::R2, Rate::R5_5, Rate::R11];
+    let payloads = [64u32, 400, 900, 1472];
+
+    // Deterministic ~20 % per-sniffer loss, independent across sniffers.
+    let keep = |record: u64, sniffer: u64| -> bool {
+        let h = (record ^ (sniffer << 32) ^ pin.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        !(h >> 33).is_multiple_of(5)
+    };
+
+    let dir = std::env::temp_dir().join("congestion_bench_trace_pin");
+    std::fs::create_dir_all(&dir).expect("cannot create trace-pin scratch dir");
+    let paths: Vec<std::path::PathBuf> = (0..sniffers)
+        .map(|s| dir.join(format!("trace_pin_sniffer{s}.pcap")))
+        .collect();
+    let mut writers: Vec<CaptureWriter> = paths
+        .iter()
+        .map(|p| CaptureWriter::create(p, 250).expect("cannot create trace-pin capture"))
+        .collect();
+    let mut write_views = |record_idx: u64, base: &FrameRecord| {
+        for (s, w) in writers.iter_mut().enumerate() {
+            if keep(record_idx, s as u64) {
+                let mut r = *base;
+                r.timestamp_us += 25 * s as u64; // per-sniffer clock skew
+                r.signal_dbm -= s as i8; // different vantage point
+                w.write_record(&r).expect("trace-pin write failed");
+            }
+        }
+    };
+    for i in 0..exchanges {
+        let t = i * 667;
+        let src = MacAddr::from_id(1 + (i % 40) as u32);
+        let payload = payloads[(i as usize / 4) % 4];
+        let data = FrameRecord {
+            timestamp_us: t,
+            kind: FrameKind::Data,
+            rate: rates[i as usize % 4],
+            channel: Channel::new(1).unwrap(),
+            dst: MacAddr::from_id(99),
+            src: Some(src),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: i % 7 == 0,
+            seq: Some((i % 4096) as u16),
+            mac_bytes: payload + 28,
+            payload_bytes: payload,
+            signal_dbm: -60,
+            duration_us: 314,
+        };
+        write_views(2 * i, &data);
+        let ack = FrameRecord {
+            timestamp_us: t + 340,
+            kind: FrameKind::Ack,
+            rate: Rate::R1,
+            channel: Channel::new(1).unwrap(),
+            dst: src,
+            src: None,
+            bssid: None,
+            retry: false,
+            seq: None,
+            mac_bytes: 14,
+            payload_bytes: 0,
+            signal_dbm: -60,
+            duration_us: 0,
+        };
+        write_views(2 * i + 1, &ack);
+    }
+    let written: u64 = writers
+        .into_iter()
+        .map(|w| w.finish().expect("trace-pin flush failed"))
+        .sum();
+
+    let start = std::time::Instant::now();
+    let analysis = analyze_capture_streams(&paths).expect("trace-pin ingestion failed");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // Clean captures: every written record decodes, so `events` doubles as
+    // the determinism fingerprint.
+    let events: u64 = analysis.reports.iter().map(|r| r.records_total()).sum();
+    assert_eq!(
+        events, written,
+        "trace pin must decode every written record"
+    );
+    let events_per_sec = events as f64 / (wall_ms / 1e3).max(1e-9);
+
+    let notes_field = notes
+        .map(|n| format!(", \"notes\": \"{}\"", n.replace(['"', '\\'], "_")))
+        .unwrap_or_default();
+    let entry = format!(
+        "    {{\"label\": \"{}\", \"pin\": \"{}\", \"seed\": {}, \"users\": {}, \
+         \"duration_s\": {}, \"events\": {}, \"records_merged\": {}, \
+         \"seconds_analyzed\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \
+         \"peak_rss_kb\": {}{}}}",
+        entry_label.replace(['"', '\\'], "_"),
+        pin.label(),
+        pin.seed,
+        pin.users,
+        pin.duration_s,
+        events,
+        analysis.merged_records,
+        analysis.per_second.len(),
+        wall_ms,
+        events_per_sec,
+        peak_rss_kb(),
+        notes_field,
+    );
+    if let Err(e) = append_entry(out, pin.label(), &entry) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_baseline[{}]: {} records ({} merged) in {:.1} ms -> {:.0} records/s ({out})",
+        pin.label(),
+        events,
+        analysis.merged_records,
+        wall_ms,
+        events_per_sec
+    );
+    if let Some(baseline) = baseline {
+        check_regression(
+            baseline,
+            check.unwrap_or(""),
+            &[
+                ("seed", pin.seed as f64),
+                ("users", pin.users as f64),
+                ("duration_s", pin.duration_s as f64),
+                ("events", events as f64),
+            ],
             events_per_sec,
-            base_eps,
-            (events_per_sec / base_eps - 1.0) * 100.0
         );
     }
 }

@@ -47,7 +47,6 @@ fn classic_bytes(packets: &[(u64, Vec<u8>)]) -> Vec<u8> {
         w.write_packet(*ts, data).expect("classic record");
     }
     w.flush().expect("flush");
-    drop(w);
     buf
 }
 
@@ -58,7 +57,6 @@ fn ng_bytes(packets: &[(u64, Vec<u8>)]) -> Vec<u8> {
         w.write_packet(*ts, data).expect("ng record");
     }
     w.flush().expect("flush");
-    drop(w);
     buf
 }
 
@@ -174,7 +172,7 @@ fn main() {
     let mut resynced_files = 0u64;
     for seed in 0..budget {
         let base = &bases[(seed % bases.len() as u64) as usize];
-        let mut bytes = if (seed / bases.len() as u64) % 2 == 0 {
+        let mut bytes = if (seed / bases.len() as u64).is_multiple_of(2) {
             base.classic.clone()
         } else {
             base.ng.clone()

@@ -44,7 +44,7 @@ use wifi_sim::runner::RunReport;
 /// True when the `CONG_QUICK` environment variable asks for smoke-scale
 /// runs.
 pub fn quick() -> bool {
-    std::env::var("CONG_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("CONG_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Scales a count down in quick mode.

@@ -609,12 +609,12 @@ fn run_lockstep(
                     // Apply every sibling's notices as ghosts, in shard
                     // order, then publish the post-exchange next-event time.
                     for st in &mut states {
-                        for src in 0..k {
+                        for (src, outbox) in outboxes.iter().enumerate().take(k) {
                             if src == st.shard_idx {
                                 continue;
                             }
                             notices.clear();
-                            notices.extend_from_slice(&outboxes[src].lock().unwrap());
+                            notices.extend_from_slice(&outbox.lock().unwrap());
                             for notice in &notices {
                                 st.sim.apply_remote_tx(notice);
                             }

@@ -147,7 +147,7 @@ fn output_matches_preoptimization_goldens_across_threads() {
         lines.push_str(&format!("{label}\t{digest:016x}\n"));
     }
     let path = golden_path();
-    if std::env::var("GOLDEN_BLESS").map_or(false, |v| v == "1") {
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1") {
         std::fs::write(&path, &lines).expect("write golden file");
         eprintln!("blessed {} ({} cells)", path.display(), serial.len());
         return;

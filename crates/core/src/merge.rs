@@ -19,7 +19,10 @@
 //! suppressed or not — comparing only against emitted records would leak C
 //! back in as a false new frame once B is suppressed.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use wifi_frames::fc::FrameKind;
+use wifi_frames::mac::MacAddr;
 use wifi_frames::record::FrameRecord;
 use wifi_frames::timing::Micros;
 
@@ -74,12 +77,189 @@ fn dedup_in_place(sorted: Vec<FrameRecord>) -> Vec<FrameRecord> {
     out
 }
 
-/// Coverage gained by merging: `(merged_len, max_single_len)`. A merged
-/// trace can only add frames.
-pub fn coverage_gain(traces: &[&[FrameRecord]]) -> (usize, usize) {
-    let merged = merge_traces(traces).len();
-    let best = traces.iter().map(|t| t.len()).max().unwrap_or(0);
-    (merged, best)
+/// The fields of [`same_transmission`] as a hashable identity key. Two
+/// records compare equal under `same_transmission` iff their keys are equal,
+/// so a `HashMap` keyed on this replaces the linear cluster scan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TransmissionKey {
+    kind: FrameKind,
+    dst: MacAddr,
+    src: Option<MacAddr>,
+    mac_bytes: u32,
+    retry: bool,
+    seq: Option<u16>,
+}
+
+impl TransmissionKey {
+    fn of(r: &FrameRecord) -> TransmissionKey {
+        TransmissionKey {
+            kind: r.kind,
+            dst: r.dst,
+            src: r.src,
+            mac_bytes: r.mac_bytes,
+            retry: r.retry,
+            seq: r.seq,
+        }
+    }
+}
+
+/// Expired cluster entries are swept from the dedup map every this many
+/// merged records, bounding its size to the identities seen over one sweep
+/// interval plus the dedup window.
+const CLUSTER_SWEEP_INTERVAL: usize = 4096;
+
+/// Online k-way merge of per-sniffer record streams with streaming
+/// deduplication — [`merge_traces`] without materializing anything.
+///
+/// Drives a binary min-heap keyed on `(timestamp, stream index)` holding one
+/// pending head per stream, so memory is O(k + live dedup clusters)
+/// regardless of trace length. Deduplication applies the same
+/// [`DEDUP_WINDOW_US`] cluster logic as the batch path, but keyed by a hash
+/// of the transmission identity instead of a linear scan: the batch scan can
+/// never hold two live clusters with the same identity (a record matching a
+/// live cluster always extends it rather than opening a second one), so "the
+/// latest member of the live cluster for this identity" is exactly one map
+/// lookup. The output is record-for-record identical to
+/// `merge_traces(traces)` — the heap's `(timestamp, stream index)` ordering
+/// reproduces a stable sort of the concatenated traces.
+///
+/// Input streams must each be time-ordered (as captures are), the same
+/// contract [`merge_traces`] documents.
+///
+/// ```
+/// use congestion::merge::MergeStream;
+/// # let (a, b): (Vec<wifi_frames::FrameRecord>, Vec<wifi_frames::FrameRecord>) =
+/// #     (Vec::new(), Vec::new());
+/// let merged = MergeStream::new(vec![a.into_iter(), b.into_iter()]);
+/// for record in merged {
+///     // feed an accumulator without ever holding the full trace
+///     let _ = record.timestamp_us;
+/// }
+/// ```
+pub struct MergeStream<I> {
+    streams: Vec<I>,
+    /// The not-yet-merged head record of each stream; `None` once exhausted.
+    heads: Vec<Option<FrameRecord>>,
+    /// Min-heap over `(head timestamp, stream index)`; ties break toward the
+    /// lower stream index, matching a stable sort of the concatenation.
+    heap: BinaryHeap<Reverse<(Micros, usize)>>,
+    /// Live dedup clusters: transmission identity → latest member timestamp.
+    clusters: HashMap<TransmissionKey, Micros>,
+    merged_since_sweep: usize,
+    contributed: Vec<u64>,
+}
+
+impl<I: Iterator<Item = FrameRecord>> MergeStream<I> {
+    /// Builds a merge over per-sniffer streams. Each stream must yield
+    /// records in non-decreasing timestamp order.
+    pub fn new(mut streams: Vec<I>) -> MergeStream<I> {
+        let mut heads: Vec<Option<FrameRecord>> = Vec::with_capacity(streams.len());
+        let mut heap = BinaryHeap::with_capacity(streams.len());
+        for (idx, s) in streams.iter_mut().enumerate() {
+            let head = s.next();
+            if let Some(r) = &head {
+                heap.push(Reverse((r.timestamp_us, idx)));
+            }
+            heads.push(head);
+        }
+        let contributed = vec![0; heads.len()];
+        MergeStream {
+            streams,
+            heads,
+            heap,
+            clusters: HashMap::new(),
+            merged_since_sweep: 0,
+            contributed,
+        }
+    }
+
+    /// How many merged records each input stream was the first to capture,
+    /// indexed by input order. Complete once the stream is exhausted.
+    pub fn contributed(&self) -> &[u64] {
+        &self.contributed
+    }
+
+    #[cfg(test)]
+    fn live_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Pops the globally-earliest pending record and refills that stream's
+    /// head. `None` once every stream is exhausted.
+    fn next_in_order(&mut self) -> Option<(FrameRecord, usize)> {
+        let Reverse((_, idx)) = self.heap.pop()?;
+        let record = self.heads[idx].take().expect("heap entry implies a head");
+        if let Some(next) = self.streams[idx].next() {
+            debug_assert!(
+                next.timestamp_us >= record.timestamp_us,
+                "input streams must be time-ordered"
+            );
+            self.heap.push(Reverse((next.timestamp_us, idx)));
+            self.heads[idx] = Some(next);
+        }
+        Some((record, idx))
+    }
+}
+
+impl<I: Iterator<Item = FrameRecord>> Iterator for MergeStream<I> {
+    type Item = FrameRecord;
+
+    fn next(&mut self) -> Option<FrameRecord> {
+        loop {
+            let (record, idx) = self.next_in_order()?;
+            self.merged_since_sweep += 1;
+            if self.merged_since_sweep >= CLUSTER_SWEEP_INTERVAL {
+                self.merged_since_sweep = 0;
+                // Merged timestamps are non-decreasing, so anything already
+                // outside this record's window can never match again.
+                self.clusters
+                    .retain(|_, last| record.timestamp_us.saturating_sub(*last) <= DEDUP_WINDOW_US);
+            }
+            // Replaces the batch path's retain + scan: the previous entry
+            // for this identity is the live cluster if still in-window
+            // (record is a duplicate, the anchor extends), or an expired one
+            // the batch path would have retained away (record opens a new
+            // cluster). Either way the new anchor is this timestamp.
+            let prev = self
+                .clusters
+                .insert(TransmissionKey::of(&record), record.timestamp_us);
+            match prev {
+                Some(last) if record.timestamp_us.saturating_sub(last) <= DEDUP_WINDOW_US => {}
+                _ => {
+                    self.contributed[idx] += 1;
+                    return Some(record);
+                }
+            }
+        }
+    }
+}
+
+/// Coverage statistics from merging per-sniffer traces of one channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoverageGain {
+    /// Records in the merged, de-duplicated trace.
+    pub merged: usize,
+    /// Records in the largest single input trace.
+    pub best_single: usize,
+    /// Records each sniffer was the first to capture — its unique
+    /// contribution to the merged trace — indexed by input order.
+    /// Sums to `merged`.
+    pub contributed: Vec<u64>,
+}
+
+/// Coverage gained by merging, computed through [`MergeStream`] in
+/// O(window) memory. A merged trace can only add frames.
+pub fn coverage_gain(traces: &[&[FrameRecord]]) -> CoverageGain {
+    let mut stream = MergeStream::new(traces.iter().map(|t| t.iter().copied()).collect());
+    let mut merged = 0usize;
+    while stream.next().is_some() {
+        merged += 1;
+    }
+    CoverageGain {
+        merged,
+        best_single: traces.iter().map(|t| t.len()).max().unwrap_or(0),
+        contributed: stream.contributed().to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -124,9 +304,10 @@ mod tests {
         let merged = merge_traces(&[&a, &b]);
         assert_eq!(merged.len(), 100);
         assert_eq!(merged, full);
-        let (m, best) = coverage_gain(&[&a, &b]);
-        assert_eq!(m, 100);
-        assert_eq!(best, 50);
+        let gain = coverage_gain(&[&a, &b]);
+        assert_eq!(gain.merged, 100);
+        assert_eq!(gain.best_single, 50);
+        assert_eq!(gain.contributed, vec![50, 50]);
     }
 
     #[test]
@@ -208,5 +389,140 @@ mod tests {
         assert!(merge_traces(&[]).is_empty());
         let empty: &[FrameRecord] = &[];
         assert!(merge_traces(&[empty, empty]).is_empty());
+        assert!(stream_merge(&[empty, empty]).is_empty());
+        assert_eq!(coverage_gain(&[]).merged, 0);
+    }
+
+    /// Runs the streaming merge over slice-backed iterators.
+    fn stream_merge(traces: &[&[FrameRecord]]) -> Vec<FrameRecord> {
+        MergeStream::new(traces.iter().map(|t| t.iter().copied()).collect()).collect()
+    }
+
+    #[test]
+    fn stream_merge_matches_batch_on_every_dedup_contract_case() {
+        let full: Vec<FrameRecord> = (0..100).map(|i| rec(i * 1000, 1, i as u16)).collect();
+        let evens: Vec<FrameRecord> = full.iter().copied().step_by(2).collect();
+        let odds: Vec<FrameRecord> = full.iter().copied().skip(1).step_by(2).collect();
+        let mut jittered = rec(1000 + 80, 1, 7);
+        jittered.signal_dbm = -70;
+        let mut retry = rec(1090, 1, 7);
+        retry.retry = true;
+        let ack = |ts: Micros| -> FrameRecord {
+            let mut r = rec(ts, 1, 0);
+            r.kind = FrameKind::Ack;
+            r.src = None;
+            r.seq = None;
+            r.mac_bytes = 14;
+            r.payload_bytes = 0;
+            r
+        };
+        let cases: Vec<Vec<Vec<FrameRecord>>> = vec![
+            vec![full.clone(), full.clone(), full.clone()],
+            vec![evens, odds],
+            vec![vec![rec(1000, 1, 7)], vec![jittered]],
+            vec![
+                vec![rec(0, 1, 7)],
+                vec![rec(100, 1, 7)],
+                vec![rec(200, 1, 7)],
+            ],
+            vec![
+                vec![rec(0, 1, 7)],
+                vec![rec(100, 1, 7)],
+                vec![rec(100 + DEDUP_WINDOW_US + 1, 1, 7)],
+            ],
+            vec![
+                vec![rec(1000, 1, 7)],
+                vec![rec(1000 + DEDUP_WINDOW_US + 1, 1, 7)],
+            ],
+            vec![vec![rec(1000, 1, 7)], vec![retry]],
+            vec![vec![rec(1000, 1, 7)], vec![rec(1010, 2, 7)]],
+            vec![vec![ack(500)], vec![ack(540)]],
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            let views: Vec<&[FrameRecord]> = case.iter().map(|t| &t[..]).collect();
+            assert_eq!(
+                stream_merge(&views),
+                merge_traces(&views),
+                "case {i}: streaming merge must be record-identical to batch"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_contributions_sum_to_merged_and_favor_earliest_capture() {
+        // Identical traces: stream 0 wins every timestamp tie.
+        let t: Vec<FrameRecord> = (0..50).map(|i| rec(i * 1000, 1, i as u16)).collect();
+        let mut s = MergeStream::new(vec![
+            t.iter().copied(),
+            t.iter().copied(),
+            t.iter().copied(),
+        ]);
+        assert_eq!(s.by_ref().count(), 50);
+        assert_eq!(s.contributed(), &[50, 0, 0]);
+
+        // Skewed duplicates: the sniffer whose clock stamps earliest wins.
+        let a = vec![rec(1050, 1, 7)];
+        let b = vec![rec(1000, 1, 7)];
+        let mut s = MergeStream::new(vec![a.into_iter(), b.into_iter()]);
+        let merged: Vec<FrameRecord> = s.by_ref().collect();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].timestamp_us, 1000);
+        assert_eq!(s.contributed(), &[0, 1]);
+    }
+
+    #[test]
+    fn stream_equal_timestamps_preserve_stream_order() {
+        // Distinct frames at the same microsecond: stable-sort order is
+        // concatenation order (stream 0 before stream 1).
+        let a = vec![rec(1000, 1, 1)];
+        let b = vec![rec(1000, 2, 2)];
+        let views: Vec<&[FrameRecord]> = vec![&a, &b];
+        let merged = stream_merge(&views);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].src, Some(MacAddr::from_id(1)));
+        assert_eq!(merged, merge_traces(&views));
+    }
+
+    #[test]
+    fn stream_dedup_map_is_swept() {
+        // Far more distinct transmissions than one sweep interval, spread
+        // far apart in time: the cluster map must not grow with trace
+        // length.
+        let n = 3 * super::CLUSTER_SWEEP_INTERVAL;
+        let t: Vec<FrameRecord> = (0..n)
+            .map(|i| rec(i as Micros * 1000, 1 + (i as u32 % 7), (i % 4096) as u16))
+            .collect();
+        let mut s = MergeStream::new(vec![t.iter().copied()]);
+        assert_eq!(s.by_ref().count(), n);
+        assert!(
+            s.live_clusters() <= super::CLUSTER_SWEEP_INTERVAL + 1,
+            "dedup map leaked: {} live clusters",
+            s.live_clusters()
+        );
+    }
+
+    #[test]
+    fn coverage_gain_is_o_window_equivalent_to_batch() {
+        let full: Vec<FrameRecord> = (0..300).map(|i| rec(i * 500, 1, i as u16)).collect();
+        let a: Vec<FrameRecord> = full
+            .iter()
+            .copied()
+            .filter(|r| r.seq.unwrap() % 3 != 0)
+            .collect();
+        let b: Vec<FrameRecord> = full
+            .iter()
+            .copied()
+            .filter(|r| r.seq.unwrap() % 3 != 1)
+            .collect();
+        let c: Vec<FrameRecord> = full
+            .iter()
+            .copied()
+            .filter(|r| r.seq.unwrap() % 3 != 2)
+            .collect();
+        let views: Vec<&[FrameRecord]> = vec![&a, &b, &c];
+        let gain = coverage_gain(&views);
+        assert_eq!(gain.merged, merge_traces(&views).len());
+        assert_eq!(gain.best_single, 200);
+        assert_eq!(gain.contributed.iter().sum::<u64>() as usize, gain.merged);
     }
 }

@@ -69,7 +69,7 @@ impl DelayAgg {
 }
 
 /// Everything the figures need, for one second of trace.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SecondStats {
     /// The second (trace timestamp / 10⁶).
     pub second: u64,

@@ -281,7 +281,7 @@ mod tests {
             .collect();
         let ci = mean_ci95(&xs).unwrap();
         assert!((ci.mean - 10.0).abs() < 1e-12);
-        assert!((ci.half_width - 1.960 * 1.0050378152592121 / 10.0).abs() < 1e-9);
+        assert!((ci.half_width - 1.960 * 1.005_037_815_259_212 / 10.0).abs() < 1e-9);
     }
 
     #[test]

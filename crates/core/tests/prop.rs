@@ -3,7 +3,8 @@
 //! unrecorded-frame estimator against synthetic traces with known losses.
 
 use congestion::{
-    analyze, cbt_us, estimate_unrecorded, SecondAccumulator, SizeClass, UtilizationBins,
+    analyze, cbt_us, estimate_unrecorded, merge_traces, MergeStream, SecondAccumulator, SizeClass,
+    UtilizationBins,
 };
 use proptest::prelude::*;
 use wifi_frames::fc::FrameKind;
@@ -321,5 +322,80 @@ proptest! {
             acc.push(*r);
         }
         prop_assert_eq!(format!("{:?}", acc.finish()), format!("{batch:?}"));
+    }
+}
+
+/// Thins a time-ordered base trace into one sniffer's skewed, lossy view.
+/// Constant skew preserves per-stream time order — the documented input
+/// contract shared by `merge_traces` and `MergeStream`.
+fn sniffer_view(base: &[FrameRecord], keep: &[bool], skew_us: u64) -> Vec<FrameRecord> {
+    base.iter()
+        .zip(keep.iter().cycle())
+        .filter(|(_, k)| **k)
+        .map(|(r, _)| {
+            let mut r = *r;
+            r.timestamp_us += skew_us;
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn streaming_merge_matches_batch_on_random_views(
+        exchanges in proptest::collection::vec(arb_exchange(), 0..100),
+        masks in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..40), 1..6),
+        skews in proptest::collection::vec(0u64..2_000, 6),
+    ) {
+        let base = build_trace(&exchanges);
+        let views: Vec<Vec<FrameRecord>> = masks
+            .iter()
+            .zip(&skews)
+            .map(|(mask, &skew)| sniffer_view(&base, mask, skew))
+            .collect();
+        let slices: Vec<&[FrameRecord]> = views.iter().map(|v| v.as_slice()).collect();
+        let batch = merge_traces(&slices);
+        let streamed: Vec<FrameRecord> =
+            MergeStream::new(views.iter().map(|v| v.iter().copied()).collect()).collect();
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_merge_contributions_are_conserved(
+        exchanges in proptest::collection::vec(arb_exchange(), 1..100),
+        masks in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..40), 2..6),
+        skews in proptest::collection::vec(0u64..2_000, 6),
+    ) {
+        let base = build_trace(&exchanges);
+        let views: Vec<Vec<FrameRecord>> = masks
+            .iter()
+            .zip(&skews)
+            .map(|(mask, &skew)| sniffer_view(&base, mask, skew))
+            .collect();
+        let mut stream = MergeStream::new(views.iter().map(|v| v.iter().copied()).collect());
+        let merged = stream.by_ref().count();
+        let contributed = stream.contributed().to_vec();
+        prop_assert_eq!(contributed.iter().sum::<u64>(), merged as u64);
+        prop_assert_eq!(contributed.len(), views.len());
+        // The merge can never yield fewer records than its best single view
+        // or more than the union of all views.
+        let best = views.iter().map(Vec::len).max().unwrap_or(0);
+        let total: usize = views.iter().map(Vec::len).sum();
+        prop_assert!(merged >= best, "merged {} < best single {}", merged, best);
+        prop_assert!(merged <= total, "merged {} > union {}", merged, total);
+    }
+
+    #[test]
+    fn streaming_merge_is_identity_on_one_clean_stream(
+        exchanges in proptest::collection::vec(arb_exchange(), 0..100),
+    ) {
+        // One sniffer with no losses: nothing repeats within the dedup
+        // window except genuine retransmissions, and the batch path is the
+        // ground truth for those decisions too.
+        let base = build_trace(&exchanges);
+        let batch = merge_traces(&[&base[..]]);
+        let streamed: Vec<FrameRecord> =
+            MergeStream::new(vec![base.iter().copied()]).collect();
+        prop_assert_eq!(streamed, batch);
     }
 }

@@ -81,6 +81,38 @@ impl PcapPacket {
     }
 }
 
+/// A borrowed view of one captured record, yielded by the zero-copy reader
+/// paths ([`crate::PcapReader::next_packet_ref`] and the lossy streams in
+/// [`crate::stream`]). The data slice lives in the reader's internal buffer
+/// and is only valid until the next read call; [`PacketRef::to_owned`]
+/// copies it out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRef<'a> {
+    /// Capture timestamp in microseconds since the epoch the file uses.
+    pub timestamp_us: u64,
+    /// Original on-air length; `data.len()` may be smaller if the capture was
+    /// snaplen-truncated.
+    pub orig_len: u32,
+    /// The captured bytes, borrowed from the reader's buffer.
+    pub data: &'a [u8],
+}
+
+impl PacketRef<'_> {
+    /// Copies the record into an owned [`PcapPacket`].
+    pub fn to_owned(&self) -> PcapPacket {
+        PcapPacket {
+            timestamp_us: self.timestamp_us,
+            orig_len: self.orig_len,
+            data: self.data.to_vec(),
+        }
+    }
+
+    /// True when the record was truncated by the capture snap length.
+    pub fn is_truncated(&self) -> bool {
+        (self.data.len() as u32) < self.orig_len
+    }
+}
+
 /// Errors produced by pcap reading or writing.
 #[derive(Debug)]
 pub enum PcapError {

@@ -32,12 +32,14 @@ mod format;
 pub mod lossy;
 pub mod pcapng;
 mod reader;
+pub mod stream;
 mod writer;
 
-pub use format::{LinkType, PcapError, PcapPacket, MAGIC_BE, MAGIC_LE, MAGIC_NS_LE};
+pub use format::{LinkType, PacketRef, PcapError, PcapPacket, MAGIC_BE, MAGIC_LE, MAGIC_NS_LE};
 pub use lossy::{is_pcapng, read_pcap_lossy, read_pcapng_lossy, IngestReport};
-pub use pcapng::{NgPacket, PcapNgReader, PcapNgWriter};
+pub use pcapng::{NgPacket, NgPacketRef, PcapNgReader, PcapNgWriter};
 pub use reader::PcapReader;
+pub use stream::{ChunkedSource, LossyPcapNgStream, LossyPcapStream};
 pub use writer::PcapWriter;
 
 use std::fs::File;

@@ -21,20 +21,16 @@
 //! blocks were abandoned, and how many bytes were discarded. On an
 //! undamaged file both readers are byte-identical to strict mode and the
 //! report shows zero skips — a property the test suite enforces.
+//!
+//! The decode engines live in [`crate::stream`] and run over a bounded
+//! rolling window, so captures larger than RAM ingest in O(window) memory
+//! through [`crate::LossyPcapStream`] / [`crate::LossyPcapNgStream`]. The
+//! whole-buffer functions here are thin collecting wrappers over those
+//! streams, which keeps the two paths equivalent by construction.
 
-use crate::format::{
-    LinkType, PcapError, PcapPacket, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
-    MAGIC_NS_LE, MAX_SANE_CAPLEN, RECORD_HEADER_LEN,
-};
-use crate::pcapng::{
-    parse_epb, parse_idb, parse_spb, Interface, NgPacket, BT_EPB, BT_IDB, BT_SHB, BT_SPB,
-    BYTE_ORDER_MAGIC,
-};
-
-/// Resync plausibility: a candidate record's whole-seconds timestamp must be
-/// within this many seconds of the last good record (captures are sessions,
-/// not decades).
-const RESYNC_TS_TOLERANCE_S: u64 = 86_400;
+use crate::format::{LinkType, PcapError, PcapPacket};
+use crate::pcapng::{NgPacket, BT_SHB};
+use crate::stream::{LossyPcapNgStream, LossyPcapStream};
 
 /// Accounting of one lossy ingestion pass. All counters are cumulative;
 /// [`IngestReport::merge`] folds per-file reports into a campaign total.
@@ -137,365 +133,55 @@ pub fn is_pcapng(bytes: &[u8]) -> bool {
     bytes.len() >= 4 && u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) == BT_SHB
 }
 
-struct ClassicHeader {
-    big_endian: bool,
-    nanos: bool,
-    link: LinkType,
-}
-
-fn u32_end(big_endian: bool, bytes: &[u8], off: usize) -> u32 {
-    let b = [bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]];
-    if big_endian {
-        u32::from_be_bytes(b)
-    } else {
-        u32::from_le_bytes(b)
-    }
-}
-
-fn parse_global_header(bytes: &[u8]) -> Result<ClassicHeader, PcapError> {
-    if bytes.len() < GLOBAL_HEADER_LEN {
-        return Err(PcapError::TruncatedFile);
-    }
-    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    let (big_endian, nanos) = match magic {
-        MAGIC_LE => (false, false),
-        MAGIC_NS_LE => (false, true),
-        MAGIC_BE => (true, false),
-        MAGIC_NS_BE => (true, true),
-        other => return Err(PcapError::BadMagic(other)),
-    };
-    let major = {
-        let b = [bytes[4], bytes[5]];
-        if big_endian {
-            u16::from_be_bytes(b)
-        } else {
-            u16::from_le_bytes(b)
-        }
-    };
-    if major != 2 {
-        let minor = {
-            let b = [bytes[6], bytes[7]];
-            if big_endian {
-                u16::from_be_bytes(b)
-            } else {
-                u16::from_le_bytes(b)
-            }
-        };
-        return Err(PcapError::UnsupportedVersion(major, minor));
-    }
-    Ok(ClassicHeader {
-        big_endian,
-        nanos,
-        link: LinkType::from_code(u32_end(big_endian, bytes, 20)),
-    })
-}
-
-/// Why a record at some offset could not be taken as-is.
-enum RecordFailure {
-    /// The header's lengths are impossible.
-    BadHeader,
-    /// The header parses but the body runs past end-of-stream.
-    PastEof,
-}
-
-/// Basic record-header validation — exactly what the strict reader checks,
-/// so clean files decode identically in both modes.
-fn record_at(
-    bytes: &[u8],
-    pos: usize,
-    h: &ClassicHeader,
-) -> Result<(PcapPacket, usize), RecordFailure> {
-    let ts_sec = u32_end(h.big_endian, bytes, pos) as u64;
-    let ts_frac = u32_end(h.big_endian, bytes, pos + 4) as u64;
-    let caplen = u32_end(h.big_endian, bytes, pos + 8);
-    let orig_len = u32_end(h.big_endian, bytes, pos + 12);
-    if caplen > MAX_SANE_CAPLEN || caplen > orig_len {
-        return Err(RecordFailure::BadHeader);
-    }
-    let body = pos + RECORD_HEADER_LEN;
-    let end = body + caplen as usize;
-    if end > bytes.len() {
-        return Err(RecordFailure::PastEof);
-    }
-    let micros = if h.nanos { ts_frac / 1000 } else { ts_frac };
-    Ok((
-        PcapPacket {
-            timestamp_us: ts_sec * 1_000_000 + micros,
-            orig_len,
-            data: bytes[body..end].to_vec(),
-        },
-        end,
-    ))
-}
-
-/// Resync plausibility: stricter than [`record_at`] so a scan does not lock
-/// onto payload bytes that merely look like a header.
-fn plausible_record_at(bytes: &[u8], pos: usize, h: &ClassicHeader, last_sec: Option<u64>) -> bool {
-    if pos + RECORD_HEADER_LEN > bytes.len() {
-        return false;
-    }
-    let ts_sec = u32_end(h.big_endian, bytes, pos) as u64;
-    let ts_frac = u32_end(h.big_endian, bytes, pos + 4) as u64;
-    let caplen = u32_end(h.big_endian, bytes, pos + 8);
-    let orig_len = u32_end(h.big_endian, bytes, pos + 12);
-    let frac_bound = if h.nanos { 1_000_000_000 } else { 1_000_000 };
-    if ts_frac >= frac_bound
-        || caplen > MAX_SANE_CAPLEN
-        || caplen > orig_len
-        || orig_len > MAX_SANE_CAPLEN
-    {
-        return false;
-    }
-    if let Some(last) = last_sec {
-        if ts_sec.abs_diff(last) > RESYNC_TS_TOLERANCE_S {
-            return false;
-        }
-    }
-    let next = pos + RECORD_HEADER_LEN + caplen as usize;
-    if next > bytes.len() {
-        return false;
-    }
-    // Double confirmation: the stream must end exactly here, or the next
-    // header must also look sane.
-    if next == bytes.len() {
-        return true;
-    }
-    if next + RECORD_HEADER_LEN > bytes.len() {
-        return false; // trailing sliver that can't be a record
-    }
-    let n_frac = u32_end(h.big_endian, bytes, next + 4) as u64;
-    let n_caplen = u32_end(h.big_endian, bytes, next + 8);
-    let n_orig = u32_end(h.big_endian, bytes, next + 12);
-    n_frac < frac_bound && n_caplen <= MAX_SANE_CAPLEN && n_caplen <= n_orig
-}
-
 /// Reads a classic pcap buffer in lossy mode: damaged records are skipped
 /// and the reader resynchronizes on the next plausible record boundary.
 /// Only an unusable global header (bad magic, truncated, wrong version) is
 /// a hard error — there is nothing to recover without it.
+///
+/// Collecting wrapper over [`LossyPcapStream`]; for captures that should
+/// not be materialized, drive the stream directly.
 pub fn read_pcap_lossy(bytes: &[u8]) -> Result<PcapIngest, PcapError> {
-    let h = parse_global_header(bytes)?;
+    let mut stream = LossyPcapStream::new(bytes)?;
     let mut packets = Vec::new();
-    let mut report = IngestReport::default();
-    let mut last_sec: Option<u64> = None;
-    let mut just_resynced = false;
-    let mut pos = GLOBAL_HEADER_LEN;
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < RECORD_HEADER_LEN {
-            report.truncated_tail = true;
-            report.bytes_skipped += remaining as u64;
-            break;
-        }
-        match record_at(bytes, pos, &h) {
-            Ok((pkt, next)) => {
-                last_sec = Some(pkt.timestamp_us / 1_000_000);
-                if just_resynced {
-                    report.records_recovered += 1;
-                    just_resynced = false;
-                } else {
-                    report.records_ok += 1;
-                }
-                packets.push(pkt);
-                pos = next;
-            }
-            Err(failure) => {
-                if matches!(failure, RecordFailure::PastEof) {
-                    report.truncated_tail = true;
-                }
-                report.resyncs += 1;
-                report.blocks_skipped += 1;
-                let start = pos;
-                pos += 1;
-                while pos + RECORD_HEADER_LEN <= bytes.len()
-                    && !plausible_record_at(bytes, pos, &h, last_sec)
-                {
-                    pos += 1;
-                }
-                if pos + RECORD_HEADER_LEN > bytes.len() {
-                    pos = bytes.len();
-                }
-                report.bytes_skipped += (pos - start) as u64;
-                just_resynced = true;
-            }
-        }
+    while let Some(pkt) = stream
+        .next_packet()
+        .expect("in-memory source cannot fail mid-stream")
+    {
+        packets.push(pkt.to_owned());
     }
     Ok(PcapIngest {
-        link: h.link,
+        link: stream.link(),
         packets,
-        report,
+        report: *stream.report(),
     })
-}
-
-/// Block-length sanity shared by in-stride parsing and resync scanning:
-/// lead length in range and aligned, body inside the buffer, trailing
-/// length equal to the lead.
-fn ng_block_sane(bytes: &[u8], pos: usize, big_endian: bool) -> Option<usize> {
-    if pos + 12 > bytes.len() {
-        return None;
-    }
-    let total_len = u32_end(big_endian, bytes, pos + 4) as usize;
-    if total_len < 12 || !total_len.is_multiple_of(4) || total_len as u32 > MAX_SANE_CAPLEN * 2 {
-        return None;
-    }
-    if pos + total_len > bytes.len() {
-        return None;
-    }
-    let trailing = u32_end(big_endian, bytes, pos + total_len - 4) as usize;
-    if trailing != total_len {
-        return None;
-    }
-    Some(total_len)
-}
-
-/// Validates an SHB candidate at `pos`; returns `(big_endian, total_len)`.
-fn ng_shb_sane(bytes: &[u8], pos: usize) -> Option<(bool, usize)> {
-    if pos + 12 > bytes.len() {
-        return None;
-    }
-    if u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]) != BT_SHB {
-        return None;
-    }
-    let magic_le = u32::from_le_bytes([
-        bytes[pos + 8],
-        bytes[pos + 9],
-        bytes[pos + 10],
-        bytes[pos + 11],
-    ]);
-    let big_endian = match magic_le {
-        BYTE_ORDER_MAGIC => false,
-        m if m == BYTE_ORDER_MAGIC.swap_bytes() => true,
-        _ => return None,
-    };
-    let total_len = ng_block_sane(bytes, pos, big_endian)?;
-    if total_len < 28 {
-        return None;
-    }
-    // Version major must be 1.
-    let major = {
-        let b = [bytes[pos + 12], bytes[pos + 13]];
-        if big_endian {
-            u16::from_be_bytes(b)
-        } else {
-            u16::from_le_bytes(b)
-        }
-    };
-    if major != 1 {
-        return None;
-    }
-    Some((big_endian, total_len))
 }
 
 /// Reads a pcapng buffer in lossy mode. Total: a stream with no
 /// recoverable section simply yields zero packets with every byte
 /// accounted as skipped.
+///
+/// Collecting wrapper over [`LossyPcapNgStream`]; for captures that should
+/// not be materialized, drive the stream directly.
 pub fn read_pcapng_lossy(bytes: &[u8]) -> PcapNgIngest {
+    let mut stream = LossyPcapNgStream::new(bytes);
     let mut packets = Vec::new();
-    let mut report = IngestReport::default();
-    let mut big_endian = false;
-    let mut started = false;
-    let mut interfaces: Vec<Option<Interface>> = Vec::new();
-    let mut just_resynced = false;
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < 12 {
-            report.truncated_tail = true;
-            report.bytes_skipped += remaining as u64;
-            break;
-        }
-        // SHB first: its type is identifiable before endianness is known.
-        if let Some((be, total_len)) = ng_shb_sane(bytes, pos) {
-            big_endian = be;
-            started = true;
-            interfaces.clear();
-            pos += total_len;
-            continue;
-        }
-        let in_stride = if started {
-            ng_block_sane(bytes, pos, big_endian)
-        } else {
-            None
-        };
-        match in_stride {
-            Some(total_len) => {
-                let block_type = u32_end(big_endian, bytes, pos);
-                let body = &bytes[pos + 8..pos + total_len - 4];
-                match block_type {
-                    BT_IDB => match parse_idb(big_endian, body) {
-                        Ok(iface) => interfaces.push(Some(iface)),
-                        Err(_) => {
-                            // Keep interface ids aligned: the slot exists
-                            // but is unusable; its packets are skipped.
-                            interfaces.push(None);
-                            report.blocks_skipped += 1;
-                        }
-                    },
-                    BT_EPB => match parse_epb(big_endian, body, &interfaces) {
-                        Ok(pkt) => {
-                            if just_resynced {
-                                report.records_recovered += 1;
-                                just_resynced = false;
-                            } else {
-                                report.records_ok += 1;
-                            }
-                            packets.push(pkt);
-                        }
-                        Err(_) => report.blocks_skipped += 1,
-                    },
-                    BT_SPB => match parse_spb(big_endian, body, &interfaces) {
-                        Ok(pkt) => {
-                            if just_resynced {
-                                report.records_recovered += 1;
-                                just_resynced = false;
-                            } else {
-                                report.records_ok += 1;
-                            }
-                            packets.push(pkt);
-                        }
-                        Err(_) => report.blocks_skipped += 1,
-                    },
-                    _ => {} // unknown block: legally skipped by length
-                }
-                pos += total_len;
-            }
-            None => {
-                // Resync: scan for the next self-consistent known block.
-                report.resyncs += 1;
-                report.blocks_skipped += 1;
-                let start = pos;
-                pos += 1;
-                while pos + 12 <= bytes.len() {
-                    if ng_shb_sane(bytes, pos).is_some() {
-                        break;
-                    }
-                    if started {
-                        let block_type = u32_end(big_endian, bytes, pos);
-                        if matches!(block_type, BT_IDB | BT_EPB | BT_SPB)
-                            && ng_block_sane(bytes, pos, big_endian).is_some()
-                        {
-                            break;
-                        }
-                    }
-                    pos += 1;
-                }
-                if pos + 12 > bytes.len() {
-                    report.bytes_skipped += (bytes.len() - start) as u64;
-                    pos = bytes.len();
-                } else {
-                    report.bytes_skipped += (pos - start) as u64;
-                }
-                just_resynced = true;
-            }
-        }
+    while let Some(pkt) = stream
+        .next_packet()
+        .expect("in-memory source cannot fail mid-stream")
+    {
+        packets.push(pkt.to_owned());
     }
-    PcapNgIngest { packets, report }
+    PcapNgIngest {
+        packets,
+        report: *stream.report(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pcapng::PcapNgWriter;
+    use crate::format::GLOBAL_HEADER_LEN;
+    use crate::pcapng::{PcapNgWriter, BT_EPB, BT_IDB, BYTE_ORDER_MAGIC};
     use crate::writer::PcapWriter;
     use crate::PcapReader;
 
@@ -601,7 +287,7 @@ mod tests {
         // if_tsresol: packets on interface 0 are skipped, interface 1 still
         // decodes.
         let mut buf = Vec::new();
-        buf.extend_from_slice(&BT_SHB.to_le_bytes());
+        buf.extend_from_slice(&crate::pcapng::BT_SHB.to_le_bytes());
         buf.extend_from_slice(&28u32.to_le_bytes());
         buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
         buf.extend_from_slice(&1u16.to_le_bytes());

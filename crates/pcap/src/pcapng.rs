@@ -46,12 +46,44 @@ pub struct NgPacket {
     pub packet: PcapPacket,
 }
 
+/// A borrowed view of one pcapng packet, yielded by the zero-copy paths
+/// ([`PcapNgReader::next_packet_ref`] and [`crate::LossyPcapNgStream`]).
+/// The data slice lives in the reader's internal buffer and is only valid
+/// until the next read call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NgPacketRef<'a> {
+    /// The interface's data-link type.
+    pub link: LinkType,
+    /// Capture timestamp in microseconds.
+    pub timestamp_us: u64,
+    /// Original on-air length.
+    pub orig_len: u32,
+    /// The captured bytes, borrowed from the reader's buffer.
+    pub data: &'a [u8],
+}
+
+impl NgPacketRef<'_> {
+    /// Copies the packet into an owned [`NgPacket`].
+    pub fn to_owned(&self) -> NgPacket {
+        NgPacket {
+            link: self.link,
+            packet: PcapPacket {
+                timestamp_us: self.timestamp_us,
+                orig_len: self.orig_len,
+                data: self.data.to_vec(),
+            },
+        }
+    }
+}
+
 /// A streaming pcapng reader.
 pub struct PcapNgReader<R> {
     inner: R,
     big_endian: bool,
     interfaces: Vec<Option<Interface>>,
     started: bool,
+    /// Reused per-block body buffer for the zero-copy read path.
+    scratch: Vec<u8>,
 }
 
 impl<R: Read> PcapNgReader<R> {
@@ -63,6 +95,7 @@ impl<R: Read> PcapNgReader<R> {
             big_endian: false,
             interfaces: Vec::new(),
             started: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -84,7 +117,17 @@ impl<R: Read> PcapNgReader<R> {
 
     /// Reads the next packet; `Ok(None)` at clean end of stream.
     pub fn next_packet(&mut self) -> Result<Option<NgPacket>, PcapError> {
-        loop {
+        Ok(self.next_packet_ref()?.map(|p| p.to_owned()))
+    }
+
+    /// Reads the next packet without copying its bytes out of the reader's
+    /// block buffer; `Ok(None)` at clean end of stream. The returned
+    /// [`NgPacketRef`] is invalidated by the next read call.
+    pub fn next_packet_ref(&mut self) -> Result<Option<NgPacketRef<'_>>, PcapError> {
+        // The loop fills `self.scratch` with block bodies until it lands on
+        // a packet-bearing one, then breaks so the borrow of the scratch
+        // buffer starts only after all mutation is done.
+        let is_epb = loop {
             // Block header: type (4) + total length (4).
             let mut head = [0u8; 8];
             match read_fully(&mut self.inner, &mut head)? {
@@ -111,12 +154,13 @@ impl<R: Read> PcapNgReader<R> {
                 return Err(PcapError::OversizedRecord(total_len as u32));
             }
             let body_len = total_len - 12; // minus header and trailing length
-            let mut body = vec![0u8; body_len + 4];
-            match read_fully(&mut self.inner, &mut body)? {
+            self.scratch.clear();
+            self.scratch.resize(body_len + 4, 0);
+            match read_fully(&mut self.inner, &mut self.scratch)? {
                 ReadOutcome::Full => {}
                 _ => return Err(PcapError::TruncatedFile),
             }
-            let tail: [u8; 4] = match body[body_len..].try_into() {
+            let tail: [u8; 4] = match self.scratch[body_len..].try_into() {
                 Ok(t) => t,
                 Err(_) => return Err(PcapError::BadBlockLength(total_len as u32)),
             };
@@ -124,22 +168,23 @@ impl<R: Read> PcapNgReader<R> {
             if trailing != total_len {
                 return Err(PcapError::BadBlockLength(trailing as u32));
             }
-            body.truncate(body_len);
+            self.scratch.truncate(body_len);
             match block_type {
-                BT_IDB => self.read_idb(&body)?,
-                BT_EPB => {
-                    if let Some(pkt) = self.read_epb(&body)? {
-                        return Ok(Some(pkt));
-                    }
+                BT_IDB => {
+                    let iface = parse_idb(self.big_endian, &self.scratch)?;
+                    self.interfaces.push(Some(iface));
                 }
-                BT_SPB => {
-                    if let Some(pkt) = self.read_spb(&body)? {
-                        return Ok(Some(pkt));
-                    }
-                }
+                BT_EPB => break true,
+                BT_SPB => break false,
                 _ => {} // unknown block: skipped by length
             }
-        }
+        };
+        let pkt = if is_epb {
+            parse_epb_ref(self.big_endian, &self.scratch, &self.interfaces)?
+        } else {
+            parse_spb_ref(self.big_endian, &self.scratch, &self.interfaces)?
+        };
+        Ok(Some(pkt))
     }
 
     fn read_shb(&mut self, head: &[u8; 8]) -> Result<(), PcapError> {
@@ -176,20 +221,6 @@ impl<R: Read> PcapNgReader<R> {
         self.interfaces.clear();
         self.started = true;
         Ok(())
-    }
-
-    fn read_idb(&mut self, body: &[u8]) -> Result<(), PcapError> {
-        self.interfaces
-            .push(Some(parse_idb(self.big_endian, body)?));
-        Ok(())
-    }
-
-    fn read_epb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
-        parse_epb(self.big_endian, body, &self.interfaces).map(Some)
-    }
-
-    fn read_spb(&mut self, body: &[u8]) -> Result<Option<NgPacket>, PcapError> {
-        parse_spb(self.big_endian, body, &self.interfaces).map(Some)
     }
 }
 
@@ -263,12 +294,13 @@ pub(crate) fn parse_idb(big_endian: bool, body: &[u8]) -> Result<Interface, Pcap
     })
 }
 
-/// Parses an Enhanced Packet Block body against the section's interfaces.
-pub(crate) fn parse_epb(
+/// Parses an Enhanced Packet Block body against the section's interfaces,
+/// borrowing the packet bytes from `body`.
+pub(crate) fn parse_epb_ref<'a>(
     big_endian: bool,
-    body: &[u8],
+    body: &'a [u8],
     interfaces: &[Option<Interface>],
-) -> Result<NgPacket, PcapError> {
+) -> Result<NgPacketRef<'a>, PcapError> {
     if body.len() < 20 {
         return Err(PcapError::TruncatedFile);
     }
@@ -291,28 +323,27 @@ pub(crate) fn parse_epb(
     if 20 + caplen as usize > body.len() {
         return Err(PcapError::TruncatedFile);
     }
-    let data = body[20..20 + caplen as usize].to_vec();
+    let data = &body[20..20 + caplen as usize];
     let ticks = (ts_high << 32) | ts_low;
     // Widen through u128 so sub-microsecond resolutions keep precision
     // instead of saturating.
     let timestamp_us =
         ((ticks as u128 * 1_000_000) / iface.ticks_per_sec as u128).min(u64::MAX as u128) as u64;
-    Ok(NgPacket {
+    Ok(NgPacketRef {
         link: iface.link,
-        packet: PcapPacket {
-            timestamp_us,
-            orig_len,
-            data,
-        },
+        timestamp_us,
+        orig_len,
+        data,
     })
 }
 
-/// Parses a Simple Packet Block body (always interface 0).
-pub(crate) fn parse_spb(
+/// Parses a Simple Packet Block body (always interface 0), borrowing the
+/// packet bytes from `body`.
+pub(crate) fn parse_spb_ref<'a>(
     big_endian: bool,
-    body: &[u8],
+    body: &'a [u8],
     interfaces: &[Option<Interface>],
-) -> Result<NgPacket, PcapError> {
+) -> Result<NgPacketRef<'a>, PcapError> {
     if body.len() < 4 {
         return Err(PcapError::TruncatedFile);
     }
@@ -326,13 +357,11 @@ pub(crate) fn parse_spb(
     if 4 + caplen > body.len() {
         return Err(PcapError::TruncatedFile);
     }
-    Ok(NgPacket {
+    Ok(NgPacketRef {
         link: iface.link,
-        packet: PcapPacket {
-            timestamp_us: 0, // SPBs carry no timestamp
-            orig_len,
-            data: body[4..4 + caplen].to_vec(),
-        },
+        timestamp_us: 0, // SPBs carry no timestamp
+        orig_len,
+        data: &body[4..4 + caplen],
     })
 }
 

@@ -1,7 +1,7 @@
 //! Streaming pcap reader.
 
 use crate::format::{
-    LinkType, PcapError, PcapPacket, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
+    LinkType, PacketRef, PcapError, PcapPacket, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
     MAGIC_NS_LE, MAX_SANE_CAPLEN, RECORD_HEADER_LEN,
 };
 use std::io::Read;
@@ -22,6 +22,8 @@ pub struct PcapReader<R> {
     nanos: bool,
     link: LinkType,
     snaplen: u32,
+    /// Reused record-body buffer for the zero-copy read path.
+    scratch: Vec<u8>,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -63,6 +65,7 @@ impl<R: Read> PcapReader<R> {
             nanos,
             link,
             snaplen,
+            scratch: Vec::new(),
         })
     }
 
@@ -83,6 +86,13 @@ impl<R: Read> PcapReader<R> {
 
     /// Reads the next record; `Ok(None)` at a clean end of file.
     pub fn next_packet(&mut self) -> Result<Option<PcapPacket>, PcapError> {
+        Ok(self.next_packet_ref()?.map(|p| p.to_owned()))
+    }
+
+    /// Reads the next record without copying its bytes out of the reader's
+    /// internal buffer; `Ok(None)` at a clean end of file. The returned
+    /// [`PacketRef`] is invalidated by the next read call.
+    pub fn next_packet_ref(&mut self) -> Result<Option<PacketRef<'_>>, PcapError> {
         let mut header = [0u8; RECORD_HEADER_LEN];
         match self.inner.read(&mut header[..1])? {
             0 => return Ok(None), // clean EOF
@@ -105,13 +115,14 @@ impl<R: Read> PcapReader<R> {
         if caplen > orig_len {
             return Err(PcapError::InconsistentLengths { caplen, orig_len });
         }
-        let mut data = vec![0u8; caplen as usize];
-        read_exact_or(&mut self.inner, &mut data, PcapError::TruncatedFile)?;
+        self.scratch.clear();
+        self.scratch.resize(caplen as usize, 0);
+        read_exact_or(&mut self.inner, &mut self.scratch, PcapError::TruncatedFile)?;
         let micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
-        Ok(Some(PcapPacket {
+        Ok(Some(PacketRef {
             timestamp_us: ts_sec * 1_000_000 + micros,
             orig_len,
-            data,
+            data: &self.scratch,
         }))
     }
 

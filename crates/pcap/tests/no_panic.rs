@@ -65,12 +65,7 @@ fn drain_strict_classic(bytes: &[u8]) {
 
 fn drain_strict_ng(bytes: &[u8]) {
     let mut r = PcapNgReader::new(bytes);
-    loop {
-        match r.next_packet() {
-            Ok(Some(_)) => {}
-            Ok(None) | Err(_) => break,
-        }
-    }
+    while let Ok(Some(_)) = r.next_packet() {}
 }
 
 proptest! {

@@ -713,7 +713,7 @@ mod tests {
         assert_eq!(q.pop().map(|(t, _)| t), Some(3));
         q.cancel_timer(0);
         assert_eq!(q.live_len(), 0);
-        assert!(q.len() > 0, "tombstone still physically present");
+        assert_ne!(q.len(), 0, "tombstone still physically present");
         assert_eq!(q.pop(), None);
         assert_eq!(q.len(), 0, "tombstone reclaimed on pop");
     }

@@ -115,6 +115,91 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
+/// The receiving half of a batch channel disconnected; items the producer
+/// had buffered were discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Disconnected;
+
+/// The producing half of a batched channel: items accumulate locally and
+/// cross the channel `batch_len` at a time, so the per-item cost is a
+/// `Vec::push`, not a mutex round-trip. A partial batch is flushed on
+/// [`BatchSender::flush`] or on drop.
+pub struct BatchSender<T> {
+    tx: Sender<Vec<T>>,
+    batch: Vec<T>,
+    batch_len: usize,
+}
+
+/// The consuming half of a batched channel. Iterates items in send order,
+/// pulling the next batch from the channel transparently; ends once the
+/// sender is gone and everything buffered has been yielded.
+pub struct BatchReceiver<T> {
+    rx: Receiver<Vec<T>>,
+    current: std::vec::IntoIter<T>,
+}
+
+/// A bounded channel carrying items in batches of `batch_len`, with at most
+/// `capacity` full batches in flight. Backpressure therefore bounds the
+/// consumer's backlog to roughly `capacity * batch_len` items plus one
+/// partial batch.
+pub fn batch_channel<T>(capacity: usize, batch_len: usize) -> (BatchSender<T>, BatchReceiver<T>) {
+    let (tx, rx) = channel(capacity);
+    let batch_len = batch_len.max(1);
+    (
+        BatchSender {
+            tx,
+            batch: Vec::with_capacity(batch_len),
+            batch_len,
+        },
+        BatchReceiver {
+            rx,
+            current: Vec::new().into_iter(),
+        },
+    )
+}
+
+impl<T> BatchSender<T> {
+    /// Appends one item, shipping the batch (blocking for a slot) when it
+    /// reaches `batch_len`. Fails once the receiver is gone.
+    pub fn push(&mut self, item: T) -> Result<(), Disconnected> {
+        self.batch.push(item);
+        if self.batch.len() >= self.batch_len {
+            self.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Ships the current partial batch, if any.
+    pub fn flush(&mut self) -> Result<(), Disconnected> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let full = std::mem::replace(&mut self.batch, Vec::with_capacity(self.batch_len));
+        self.tx.send(full).map_err(|_| Disconnected)
+    }
+}
+
+impl<T> Drop for BatchSender<T> {
+    fn drop(&mut self) {
+        // Best effort: a dead receiver already discarded everything anyway.
+        let _ = self.flush();
+    }
+}
+
+impl<T> Iterator for BatchReceiver<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        loop {
+            if let Some(item) = self.current.next() {
+                return Some(item);
+            }
+            self.current = self.rx.recv()?.into_iter();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +234,40 @@ mod tests {
         let (tx, rx) = channel::<u32>(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn batch_channel_delivers_in_order_and_flushes_tail_on_drop() {
+        let (mut tx, rx) = batch_channel::<u32>(2, 7);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                // 100 is not a multiple of 7: the tail rides the drop flush.
+                tx.push(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_explicit_flush_ships_partial_batch() {
+        let (mut tx, mut rx) = batch_channel::<u32>(4, 64);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.flush().unwrap();
+        assert_eq!(rx.next(), Some(1));
+        assert_eq!(rx.next(), Some(2));
+        drop(tx);
+        assert_eq!(rx.next(), None);
+    }
+
+    #[test]
+    fn batch_push_fails_after_receiver_drops() {
+        let (mut tx, rx) = batch_channel::<u32>(1, 2);
+        drop(rx);
+        assert_eq!(tx.push(1), Ok(()));
+        assert_eq!(tx.push(2), Err(Disconnected));
     }
 
     #[test]

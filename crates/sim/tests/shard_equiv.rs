@@ -45,7 +45,7 @@ use wifi_sim::{ClientConfig, RemoteNotice, SimConfig, Simulator};
 /// Canonical order for ground-truth records: timestamp first, then the full
 /// record rendering as a tiebreak — total, and independent of which
 /// component emitted the frame.
-fn canonical(records: &mut Vec<FrameRecord>) {
+fn canonical(records: &mut [FrameRecord]) {
     records.sort_by(|a, b| {
         a.timestamp_us
             .cmp(&b.timestamp_us)

@@ -101,7 +101,7 @@ mod tests {
         let stayers = (0..n)
             .filter(|_| {
                 let (_, leave) = a.draw(&mut rng);
-                leave.map_or(true, |l| l > 800 * 1_000_000)
+                leave.is_none_or(|l| l > 800 * 1_000_000)
             })
             .count();
         assert!(stayers > n * 8 / 10, "stayers {stayers}/{n}");

@@ -62,12 +62,16 @@ fn main() {
     );
 
     let merged = merge_traces(&[&a, &b]);
-    let (m, best) = coverage_gain(&[&a, &b]);
+    let gain = coverage_gain(&[&a, &b]);
     println!(
         "merged (deduplicated): {} ({:.1}%) — +{} frames over the best single sniffer",
         merged.len(),
-        pct(m, on_air),
-        m - best
+        pct(gain.merged, on_air),
+        gain.merged - gain.best_single
+    );
+    println!(
+        "first-capture split:   A {} / B {}",
+        gain.contributed[0], gain.contributed[1]
     );
 
     // The merged trace tightens the busy-time measurement.

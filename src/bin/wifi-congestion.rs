@@ -1,7 +1,8 @@
 //! `wifi-congestion` — command-line front end to the congestion analysis.
 //!
 //! ```text
-//! wifi-congestion analyze <trace.pcap>        per-second + summary analysis
+//! wifi-congestion analyze <trace.pcap>... [--batch]
+//!                                             per-second + summary analysis
 //! wifi-congestion histogram <trace.pcap>      Fig 5(c) utilization histogram
 //! wifi-congestion unrecorded <trace.pcap>     Eq. 1 capture-loss estimate
 //! wifi-congestion aps <trace.pcap>            Fig 4(a) AP ranking
@@ -11,18 +12,26 @@
 //!
 //! Works on any classic pcap with the radiotap link type — including files
 //! produced by real RFMon captures, not just this repo's simulator.
+//!
+//! `analyze` takes one capture or several per-sniffer captures of the same
+//! channel (merged with online deduplication) and streams them by default —
+//! a capture larger than RAM analyzes in constant memory. `--batch` keeps
+//! the materializing path for A/B comparison.
 
 use congestion::ap_stats::{infer_aps, rank_aps, top_k_share};
+use congestion::persec::SecondStats;
 use congestion::{analyze, estimate_unrecorded, CongestionClassifier, UtilizationBins};
-use ietf80211_congestion::trace::{read_capture, write_capture};
+use ietf80211_congestion::ingest::analyze_capture_streams;
+use ietf80211_congestion::trace::{read_capture, read_capture_lossy, write_capture};
 use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, Scenario, SessionScale};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use wifi_pcap::IngestReport;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("analyze") => with_trace(&args, cmd_analyze),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("histogram") => with_trace(&args, cmd_histogram),
         Some("unrecorded") => with_trace(&args, cmd_unrecorded),
         Some("aps") => with_trace(&args, cmd_aps),
@@ -47,7 +56,13 @@ fn print_usage() {
         "wifi-congestion — IEEE 802.11b congestion analysis (IMC 2005 reproduction)
 
 USAGE:
-  wifi-congestion analyze    <trace.pcap>   per-second analysis + summary
+  wifi-congestion analyze    <trace.pcap>... [--batch]
+                                            per-second analysis + summary;
+                                            several files are treated as
+                                            per-sniffer captures of one
+                                            channel and merged (streaming
+                                            by default, --batch to
+                                            materialize)
   wifi-congestion histogram  <trace.pcap>   utilization histogram (Fig 5c)
   wifi-congestion unrecorded <trace.pcap>   capture-loss estimate (Eq. 1)
   wifi-congestion aps        <trace.pcap>   AP activity ranking (Fig 4a)
@@ -71,20 +86,72 @@ fn with_trace(
     f(&records)
 }
 
-fn cmd_analyze(records: &[wifi_frames::FrameRecord]) -> Result<(), String> {
-    let stats = analyze(records);
-    let bins = UtilizationBins::build(&stats);
+/// Prints a capture's damage accounting on stderr when anything was
+/// skipped; clean ingestions stay silent.
+fn report_damage(path: &str, report: &IngestReport) {
+    if !report.is_clean() {
+        eprintln!("note: {path} had skips: {}", report.to_json());
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut batch = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--batch" => batch = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    if paths.is_empty() {
+        return Err("missing <trace.pcap> argument".to_string());
+    }
+    let (stats, frames) = if batch {
+        // A/B reference path: materialize every trace, then merge.
+        let mut traces = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let capture =
+                read_capture_lossy(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            report_damage(&p.display().to_string(), &capture.report);
+            traces.push(capture.records);
+        }
+        let views: Vec<&[wifi_frames::FrameRecord]> = traces.iter().map(|t| t.as_slice()).collect();
+        let merged = congestion::merge_traces(&views);
+        (analyze(&merged), merged.len() as u64)
+    } else {
+        let out =
+            analyze_capture_streams(&paths).map_err(|e| format!("cannot read {:?}: {e}", paths))?;
+        for (p, report) in paths.iter().zip(&out.reports) {
+            report_damage(&p.display().to_string(), report);
+        }
+        if paths.len() > 1 {
+            eprintln!(
+                "merged {} records; first-capture split: {:?}",
+                out.merged_records, out.contributed
+            );
+        }
+        (out.per_second, out.merged_records)
+    };
+    if stats.is_empty() {
+        return Err("no parseable 802.11 records in the input".to_string());
+    }
+    print_analysis(&stats, frames)
+}
+
+fn print_analysis(stats: &[SecondStats], frames: u64) -> Result<(), String> {
+    let bins = UtilizationBins::build(stats);
     let classifier = CongestionClassifier::from_measurements(&bins);
-    println!("frames: {}", records.len());
+    println!("frames: {frames}");
     println!(
         "span: {:.1} s ({} analyzed seconds)",
-        (records.last().unwrap().timestamp_us - records.first().unwrap().timestamp_us) as f64 / 1e6,
+        (stats.last().unwrap().second - stats.first().unwrap().second + 1) as f64,
         stats.len()
     );
     let mut high = 0u64;
     let mut moderate = 0u64;
     let mut idle = 0u64;
-    for s in &stats {
+    for s in stats {
         match classifier.classify(s.utilization_pct()) {
             congestion::CongestionLevel::High => high += 1,
             congestion::CongestionLevel::Moderate => moderate += 1,

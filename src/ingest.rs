@@ -1,0 +1,212 @@
+//! Streaming multi-sniffer ingestion: decode N capture files concurrently,
+//! merge them online, and feed the per-second analysis — file bytes to
+//! congestion statistics in O(window) memory, never materializing a trace.
+//!
+//! The pipeline is one decode thread per sniffer file (each running a
+//! [`CaptureStream`]), a bounded batch channel per sniffer for backpressure,
+//! and the k-way [`MergeStream`] heap on the consuming side driving a
+//! [`SecondAccumulator`]. A slow consumer therefore bounds every decoder's
+//! lead to a few batches instead of a whole file; a capture larger than RAM
+//! analyzes in constant memory.
+//!
+//! Deadlock freedom: `run_parallel` is given one thread per file, so every
+//! producer makes progress independently, and the merge heap always drains
+//! the stream whose head record is globally earliest — no producer waits on
+//! another producer, and the consumer never waits on a stream that is not
+//! being produced.
+
+use crate::trace::{CaptureError, CaptureStream};
+use congestion::merge::MergeStream;
+use congestion::persec::{SecondAccumulator, SecondStats};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use wifi_frames::record::FrameRecord;
+use wifi_pcap::IngestReport;
+use wifi_sim::runner::run_parallel;
+use wifi_sim::spsc::{batch_channel, BatchReceiver, BatchSender};
+
+/// Records per cross-thread batch: large enough that the channel mutex is
+/// cold (one lock per 256 records), small enough to stay cache-resident.
+const BATCH_LEN: usize = 256;
+
+/// Full batches in flight per sniffer before its decoder blocks — the
+/// backpressure bound (~2k records, a few hundred KiB per sniffer).
+const CHANNEL_BATCHES: usize = 8;
+
+/// The result of a streaming end-to-end analysis over one or more sniffer
+/// captures of the same channel.
+#[derive(Debug, Clone)]
+pub struct StreamAnalysis {
+    /// Per-second link-layer statistics of the merged trace.
+    pub per_second: Vec<SecondStats>,
+    /// Damage accounting per input file, in input order.
+    pub reports: Vec<IngestReport>,
+    /// Records in the merged, de-duplicated trace.
+    pub merged_records: u64,
+    /// Records each sniffer was the first to capture, in input order.
+    pub contributed: Vec<u64>,
+}
+
+/// Streams `paths` (per-sniffer captures of one channel) through parallel
+/// lossy decoding, the online k-way merge, and the per-second accumulator.
+///
+/// Equivalent to reading every file with
+/// [`crate::trace::read_capture_lossy`], merging with
+/// [`congestion::merge_traces`], and running [`congestion::analyze`] — but
+/// in O(window) memory and with the decode work spread across one thread
+/// per file. Hard errors (unreadable file, unrecognizable classic header,
+/// non-radiotap link type) fail the whole analysis, exactly as the batch
+/// path would.
+pub fn analyze_capture_streams(paths: &[PathBuf]) -> Result<StreamAnalysis, CaptureError> {
+    let mut senders = Vec::with_capacity(paths.len());
+    let mut receivers: Vec<BatchReceiver<FrameRecord>> = Vec::with_capacity(paths.len());
+    for _ in paths {
+        let (tx, rx) = batch_channel(CHANNEL_BATCHES, BATCH_LEN);
+        senders.push(Mutex::new(Some(tx)));
+        receivers.push(rx);
+    }
+    let items: Vec<(PathBuf, Mutex<Option<BatchSender<FrameRecord>>>)> =
+        paths.iter().cloned().zip(senders).collect();
+
+    let (merged_records, contributed, per_second, reports) = std::thread::scope(|scope| {
+        // One decode thread per file; `run_parallel` itself blocks, so it
+        // runs on a scoped helper thread while this thread consumes.
+        let decoder = scope.spawn(|| {
+            run_parallel(&items, items.len(), |item| {
+                let (path, slot) = item;
+                let mut tx = slot
+                    .lock()
+                    .expect("sender slot lock poisoned")
+                    .take()
+                    .expect("run_parallel hands each item to exactly one worker");
+                let mut stream = CaptureStream::open(path)?;
+                for record in &mut stream {
+                    if tx.push(record).is_err() {
+                        // Consumer gone: the analysis is being abandoned.
+                        break;
+                    }
+                }
+                drop(tx); // flush the partial tail batch before reporting
+                stream.finish()
+            })
+        });
+        let mut acc = SecondAccumulator::new();
+        let mut merge = MergeStream::new(receivers);
+        let mut merged_records = 0u64;
+        for record in &mut merge {
+            merged_records += 1;
+            acc.push(record);
+        }
+        let reports = decoder.join().expect("decoder thread panicked");
+        (
+            merged_records,
+            merge.contributed().to_vec(),
+            acc.finish(),
+            reports,
+        )
+    });
+
+    let reports = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(StreamAnalysis {
+        per_second,
+        reports,
+        merged_records,
+        contributed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{read_capture_lossy, write_capture};
+    use wifi_frames::phy::{Channel, Rate};
+    use wifi_frames::{FrameKind, MacAddr};
+
+    fn rec(ts: u64, src: u32, seq: u16) -> FrameRecord {
+        FrameRecord {
+            timestamp_us: ts,
+            kind: FrameKind::Data,
+            rate: Rate::R11,
+            channel: Channel::new(6).unwrap(),
+            dst: MacAddr::from_id(99),
+            src: Some(MacAddr::from_id(src)),
+            bssid: Some(MacAddr::from_id(99)),
+            retry: false,
+            seq: Some(seq),
+            mac_bytes: 1028,
+            payload_bytes: 1000,
+            signal_dbm: -62,
+            duration_us: 314,
+        }
+    }
+
+    fn write_sniffers(tag: &str, sniffers: &[Vec<FrameRecord>]) -> Vec<PathBuf> {
+        let dir = std::env::temp_dir().join(format!("congestion_ingest_test_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        sniffers
+            .iter()
+            .enumerate()
+            .map(|(i, records)| {
+                let path = dir.join(format!("sniffer_{i}.pcap"));
+                write_capture(&path, records).unwrap();
+                path
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_pipeline_matches_batch_end_to_end() {
+        // Three sniffers with complementary losses and a little clock skew.
+        let full: Vec<FrameRecord> = (0..3000u64)
+            .map(|i| rec(i * 900, 1, (i % 4096) as u16))
+            .collect();
+        let sniffers: Vec<Vec<FrameRecord>> = (0..3)
+            .map(|s| {
+                full.iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 3 != s)
+                    .map(|(_, r)| {
+                        let mut r = *r;
+                        r.timestamp_us += 20 * s as u64; // per-sniffer skew
+                        r
+                    })
+                    .collect()
+            })
+            .collect();
+        let paths = write_sniffers("e2e", &sniffers);
+
+        let streamed = analyze_capture_streams(&paths).unwrap();
+
+        // Batch reference: lossy-read each file, merge, analyze.
+        let batch: Vec<Vec<FrameRecord>> = paths
+            .iter()
+            .map(|p| read_capture_lossy(p).unwrap().records)
+            .collect();
+        let views: Vec<&[FrameRecord]> = batch.iter().map(|t| &t[..]).collect();
+        let merged = congestion::merge_traces(&views);
+        let expected = congestion::analyze(&merged);
+
+        assert_eq!(streamed.merged_records as usize, merged.len());
+        assert_eq!(streamed.per_second, expected);
+        assert_eq!(streamed.reports.len(), 3);
+        assert!(streamed.reports.iter().all(|r| r.is_clean()));
+        assert_eq!(
+            streamed.contributed.iter().sum::<u64>(),
+            streamed.merged_records
+        );
+    }
+
+    #[test]
+    fn empty_input_set_yields_empty_analysis() {
+        let out = analyze_capture_streams(&[]).unwrap();
+        assert!(out.per_second.is_empty());
+        assert_eq!(out.merged_records, 0);
+        assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn missing_file_fails_the_analysis() {
+        let paths = vec![PathBuf::from("/nonexistent/sniffer.pcap")];
+        assert!(analyze_capture_streams(&paths).is_err());
+    }
+}

@@ -38,6 +38,7 @@ pub use wifi_frames;
 pub use wifi_pcap;
 pub use wifi_sim;
 
+pub mod ingest;
 pub mod trace;
 
 /// Convenient glob-import surface for examples and quick scripts.
@@ -50,5 +51,8 @@ pub mod prelude {
     pub use wifi_frames::{FrameKind, FrameRecord, MacAddr, Rate};
     pub use wifi_sim::{ClientConfig, SimConfig, Simulator};
 
-    pub use crate::trace::{read_capture, read_capture_lossy, write_capture, LossyCapture};
+    pub use crate::ingest::{analyze_capture_streams, StreamAnalysis};
+    pub use crate::trace::{
+        read_capture, read_capture_lossy, write_capture, CaptureStream, LossyCapture,
+    };
 }

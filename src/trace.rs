@@ -7,13 +7,16 @@
 //! the first 250 bytes anyway), and the import path exercises the same
 //! truncated-header parsing a real trace analysis needs.
 
-use std::io;
+use std::io::{self, Read};
 use std::path::Path;
 use wifi_frames::radiotap::{self, CaptureMeta, FLAG_FCS_AT_END};
 use wifi_frames::record::FrameRecord;
 use wifi_frames::wire;
-use wifi_pcap::pcapng::{PcapNgReader, BT_SHB};
-use wifi_pcap::{IngestReport, LinkType, PcapError, PcapReader, PcapWriter};
+use wifi_pcap::pcapng::PcapNgReader;
+use wifi_pcap::{
+    is_pcapng, IngestReport, LinkType, LossyPcapNgStream, LossyPcapStream, PcapError, PcapReader,
+    PcapWriter,
+};
 
 /// The snap length the study used.
 pub const STUDY_SNAPLEN: u32 = 250;
@@ -61,9 +64,32 @@ pub fn write_capture_with_snaplen(
     records: &[FrameRecord],
     snaplen: u32,
 ) -> Result<u64, CaptureError> {
-    let file = std::fs::File::create(path).map_err(PcapError::Io)?;
-    let mut writer = PcapWriter::new(io::BufWriter::new(file), LinkType::Radiotap, snaplen)?;
+    let mut writer = CaptureWriter::create(path, snaplen)?;
     for r in records {
+        writer.write_record(r)?;
+    }
+    writer.finish()
+}
+
+/// Streaming counterpart of [`write_capture_with_snaplen`]: records go to
+/// disk one at a time, so a trace generator never has to hold the full
+/// trace. Each record is re-encoded as radiotap + 802.11 wire bytes exactly
+/// as the batch writer does.
+pub struct CaptureWriter {
+    writer: PcapWriter<io::BufWriter<std::fs::File>>,
+}
+
+impl CaptureWriter {
+    /// Creates (truncates) `path` as a radiotap pcap with the given snap
+    /// length (0 = no truncation).
+    pub fn create(path: &Path, snaplen: u32) -> Result<CaptureWriter, CaptureError> {
+        let file = std::fs::File::create(path).map_err(PcapError::Io)?;
+        let writer = PcapWriter::new(io::BufWriter::new(file), LinkType::Radiotap, snaplen)?;
+        Ok(CaptureWriter { writer })
+    }
+
+    /// Serializes and appends one record.
+    pub fn write_record(&mut self, r: &FrameRecord) -> Result<(), CaptureError> {
         let meta = CaptureMeta {
             tsft_us: r.timestamp_us,
             flags: FLAG_FCS_AT_END,
@@ -76,50 +102,77 @@ pub fn write_capture_with_snaplen(
         let frame = record_to_frame(r);
         let bytes = wire::encode(&frame);
         let packet = radiotap::encode_packet(&meta, &bytes);
-        writer.write_packet(r.timestamp_us, &packet)?;
+        self.writer.write_packet(r.timestamp_us, &packet)?;
+        Ok(())
     }
-    writer.flush()?;
-    Ok(writer.packets_written())
+
+    /// Flushes and returns the number of records written.
+    pub fn finish(mut self) -> Result<u64, CaptureError> {
+        self.writer.flush()?;
+        Ok(self.writer.packets_written())
+    }
+}
+
+/// A reader with its peeked magic bytes replayed in front of it.
+type Replayed<R> = io::Chain<io::Cursor<Vec<u8>>, R>;
+
+/// Peeks the first four bytes of a reader (the container magic) and hands
+/// back a stream that replays them: container detection without buffering
+/// the file.
+fn peek_magic<R: Read>(mut reader: R) -> io::Result<(Vec<u8>, Replayed<R>)> {
+    let mut head = Vec::with_capacity(4);
+    let mut byte = [0u8; 1];
+    while head.len() < 4 {
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((head.clone(), io::Cursor::new(head).chain(reader)))
 }
 
 /// Reads a radiotap capture back into analysis records, auto-detecting the
 /// container (classic pcap or pcapng by leading magic). Handles snaplen
 /// truncation via header-only parsing plus the original-length field, just
 /// as an analysis of the study's real traces must.
+///
+/// Streams the file through the zero-copy reader paths in fixed memory —
+/// only the records, never the file, are materialized.
 pub fn read_capture(path: &Path) -> Result<Vec<FrameRecord>, CaptureError> {
-    let bytes = std::fs::read(path).map_err(PcapError::Io)?;
-    // The pcapng SHB type is byte-order-palindromic, so one comparison
-    // detects it in either endianness.
-    let is_ng =
-        bytes.len() >= 4 && u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) == BT_SHB;
+    let file = std::fs::File::open(path).map_err(PcapError::Io)?;
+    let (magic, source) = peek_magic(io::BufReader::new(file)).map_err(PcapError::Io)?;
     let mut out = Vec::new();
     let mut push_record = |data: &[u8], orig_len: u32| -> Result<(), CaptureError> {
         let (meta, frame_bytes) = radiotap::parse_packet(data).map_err(CaptureError::Radiotap)?;
         // The radiotap header is never truncated (25 bytes < any snaplen we
-        // use); the frame behind it may be.
+        // use); the frame behind it may be. A crafted capture can still
+        // claim an original length smaller than the header it carries, so
+        // saturate rather than wrap the subtraction.
         let radiotap_len = data.len() - frame_bytes.len();
-        let frame_orig_len = orig_len - radiotap_len as u32;
+        let frame_orig_len = orig_len.saturating_sub(radiotap_len as u32);
         if let Ok(header) = wire::parse_header(frame_bytes) {
             out.push(FrameRecord::from_header(&header, frame_orig_len, &meta));
         }
         // Mangled frames are skipped, as a real analysis must.
         Ok(())
     };
-    if is_ng {
-        let mut reader = PcapNgReader::new(&bytes[..]);
-        while let Some(pkt) = reader.next_packet()? {
+    if is_pcapng(&magic) {
+        let mut reader = PcapNgReader::new(source);
+        while let Some(pkt) = reader.next_packet_ref()? {
             if pkt.link != LinkType::Radiotap {
                 return Err(CaptureError::WrongLinkType(pkt.link));
             }
-            push_record(&pkt.packet.data, pkt.packet.orig_len)?;
+            push_record(pkt.data, pkt.orig_len)?;
         }
     } else {
-        let mut reader = PcapReader::new(&bytes[..])?;
+        let mut reader = PcapReader::new(source)?;
         if reader.link_type() != LinkType::Radiotap {
             return Err(CaptureError::WrongLinkType(reader.link_type()));
         }
-        while let Some(pkt) = reader.next_packet()? {
-            push_record(&pkt.data, pkt.orig_len)?;
+        while let Some(pkt) = reader.next_packet_ref()? {
+            push_record(pkt.data, pkt.orig_len)?;
         }
     }
     Ok(out)
@@ -149,43 +202,165 @@ pub fn read_capture_lossy(path: &Path) -> Result<LossyCapture, CaptureError> {
 /// [`read_capture_lossy`] over an in-memory image (what the fault-injection
 /// harness feeds).
 pub fn read_capture_lossy_bytes(bytes: &[u8]) -> Result<LossyCapture, CaptureError> {
-    let mut records = Vec::new();
-    let mut report;
-    let mut push_record = |data: &[u8], orig_len: u32, report: &mut IngestReport| {
-        let (meta, frame_bytes) = match radiotap::parse_packet(data) {
-            Ok(parsed) => parsed,
-            Err(_) => {
-                report.undecodable_radiotap += 1;
-                return;
-            }
-        };
-        let radiotap_len = data.len() - frame_bytes.len();
-        let frame_orig_len = (orig_len as usize).saturating_sub(radiotap_len) as u32;
-        match wire::parse_header(frame_bytes) {
-            Ok(header) => records.push(FrameRecord::from_header(&header, frame_orig_len, &meta)),
-            Err(_) => report.undecodable_frames += 1,
+    let mut stream = CaptureStream::from_reader(bytes)?;
+    let records: Vec<FrameRecord> = stream.by_ref().collect();
+    let report = stream.finish()?;
+    Ok(LossyCapture { records, report })
+}
+
+/// Decodes one captured radiotap packet into an analysis record, counting
+/// (rather than propagating) radiotap and frame-header failures — the shared
+/// frame-level half of every lossy ingestion path.
+///
+/// Every reader in `wifi_pcap` guarantees `orig_len >= data.len()`, which
+/// with an untruncated radiotap header implies the subtraction below cannot
+/// underflow on reader-produced input; the `saturating_sub` guards the
+/// crafted-capture case where a record *claims* an original length smaller
+/// than the radiotap header it carries.
+fn decode_packet(data: &[u8], orig_len: u32, report: &mut IngestReport) -> Option<FrameRecord> {
+    let (meta, frame_bytes) = match radiotap::parse_packet(data) {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            report.undecodable_radiotap += 1;
+            return None;
         }
     };
-    if wifi_pcap::is_pcapng(bytes) {
-        let ingest = wifi_pcap::read_pcapng_lossy(bytes);
-        report = ingest.report;
-        for pkt in &ingest.packets {
-            if pkt.link != LinkType::Radiotap {
-                return Err(CaptureError::WrongLinkType(pkt.link));
-            }
-            push_record(&pkt.packet.data, pkt.packet.orig_len, &mut report);
-        }
-    } else {
-        let ingest = wifi_pcap::read_pcap_lossy(bytes)?;
-        if ingest.link != LinkType::Radiotap {
-            return Err(CaptureError::WrongLinkType(ingest.link));
-        }
-        report = ingest.report;
-        for pkt in &ingest.packets {
-            push_record(&pkt.data, pkt.orig_len, &mut report);
+    let radiotap_len = data.len() - frame_bytes.len();
+    let frame_orig_len = orig_len.saturating_sub(radiotap_len as u32);
+    match wire::parse_header(frame_bytes) {
+        Ok(header) => Some(FrameRecord::from_header(&header, frame_orig_len, &meta)),
+        Err(_) => {
+            report.undecodable_frames += 1;
+            None
         }
     }
-    Ok(LossyCapture { records, report })
+}
+
+/// The container half of a streaming capture: either classic pcap or pcapng,
+/// each over a chunked source that replays the peeked magic bytes.
+enum StreamInner<R: Read> {
+    Classic(LossyPcapStream<Replayed<R>>),
+    Ng(LossyPcapNgStream<Replayed<R>>),
+}
+
+/// A streaming lossy capture ingestion: pulls records one at a time from any
+/// byte source in O(chunk) memory, so a capture larger than RAM analyzes
+/// fine. The iterator yields decoded [`FrameRecord`]s; damage is accounted
+/// exactly as in [`read_capture_lossy`] and read back via
+/// [`CaptureStream::report`] or [`CaptureStream::finish`].
+///
+/// Hard failures (an I/O error mid-stream, a non-radiotap link type) end the
+/// iteration early and surface from [`CaptureStream::finish`]; everything
+/// recoverable is skip-counted instead.
+pub struct CaptureStream<R: Read = Box<dyn Read + Send>> {
+    inner: StreamInner<R>,
+    /// Frame-level skip counters (the container counters live inside the
+    /// lossy container stream).
+    frame_report: IngestReport,
+    failed: Option<CaptureError>,
+}
+
+impl CaptureStream<io::BufReader<std::fs::File>> {
+    /// Opens a capture file for streaming ingestion.
+    pub fn open(path: &Path) -> Result<Self, CaptureError> {
+        let file = std::fs::File::open(path).map_err(PcapError::Io)?;
+        CaptureStream::from_reader(io::BufReader::new(file))
+    }
+}
+
+impl<R: Read> CaptureStream<R> {
+    /// Wraps any byte source. The container is detected from the first four
+    /// bytes; a classic-pcap global header is validated eagerly (the only
+    /// eager hard errors — everything later is lossy or deferred to
+    /// [`CaptureStream::finish`]).
+    pub fn from_reader(reader: R) -> Result<Self, CaptureError> {
+        let (magic, source) = peek_magic(reader).map_err(PcapError::Io)?;
+        let inner = if is_pcapng(&magic) {
+            StreamInner::Ng(LossyPcapNgStream::new(source))
+        } else {
+            let stream = LossyPcapStream::new(source)?;
+            if stream.link() != LinkType::Radiotap {
+                return Err(CaptureError::WrongLinkType(stream.link()));
+            }
+            StreamInner::Classic(stream)
+        };
+        Ok(CaptureStream {
+            inner,
+            frame_report: IngestReport::default(),
+            failed: None,
+        })
+    }
+
+    /// The damage accounting so far: container-level counters from the
+    /// lossy reader plus the frame-level skip counters.
+    pub fn report(&self) -> IngestReport {
+        let mut report = *match &self.inner {
+            StreamInner::Classic(s) => s.report(),
+            StreamInner::Ng(s) => s.report(),
+        };
+        report.merge(&self.frame_report);
+        // `merge` double-counts nothing: the two halves fill disjoint
+        // fields, except records_ok/recovered which frame_report never sets.
+        report
+    }
+
+    /// Consumes the stream, returning the final accounting — or the hard
+    /// error that ended iteration early, if any. Call after draining the
+    /// iterator.
+    pub fn finish(self) -> Result<IngestReport, CaptureError> {
+        let report = self.report();
+        match self.failed {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+impl<R: Read> Iterator for CaptureStream<R> {
+    type Item = FrameRecord;
+
+    fn next(&mut self) -> Option<FrameRecord> {
+        let CaptureStream {
+            inner,
+            frame_report,
+            failed,
+        } = self;
+        if failed.is_some() {
+            return None;
+        }
+        loop {
+            match inner {
+                StreamInner::Classic(s) => match s.next_packet() {
+                    Ok(Some(pkt)) => {
+                        if let Some(r) = decode_packet(pkt.data, pkt.orig_len, frame_report) {
+                            return Some(r);
+                        }
+                    }
+                    Ok(None) => return None,
+                    Err(e) => {
+                        *failed = Some(CaptureError::Pcap(e));
+                        return None;
+                    }
+                },
+                StreamInner::Ng(s) => match s.next_packet() {
+                    Ok(Some(pkt)) => {
+                        if pkt.link != LinkType::Radiotap {
+                            *failed = Some(CaptureError::WrongLinkType(pkt.link));
+                            return None;
+                        }
+                        if let Some(r) = decode_packet(pkt.data, pkt.orig_len, frame_report) {
+                            return Some(r);
+                        }
+                    }
+                    Ok(None) => return None,
+                    Err(e) => {
+                        *failed = Some(CaptureError::Pcap(e));
+                        return None;
+                    }
+                },
+            }
+        }
+    }
 }
 
 /// Reconstructs a full frame from a record for serialization. Payload
@@ -403,6 +578,52 @@ mod tests {
             lossy.records.len(),
             records.len()
         );
+    }
+
+    #[test]
+    fn undersized_orig_len_saturates_instead_of_underflowing() {
+        // A record can *claim* an original length smaller than the radiotap
+        // header it carries. No `wifi_pcap` reader produces one (they all
+        // enforce `orig_len >= caplen`), but the decode layer must not rely
+        // on that: the old strict-path formula `orig_len - radiotap_len`
+        // would debug-panic / release-wrap here.
+        let records = sample_records();
+        let meta = CaptureMeta {
+            tsft_us: records[0].timestamp_us,
+            flags: FLAG_FCS_AT_END,
+            rate: records[0].rate,
+            channel: records[0].channel,
+            signal_dbm: records[0].signal_dbm,
+            noise_dbm: -95,
+            antenna: 0,
+        };
+        let packet = radiotap::encode_packet(&meta, &wire::encode(&record_to_frame(&records[0])));
+        let mut report = IngestReport::default();
+        let rec = decode_packet(&packet, 3, &mut report).expect("frame itself is decodable");
+        assert_eq!(rec.mac_bytes, 0, "claimed length saturates to zero");
+        assert_eq!(rec.payload_bytes, 0);
+        assert_eq!(report, IngestReport::default());
+    }
+
+    #[test]
+    fn capture_stream_matches_batch_lossy_read() {
+        let records: Vec<FrameRecord> = (0..60u64)
+            .map(|i| {
+                let mut r = sample_records()[0];
+                r.timestamp_us = i * 700;
+                r.seq = Some(i as u16);
+                r
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("congestion_trace_test_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.pcap");
+        write_capture(&path, &records).unwrap();
+        let batch = read_capture_lossy(&path).unwrap();
+        let mut stream = CaptureStream::open(&path).unwrap();
+        let streamed: Vec<FrameRecord> = stream.by_ref().collect();
+        assert_eq!(streamed, batch.records);
+        assert_eq!(stream.finish().unwrap(), batch.report);
     }
 
     #[test]

@@ -187,10 +187,12 @@ fn merge_absorbs_skew_and_independent_drops() {
     }
     let views: Vec<&[FrameRecord]> = sniffers.iter().map(|s| &s[..]).collect();
     let merged = merge_traces(&views);
-    let (covered, best_single) = coverage_gain(&views);
+    let gain = coverage_gain(&views);
     assert!(
-        covered > best_single,
-        "merging must add coverage: {covered} vs best single {best_single}"
+        gain.merged > gain.best_single,
+        "merging must add coverage: {} vs best single {}",
+        gain.merged,
+        gain.best_single
     );
     assert!(
         merged.len() <= base.len(),
