@@ -592,7 +592,11 @@ fn run_trace_pin(
 
     // Clean captures: every written record decodes, so `events` doubles as
     // the determinism fingerprint.
-    let events: u64 = analysis.reports.iter().map(|r| r.records_total()).sum();
+    let events: u64 = analysis
+        .sources
+        .iter()
+        .map(|s| s.report.records_total())
+        .sum();
     assert_eq!(
         events, written,
         "trace pin must decode every written record"

@@ -173,7 +173,7 @@ proptest! {
         let merged = merge_traces(&slices);
         prop_assert_eq!(out.merged_records, merged.len() as u64);
         prop_assert_eq!(render(&out.per_second), render(&analyze(&merged)));
-        prop_assert!(out.reports.iter().all(|r| r.is_clean()));
+        prop_assert!(out.sources.iter().all(|s| s.is_clean()));
     }
 
     #[test]

@@ -108,105 +108,194 @@ impl TransmissionKey {
 /// interval plus the dedup window.
 const CLUSTER_SWEEP_INTERVAL: usize = 4096;
 
-/// Online k-way merge of per-sniffer record streams with streaming
-/// deduplication — [`merge_traces`] without materializing anything.
+/// What an [`OnlineMerge::poll`] produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MergePoll {
+    /// The next merged, de-duplicated record in timestamp order.
+    Record(FrameRecord),
+    /// No record can be emitted until stream `idx` either gets a record
+    /// ([`OnlineMerge::offer`]), is closed ([`OnlineMerge::end`]), or is
+    /// deferred ([`OnlineMerge::defer`]).
+    Need(usize),
+    /// No stream can currently produce: every stream has ended or is
+    /// deferred, and everything buffered has been emitted. Final only once
+    /// every stream has actually ended — with deferred streams still open
+    /// the caller may offer more and poll again.
+    Done,
+}
+
+/// The push-based core of the k-way merge: callers feed records per stream
+/// with [`OnlineMerge::offer`] and pull merged output with
+/// [`OnlineMerge::poll`], so the same dedup logic drives both the pull-based
+/// [`MergeStream`] (batch files) and a live service where stream input
+/// arrives asynchronously from decoder threads.
 ///
-/// Drives a binary min-heap keyed on `(timestamp, stream index)` holding one
-/// pending head per stream, so memory is O(k + live dedup clusters)
-/// regardless of trace length. Deduplication applies the same
-/// [`DEDUP_WINDOW_US`] cluster logic as the batch path, but keyed by a hash
-/// of the transmission identity instead of a linear scan: the batch scan can
-/// never hold two live clusters with the same identity (a record matching a
-/// live cluster always extends it rather than opening a second one), so "the
-/// latest member of the live cluster for this identity" is exactly one map
-/// lookup. The output is record-for-record identical to
-/// `merge_traces(traces)` — the heap's `(timestamp, stream index)` ordering
-/// reproduces a stable sort of the concatenated traces.
+/// Two behaviors beyond the batch merge, both needed once inputs are live:
 ///
-/// Input streams must each be time-ordered (as captures are), the same
-/// contract [`merge_traces`] documents.
-///
-/// ```
-/// use congestion::merge::MergeStream;
-/// # let (a, b): (Vec<wifi_frames::FrameRecord>, Vec<wifi_frames::FrameRecord>) =
-/// #     (Vec::new(), Vec::new());
-/// let merged = MergeStream::new(vec![a.into_iter(), b.into_iter()]);
-/// for record in merged {
-///     // feed an accumulator without ever holding the full trace
-///     let _ = record.timestamp_us;
-/// }
-/// ```
-pub struct MergeStream<I> {
-    streams: Vec<I>,
-    /// The not-yet-merged head record of each stream; `None` once exhausted.
+/// * **Regressive-clock clamping.** Each stream's timestamps are clamped to
+///   be non-decreasing (`max` against the stream's high-water mark). Without
+///   this, a sniffer whose clock steps backwards past the dedup window moves
+///   a cluster's anchor backwards (`saturating_sub` treats the regression as
+///   an in-window duplicate), which resurrects a later true duplicate as a
+///   false new frame. For well-formed (time-ordered) inputs the clamp is a
+///   no-op, so batch equivalence with [`merge_traces`] is preserved.
+/// * **Skew-horizon advance.** `poll(Some(horizon))` lets the merge emit
+///   past a stream that has nothing buffered once the candidate record's
+///   timestamp exceeds that stream's high-water mark by more than `horizon`
+///   µs — a stalled or dead sniffer delays output by at most the horizon
+///   instead of wedging the merge. Records a skipped stream delivers late
+///   (below the emitted watermark) are dropped and counted per stream, so
+///   output timestamps stay non-decreasing — the contract the per-second
+///   accumulator depends on. `poll(None)` never skips and never drops.
+pub struct OnlineMerge {
+    /// The not-yet-merged head record of each stream; `None` while waiting.
     heads: Vec<Option<FrameRecord>>,
+    /// Streams whose input is complete (no further `offer` accepted).
+    ended: Vec<bool>,
+    /// Streams temporarily excluded from blocking the merge (wall-clock
+    /// stall handling, decided by the caller); rejoin on their next offer.
+    deferred: Vec<bool>,
+    /// Open, non-deferred streams currently without a head. Cached so the
+    /// per-record poll fast path is one counter check, not a k-wide scan.
+    needy: usize,
+    /// Per-stream clamp floor: the highest (clamped) timestamp offered.
+    stream_high: Vec<Micros>,
     /// Min-heap over `(head timestamp, stream index)`; ties break toward the
     /// lower stream index, matching a stable sort of the concatenation.
     heap: BinaryHeap<Reverse<(Micros, usize)>>,
     /// Live dedup clusters: transmission identity → latest member timestamp.
     clusters: HashMap<TransmissionKey, Micros>,
     merged_since_sweep: usize,
+    /// Highest timestamp emitted (or suppressed as a duplicate) so far.
+    watermark: Micros,
+    received: Vec<u64>,
+    clamped: Vec<u64>,
+    late_dropped: Vec<u64>,
     contributed: Vec<u64>,
 }
 
-impl<I: Iterator<Item = FrameRecord>> MergeStream<I> {
-    /// Builds a merge over per-sniffer streams. Each stream must yield
-    /// records in non-decreasing timestamp order.
-    pub fn new(mut streams: Vec<I>) -> MergeStream<I> {
-        let mut heads: Vec<Option<FrameRecord>> = Vec::with_capacity(streams.len());
-        let mut heap = BinaryHeap::with_capacity(streams.len());
-        for (idx, s) in streams.iter_mut().enumerate() {
-            let head = s.next();
-            if let Some(r) = &head {
-                heap.push(Reverse((r.timestamp_us, idx)));
-            }
-            heads.push(head);
-        }
-        let contributed = vec![0; heads.len()];
-        MergeStream {
-            streams,
-            heads,
-            heap,
+impl OnlineMerge {
+    /// A merge over `k` streams, all initially empty and open.
+    pub fn new(k: usize) -> OnlineMerge {
+        OnlineMerge {
+            heads: vec![None; k],
+            ended: vec![false; k],
+            deferred: vec![false; k],
+            needy: k,
+            stream_high: vec![0; k],
+            heap: BinaryHeap::with_capacity(k),
             clusters: HashMap::new(),
             merged_since_sweep: 0,
-            contributed,
+            watermark: 0,
+            received: vec![0; k],
+            clamped: vec![0; k],
+            late_dropped: vec![0; k],
+            contributed: vec![0; k],
         }
     }
 
-    /// How many merged records each input stream was the first to capture,
-    /// indexed by input order. Complete once the stream is exhausted.
-    pub fn contributed(&self) -> &[u64] {
-        &self.contributed
+    /// True when stream `idx` is open and has no buffered head — the only
+    /// state in which [`OnlineMerge::offer`] is accepted.
+    pub fn needs(&self, idx: usize) -> bool {
+        !self.ended[idx] && self.heads[idx].is_none()
     }
 
-    #[cfg(test)]
-    fn live_clusters(&self) -> usize {
-        self.clusters.len()
-    }
-
-    /// Pops the globally-earliest pending record and refills that stream's
-    /// head. `None` once every stream is exhausted.
-    fn next_in_order(&mut self) -> Option<(FrameRecord, usize)> {
-        let Reverse((_, idx)) = self.heap.pop()?;
-        let record = self.heads[idx].take().expect("heap entry implies a head");
-        if let Some(next) = self.streams[idx].next() {
-            debug_assert!(
-                next.timestamp_us >= record.timestamp_us,
-                "input streams must be time-ordered"
-            );
-            self.heap.push(Reverse((next.timestamp_us, idx)));
-            self.heads[idx] = Some(next);
+    /// Feeds stream `idx`'s next record. The caller must only offer when
+    /// [`OnlineMerge::needs`] is true. Regressive timestamps are clamped to
+    /// the stream's high-water mark (and counted).
+    pub fn offer(&mut self, idx: usize, mut record: FrameRecord) {
+        assert!(self.needs(idx), "offer to a stream that is not waiting");
+        if self.deferred[idx] {
+            // The stream produced again: it rejoins the merge (and was not
+            // counted needy while deferred).
+            self.deferred[idx] = false;
+        } else {
+            self.needy -= 1;
         }
-        Some((record, idx))
+        self.received[idx] += 1;
+        if record.timestamp_us < self.stream_high[idx] {
+            record.timestamp_us = self.stream_high[idx];
+            self.clamped[idx] += 1;
+        } else {
+            self.stream_high[idx] = record.timestamp_us;
+        }
+        self.heap.push(Reverse((record.timestamp_us, idx)));
+        self.heads[idx] = Some(record);
     }
-}
 
-impl<I: Iterator<Item = FrameRecord>> Iterator for MergeStream<I> {
-    type Item = FrameRecord;
+    /// Marks stream `idx` complete. Idempotent; a still-buffered head is
+    /// merged normally.
+    pub fn end(&mut self, idx: usize) {
+        if !self.ended[idx] {
+            if self.heads[idx].is_none() && !self.deferred[idx] {
+                self.needy -= 1;
+            }
+            self.ended[idx] = true;
+            self.deferred[idx] = false;
+        }
+    }
 
-    fn next(&mut self) -> Option<FrameRecord> {
+    /// Temporarily excludes an open, empty stream from blocking the merge —
+    /// the caller's wall-clock stall policy for live sources (the trace-time
+    /// skew horizon cannot advance past a stream whose last record sits at
+    /// the merge frontier, because the candidate timestamp is pinned there
+    /// too). The stream rejoins automatically on its next
+    /// [`OnlineMerge::offer`]; records below the watermark by then are
+    /// dropped and counted as late. Returns whether the stream was deferred
+    /// (no-op unless it currently blocks the merge).
+    pub fn defer(&mut self, idx: usize) -> bool {
+        if self.needs(idx) && !self.deferred[idx] {
+            self.deferred[idx] = true;
+            self.needy -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True while stream `idx` is deferred (stalled out of the merge).
+    pub fn is_deferred(&self, idx: usize) -> bool {
+        self.deferred[idx]
+    }
+
+    /// Pulls the next merged record. With `horizon: None` this blocks (via
+    /// [`MergePoll::Need`]) on every open stream; with `Some(h)` an open,
+    /// empty stream is skipped once the candidate record is more than `h` µs
+    /// past that stream's high-water mark.
+    pub fn poll(&mut self, horizon: Option<Micros>) -> MergePoll {
         loop {
-            let (record, idx) = self.next_in_order()?;
+            if self.needy > 0 {
+                let candidate = self.heap.peek().map(|&Reverse((ts, _))| ts);
+                for idx in 0..self.heads.len() {
+                    if !self.needs(idx) || self.deferred[idx] {
+                        continue;
+                    }
+                    let can_skip = match (horizon, candidate) {
+                        (Some(h), Some(ts)) => ts > self.stream_high[idx].saturating_add(h),
+                        _ => false,
+                    };
+                    if !can_skip {
+                        return MergePoll::Need(idx);
+                    }
+                }
+            }
+            let Some(Reverse((_, idx))) = self.heap.pop() else {
+                return MergePoll::Done;
+            };
+            let record = self.heads[idx].take().expect("heap entry implies a head");
+            // A stream with a buffered head is never deferred (`defer`
+            // no-ops then), so popping makes it plain needy if still open.
+            if !self.ended[idx] {
+                self.needy += 1;
+            }
+            // A stream skipped over by the horizon can deliver records below
+            // the emitted watermark; dropping them keeps output timestamps
+            // non-decreasing for the per-second accumulator.
+            if record.timestamp_us < self.watermark {
+                self.late_dropped[idx] += 1;
+                continue;
+            }
+            self.watermark = record.timestamp_us;
             self.merged_since_sweep += 1;
             if self.merged_since_sweep >= CLUSTER_SWEEP_INTERVAL {
                 self.merged_since_sweep = 0;
@@ -227,8 +316,117 @@ impl<I: Iterator<Item = FrameRecord>> Iterator for MergeStream<I> {
                 Some(last) if record.timestamp_us.saturating_sub(last) <= DEDUP_WINDOW_US => {}
                 _ => {
                     self.contributed[idx] += 1;
-                    return Some(record);
+                    return MergePoll::Record(record);
                 }
+            }
+        }
+    }
+
+    /// Highest timestamp merged so far (emitted or suppressed).
+    pub fn watermark(&self) -> Micros {
+        self.watermark
+    }
+
+    /// How far each stream's newest input lags the merge watermark, in µs.
+    /// Zero for a stream that is at (or ahead of) the merge frontier.
+    pub fn lag_us(&self, idx: usize) -> Micros {
+        self.watermark.saturating_sub(self.stream_high[idx])
+    }
+
+    /// Records accepted from each stream, indexed by input order.
+    pub fn received(&self) -> &[u64] {
+        &self.received
+    }
+
+    /// Regressive timestamps clamped per stream, indexed by input order.
+    pub fn clamped(&self) -> &[u64] {
+        &self.clamped
+    }
+
+    /// Records dropped per stream for arriving below the watermark after a
+    /// horizon skip, indexed by input order.
+    pub fn late_dropped(&self) -> &[u64] {
+        &self.late_dropped
+    }
+
+    /// How many merged records each input stream was the first to capture,
+    /// indexed by input order.
+    pub fn contributed(&self) -> &[u64] {
+        &self.contributed
+    }
+
+    #[cfg(test)]
+    fn live_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// Online k-way merge of per-sniffer record streams with streaming
+/// deduplication — [`merge_traces`] without materializing anything.
+///
+/// A pull-based driver over [`OnlineMerge`]: each [`MergePoll::Need`] is
+/// answered by advancing that input iterator, so memory stays O(k + live
+/// dedup clusters) regardless of trace length. Deduplication applies the
+/// same [`DEDUP_WINDOW_US`] cluster logic as the batch path, but keyed by a
+/// hash of the transmission identity instead of a linear scan: the batch
+/// scan can never hold two live clusters with the same identity (a record
+/// matching a live cluster always extends it rather than opening a second
+/// one), so "the latest member of the live cluster for this identity" is
+/// exactly one map lookup. For time-ordered inputs (as captures are) the
+/// output is record-for-record identical to `merge_traces(traces)` — the
+/// heap's `(timestamp, stream index)` ordering reproduces a stable sort of
+/// the concatenated traces. Inputs with in-stream clock regressions are
+/// normalized by the per-stream clamp rather than rejected.
+///
+/// ```
+/// use congestion::merge::MergeStream;
+/// # let (a, b): (Vec<wifi_frames::FrameRecord>, Vec<wifi_frames::FrameRecord>) =
+/// #     (Vec::new(), Vec::new());
+/// let merged = MergeStream::new(vec![a.into_iter(), b.into_iter()]);
+/// for record in merged {
+///     // feed an accumulator without ever holding the full trace
+///     let _ = record.timestamp_us;
+/// }
+/// ```
+pub struct MergeStream<I> {
+    streams: Vec<I>,
+    core: OnlineMerge,
+}
+
+impl<I: Iterator<Item = FrameRecord>> MergeStream<I> {
+    /// Builds a merge over per-sniffer streams. Each stream should yield
+    /// records in non-decreasing timestamp order; records whose timestamp
+    /// steps backwards within a stream are clamped to that stream's
+    /// high-water mark (see [`OnlineMerge`]).
+    pub fn new(streams: Vec<I>) -> MergeStream<I> {
+        let core = OnlineMerge::new(streams.len());
+        MergeStream { streams, core }
+    }
+
+    /// How many merged records each input stream was the first to capture,
+    /// indexed by input order. Complete once the stream is exhausted.
+    pub fn contributed(&self) -> &[u64] {
+        self.core.contributed()
+    }
+
+    #[cfg(test)]
+    fn live_clusters(&self) -> usize {
+        self.core.live_clusters()
+    }
+}
+
+impl<I: Iterator<Item = FrameRecord>> Iterator for MergeStream<I> {
+    type Item = FrameRecord;
+
+    fn next(&mut self) -> Option<FrameRecord> {
+        loop {
+            match self.core.poll(None) {
+                MergePoll::Record(record) => return Some(record),
+                MergePoll::Need(idx) => match self.streams[idx].next() {
+                    Some(record) => self.core.offer(idx, record),
+                    None => self.core.end(idx),
+                },
+                MergePoll::Done => return None,
             }
         }
     }
@@ -499,6 +697,119 @@ mod tests {
             "dedup map leaked: {} live clusters",
             s.live_clusters()
         );
+    }
+
+    #[test]
+    fn regressive_clock_cannot_resurrect_a_suppressed_duplicate() {
+        // One sniffer's clock steps backwards mid-stream: 1050 → 100. The
+        // unclamped dedup would move the cluster anchor back to 100, letting
+        // the true duplicate at 1080 re-emit as a false new frame.
+        let a = vec![rec(1000, 1, 7)];
+        let b = vec![rec(1050, 1, 7), rec(100, 1, 7), rec(1080, 1, 7)];
+        let merged = stream_merge(&[&a, &b]);
+        assert_eq!(
+            merged.len(),
+            1,
+            "regression must not resurrect duplicates: got {merged:?}"
+        );
+        assert_eq!(merged[0].timestamp_us, 1000, "earliest capture wins");
+    }
+
+    #[test]
+    fn regressive_timestamps_are_clamped_to_nondecreasing_output() {
+        // Distinct frames with a clock step backwards: output order and
+        // timestamps must stay non-decreasing (the accumulator contract).
+        let b = vec![rec(5000, 1, 1), rec(200, 1, 2), rec(5100, 1, 3)];
+        let merged = stream_merge(&[&b]);
+        assert_eq!(merged.len(), 3);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        assert_eq!(
+            merged[1].timestamp_us, 5000,
+            "regressive ts clamps to the stream high"
+        );
+    }
+
+    #[test]
+    fn online_merge_blocks_without_horizon_and_skips_with_one() {
+        let mut m = OnlineMerge::new(2);
+        assert!(matches!(m.poll(None), MergePoll::Need(0)));
+        m.offer(0, rec(10_000, 1, 1));
+        // Stream 1 has nothing: no horizon → merge must wait on it.
+        assert!(matches!(m.poll(None), MergePoll::Need(1)));
+        // Candidate (10 000) is within the horizon of stream 1's high (0):
+        // still waiting.
+        assert!(matches!(m.poll(Some(50_000)), MergePoll::Need(1)));
+        // Past the horizon: the merge advances without stream 1.
+        assert_eq!(m.poll(Some(5_000)), MergePoll::Record(rec(10_000, 1, 1)));
+        assert_eq!(m.lag_us(1), 10_000);
+        // The skipped stream now delivers a record below the watermark: it
+        // is dropped (counted), not emitted out of order.
+        m.offer(1, rec(2_000, 2, 2));
+        m.end(0);
+        m.end(1);
+        assert_eq!(m.poll(Some(5_000)), MergePoll::Done);
+        assert_eq!(m.late_dropped(), &[0, 1]);
+        assert_eq!(m.received(), &[1, 1]);
+        assert_eq!(m.contributed(), &[1, 0]);
+    }
+
+    #[test]
+    fn online_merge_end_with_buffered_head_still_merges_it() {
+        let mut m = OnlineMerge::new(1);
+        m.offer(0, rec(1000, 1, 1));
+        m.end(0);
+        assert_eq!(m.poll(None), MergePoll::Record(rec(1000, 1, 1)));
+        assert_eq!(m.poll(None), MergePoll::Done);
+        assert_eq!(m.watermark(), 1000);
+    }
+
+    #[test]
+    fn deferred_stream_stops_blocking_and_rejoins_on_offer() {
+        let mut m = OnlineMerge::new(2);
+        m.offer(0, rec(1000, 1, 1));
+        // Stream 1 has nothing and blocks the merge…
+        assert_eq!(m.poll(None), MergePoll::Need(1));
+        // …until the caller's stall policy defers it.
+        assert!(m.defer(1));
+        assert!(m.is_deferred(1));
+        assert_eq!(m.poll(None), MergePoll::Record(rec(1000, 1, 1)));
+        assert_eq!(m.poll(None), MergePoll::Need(0));
+        m.offer(0, rec(2000, 1, 2));
+        assert_eq!(m.poll(None), MergePoll::Record(rec(2000, 1, 2)));
+
+        // The stalled stream resumes: it rejoins on its next offer. Its
+        // record from before the watermark is dropped and counted late; the
+        // one after merges normally.
+        m.offer(1, rec(500, 2, 1));
+        assert!(!m.is_deferred(1));
+        m.end(0);
+        assert_eq!(m.poll(None), MergePoll::Need(1));
+        m.offer(1, rec(3000, 2, 2));
+        assert_eq!(m.poll(None), MergePoll::Record(rec(3000, 2, 2)));
+        m.end(1);
+        assert_eq!(m.poll(None), MergePoll::Done);
+        assert_eq!(m.late_dropped(), &[0, 1]);
+        assert_eq!(m.contributed(), &[2, 1]);
+    }
+
+    #[test]
+    fn defer_noops_on_streams_that_do_not_block() {
+        let mut m = OnlineMerge::new(2);
+        m.offer(0, rec(1000, 1, 1));
+        assert!(!m.defer(0), "a stream with a buffered head never defers");
+        m.end(1);
+        assert!(!m.defer(1), "an ended stream never defers");
+        // All open streams deferred + nothing buffered reports Done, but a
+        // deferred stream may still rejoin afterwards.
+        assert_eq!(m.poll(None), MergePoll::Record(rec(1000, 1, 1)));
+        assert!(m.defer(0));
+        assert_eq!(m.poll(None), MergePoll::Done);
+        m.offer(0, rec(2000, 1, 2));
+        assert_eq!(m.poll(None), MergePoll::Record(rec(2000, 1, 2)));
+        m.end(0);
+        assert_eq!(m.poll(None), MergePoll::Done);
     }
 
     #[test]

@@ -398,4 +398,58 @@ proptest! {
             MergeStream::new(vec![base.iter().copied()]).collect();
         prop_assert_eq!(streamed, batch);
     }
+
+    #[test]
+    fn skewed_clock_regression_is_clamped_not_resurrected(
+        exchanges in proptest::collection::vec(arb_exchange(), 1..80),
+        masks in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..40), 2..5),
+        skews in proptest::collection::vec(0u64..2_000, 5),
+        // Per-stream clock faults: at `at` (an index into the view), jump the
+        // clock backwards by `back_us` for every subsequent record.
+        faults in proptest::collection::vec((any::<prop::sample::Index>(), 0u64..5_000_000), 5),
+    ) {
+        let base = build_trace(&exchanges);
+        let views: Vec<Vec<FrameRecord>> = masks
+            .iter()
+            .zip(&skews)
+            .zip(&faults)
+            .map(|((mask, &skew), (at, back_us))| {
+                let mut v = sniffer_view(&base, mask, skew);
+                if !v.is_empty() {
+                    let at = at.index(v.len());
+                    for r in &mut v[at..] {
+                        r.timestamp_us = r.timestamp_us.saturating_sub(*back_us);
+                    }
+                }
+                v
+            })
+            .collect();
+        let streamed: Vec<FrameRecord> =
+            MergeStream::new(views.iter().map(|v| v.iter().copied()).collect()).collect();
+        // Output must stay non-decreasing despite in-stream regressions …
+        prop_assert!(
+            streamed.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+            "merged output went back in time"
+        );
+        // … and must equal the batch merge of the clamp-normalized views:
+        // clamping each stream to its running maximum is exactly the
+        // normalization `OnlineMerge::offer` applies, and the normalized
+        // views are time-ordered, where batch equivalence is the contract.
+        let clamped: Vec<Vec<FrameRecord>> = views
+            .iter()
+            .map(|v| {
+                let mut high = 0u64;
+                v.iter()
+                    .map(|r| {
+                        let mut r = *r;
+                        high = high.max(r.timestamp_us);
+                        r.timestamp_us = high;
+                        r
+                    })
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[FrameRecord]> = clamped.iter().map(|v| v.as_slice()).collect();
+        prop_assert_eq!(streamed, merge_traces(&slices));
+    }
 }

@@ -39,7 +39,7 @@ pub use format::{LinkType, PacketRef, PcapError, PcapPacket, MAGIC_BE, MAGIC_LE,
 pub use lossy::{is_pcapng, read_pcap_lossy, read_pcapng_lossy, IngestReport};
 pub use pcapng::{NgPacket, NgPacketRef, PcapNgReader, PcapNgWriter};
 pub use reader::PcapReader;
-pub use stream::{ChunkedSource, LossyPcapNgStream, LossyPcapStream};
+pub use stream::{ChunkedSource, FillStatus, LossyPcapNgStream, LossyPcapStream, Polled};
 pub use writer::PcapWriter;
 
 use std::fs::File;

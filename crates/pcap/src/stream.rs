@@ -30,6 +30,21 @@
 //! [`IngestReport`] counter — for *any* chunking of the underlying reads.
 //! The tests at the bottom enforce this by differencing the two paths over
 //! clean and chaos-corrupted captures at several read granularities.
+//!
+//! # Live (non-blocking) sources
+//!
+//! A tailed live capture cannot satisfy the invariant: the last bytes of a
+//! growing file are a partial window with no end-of-stream in sight. Sources
+//! that return [`std::io::ErrorKind::WouldBlock`] surface this as
+//! [`FillStatus::Partial`], and the [`LossyPcapStream::poll_packet`] /
+//! [`LossyPcapNgStream::poll_packet`] entry points then follow one rule: on
+//! a partial window, either act on a **fully-validated in-window record**
+//! (a decision unchanged by any extension of the window, so the batch
+//! engine over the final bytes makes it identically) or change nothing and
+//! report [`Polled::Pending`]. Resynchronization after corruption always
+//! waits for a full (or end-of-stream) window. Consequently a poll-driven
+//! decode of a growing file converges, byte-for-byte in records and
+//! accounting, to the batch decode of the final file contents.
 
 use crate::format::{
     LinkType, PacketRef, PcapError, GLOBAL_HEADER_LEN, MAGIC_BE, MAGIC_LE, MAGIC_NS_BE,
@@ -58,11 +73,36 @@ const REFILL_TARGET: usize = 2 * WINDOW_TARGET;
 /// Granularity of reads from the underlying source.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// What a [`ChunkedSource::fill`] achieved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FillStatus {
+    /// The window invariant holds: at least [`WINDOW_TARGET`] bytes, or
+    /// end-of-stream with the window the exact remainder.
+    Full,
+    /// The source would block: the window is a prefix (possibly empty) of
+    /// the eventual remainder and must not drive structural decisions.
+    Partial,
+}
+
+/// Outcome of a single non-blocking [`LossyPcapStream::poll_packet`] /
+/// [`LossyPcapNgStream::poll_packet`].
+#[derive(Debug)]
+pub enum Polled<T> {
+    /// The next surviving record.
+    Packet(T),
+    /// The source would block before enough bytes were visible to decide;
+    /// nothing changed — poll again once the source may have more bytes.
+    Pending,
+    /// True end of stream.
+    End,
+}
+
 /// A bounded rolling byte window over any [`Read`] source.
 ///
-/// Invariant: after [`ChunkedSource::fill`] returns, either the window holds
-/// at least [`WINDOW_TARGET`] bytes, or [`ChunkedSource::eof`] is true and
-/// the window is exactly the unconsumed remainder of the stream.
+/// Invariant: after [`ChunkedSource::fill`] returns [`FillStatus::Full`],
+/// either the window holds at least [`WINDOW_TARGET`] bytes, or
+/// [`ChunkedSource::eof`] is true and the window is exactly the unconsumed
+/// remainder of the stream.
 pub struct ChunkedSource<R> {
     inner: R,
     buf: Vec<u8>,
@@ -88,9 +128,14 @@ impl<R: Read> ChunkedSource<R> {
     /// Tops the window up to at least [`WINDOW_TARGET`] bytes (reading ahead
     /// to twice that), unless the source is exhausted first. Cheap no-op when
     /// the window is already full enough.
-    pub fn fill(&mut self) -> Result<(), PcapError> {
+    ///
+    /// A source that returns [`std::io::ErrorKind::WouldBlock`] before the
+    /// target is met yields [`FillStatus::Partial`]: the window then holds a
+    /// prefix of the eventual remainder and the invariant does **not** hold.
+    /// Blocking sources never produce `Partial`.
+    pub fn fill(&mut self) -> Result<FillStatus, PcapError> {
         if self.eof || self.buf.len() - self.pos >= WINDOW_TARGET {
-            return Ok(());
+            return Ok(FillStatus::Full);
         }
         if self.pos > 0 {
             self.buf.drain(..self.pos);
@@ -107,10 +152,17 @@ impl<R: Read> ChunkedSource<R> {
                 }
                 Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(if self.buf.len() >= WINDOW_TARGET {
+                        FillStatus::Full
+                    } else {
+                        FillStatus::Partial
+                    });
+                }
                 Err(e) => return Err(PcapError::Io(e)),
             }
         }
-        Ok(())
+        Ok(FillStatus::Full)
     }
 
     /// The bytes currently visible at the stream position.
@@ -266,15 +318,26 @@ pub struct LossyPcapStream<R> {
     report: IngestReport,
     last_sec: Option<u64>,
     just_resynced: bool,
+    /// Mid-resync-scan across a [`Polled::Pending`] return: re-entry resumes
+    /// the scan instead of re-counting the resync entry.
+    resyncing: bool,
     pending: usize,
 }
 
 impl<R: Read> LossyPcapStream<R> {
     /// Wraps a byte stream and validates the global header — the one part
-    /// of the file without which there is nothing to recover.
+    /// of the file without which there is nothing to recover. On a live
+    /// (`WouldBlock`) source this waits until the header bytes arrive or the
+    /// source ends.
     pub fn new(inner: R) -> Result<LossyPcapStream<R>, PcapError> {
         let mut src = ChunkedSource::new(inner);
-        src.fill()?;
+        loop {
+            let status = src.fill()?;
+            if status == FillStatus::Full || src.window().len() >= GLOBAL_HEADER_LEN {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         let header = parse_global_header(src.window())?;
         src.consume(GLOBAL_HEADER_LEN);
         Ok(LossyPcapStream {
@@ -283,6 +346,7 @@ impl<R: Read> LossyPcapStream<R> {
             report: IngestReport::default(),
             last_sec: None,
             just_resynced: false,
+            resyncing: false,
             pending: 0,
         })
     }
@@ -300,25 +364,74 @@ impl<R: Read> LossyPcapStream<R> {
     /// The next surviving record; `Ok(None)` at end of stream. The returned
     /// [`PacketRef`] borrows the internal window and is invalidated by the
     /// next call.
+    ///
+    /// Blocking-source convenience over [`LossyPcapStream::poll_packet`]: a
+    /// non-blocking source that reports [`Polled::Pending`] surfaces here as
+    /// a [`std::io::ErrorKind::WouldBlock`] error.
     pub fn next_packet(&mut self) -> Result<Option<PacketRef<'_>>, PcapError> {
+        match self.poll_packet()? {
+            Polled::Packet(p) => Ok(Some(p)),
+            Polled::End => Ok(None),
+            Polled::Pending => Err(PcapError::Io(std::io::ErrorKind::WouldBlock.into())),
+        }
+    }
+
+    /// Non-blocking decode step; see the module docs on live sources. On
+    /// [`Polled::Pending`] no observable state (position, accounting)
+    /// changes, so any interleaving of polls converges to the batch decode
+    /// of the final bytes.
+    pub fn poll_packet(&mut self) -> Result<Polled<PacketRef<'_>>, PcapError> {
         self.src.consume(self.pending);
         self.pending = 0;
         let (timestamp_us, orig_len, end) = loop {
-            self.src.fill()?;
+            if self.resyncing {
+                loop {
+                    if self.src.fill()? == FillStatus::Partial {
+                        return Ok(Polled::Pending);
+                    }
+                    let w = self.src.window();
+                    if w.len() < RECORD_HEADER_LEN {
+                        // Trailing sliver too small for a record: the
+                        // scan discards it without a truncated-tail
+                        // flag, same as the batch engine.
+                        self.report.bytes_skipped += w.len() as u64;
+                        let n = w.len();
+                        self.src.consume(n);
+                        return Ok(Polled::End);
+                    }
+                    if plausible_record(w, &self.header, self.last_sec) {
+                        break;
+                    }
+                    self.src.consume(1);
+                    self.report.bytes_skipped += 1;
+                }
+                self.resyncing = false;
+                self.just_resynced = true;
+            }
+            let status = self.src.fill()?;
             let len = self.src.window().len();
             if len == 0 {
-                return Ok(None);
+                return Ok(match status {
+                    FillStatus::Full => Polled::End,
+                    FillStatus::Partial => Polled::Pending,
+                });
             }
             if len < RECORD_HEADER_LEN {
+                if status == FillStatus::Partial {
+                    return Ok(Polled::Pending);
+                }
                 // The window invariant makes this end-of-stream by
                 // construction: too few bytes for a record header.
                 self.report.truncated_tail = true;
                 self.report.bytes_skipped += len as u64;
                 self.src.consume(len);
-                return Ok(None);
+                return Ok(Polled::End);
             }
             match record_head(self.src.window(), &self.header) {
                 Ok(rec) => {
+                    // In-window sane record: the batch engine over any
+                    // extension of this window decodes it identically, so
+                    // emitting is safe even on a partial window.
                     self.last_sec = Some(rec.0 / 1_000_000);
                     if self.just_resynced {
                         self.report.records_recovered += 1;
@@ -328,6 +441,12 @@ impl<R: Read> LossyPcapStream<R> {
                     }
                     break rec;
                 }
+                Err(_) if status == FillStatus::Partial => {
+                    // A body not yet arrived looks like PastEof, and even a
+                    // bad header must not start a resync before the scan's
+                    // full-window lookahead is available.
+                    return Ok(Polled::Pending);
+                }
                 Err(failure) => {
                     if matches!(failure, RecordFailure::PastEof) {
                         self.report.truncated_tail = true;
@@ -336,31 +455,13 @@ impl<R: Read> LossyPcapStream<R> {
                     self.report.blocks_skipped += 1;
                     self.src.consume(1);
                     self.report.bytes_skipped += 1;
-                    loop {
-                        self.src.fill()?;
-                        let w = self.src.window();
-                        if w.len() < RECORD_HEADER_LEN {
-                            // Trailing sliver too small for a record: the
-                            // scan discards it without a truncated-tail
-                            // flag, same as the batch engine.
-                            self.report.bytes_skipped += w.len() as u64;
-                            let n = w.len();
-                            self.src.consume(n);
-                            return Ok(None);
-                        }
-                        if plausible_record(w, &self.header, self.last_sec) {
-                            break;
-                        }
-                        self.src.consume(1);
-                        self.report.bytes_skipped += 1;
-                    }
-                    self.just_resynced = true;
+                    self.resyncing = true;
                 }
             }
         };
         self.pending = end;
         let data = &self.src.window()[RECORD_HEADER_LEN..end];
-        Ok(Some(PacketRef {
+        Ok(Polled::Packet(PacketRef {
             timestamp_us,
             orig_len,
             data,
@@ -440,6 +541,9 @@ pub struct LossyPcapNgStream<R> {
     started: bool,
     interfaces: Vec<Option<Interface>>,
     just_resynced: bool,
+    /// Mid-resync-scan across a [`Polled::Pending`] return; see
+    /// [`LossyPcapStream`].
+    resyncing: bool,
     pending: usize,
 }
 
@@ -454,6 +558,7 @@ impl<R: Read> LossyPcapNgStream<R> {
             started: false,
             interfaces: Vec::new(),
             just_resynced: false,
+            resyncing: false,
             pending: 0,
         }
     }
@@ -466,20 +571,71 @@ impl<R: Read> LossyPcapNgStream<R> {
     /// The next surviving packet; `Ok(None)` at end of stream. The returned
     /// [`NgPacketRef`] borrows the internal window and is invalidated by the
     /// next call.
+    ///
+    /// Blocking-source convenience over [`LossyPcapNgStream::poll_packet`]:
+    /// a non-blocking source that reports [`Polled::Pending`] surfaces here
+    /// as a [`std::io::ErrorKind::WouldBlock`] error.
     pub fn next_packet(&mut self) -> Result<Option<NgPacketRef<'_>>, PcapError> {
+        match self.poll_packet()? {
+            Polled::Packet(p) => Ok(Some(p)),
+            Polled::End => Ok(None),
+            Polled::Pending => Err(PcapError::Io(std::io::ErrorKind::WouldBlock.into())),
+        }
+    }
+
+    /// Non-blocking decode step; see the module docs on live sources. On
+    /// [`Polled::Pending`] no observable state (position, accounting)
+    /// changes, so any interleaving of polls converges to the batch decode
+    /// of the final bytes.
+    pub fn poll_packet(&mut self) -> Result<Polled<NgPacketRef<'_>>, PcapError> {
         self.src.consume(self.pending);
         self.pending = 0;
         let (kind, total_len) = loop {
-            self.src.fill()?;
+            if self.resyncing {
+                loop {
+                    if self.src.fill()? == FillStatus::Partial {
+                        return Ok(Polled::Pending);
+                    }
+                    let w = self.src.window();
+                    if w.len() < 12 {
+                        self.report.bytes_skipped += w.len() as u64;
+                        let n = w.len();
+                        self.src.consume(n);
+                        return Ok(Polled::End);
+                    }
+                    if ng_shb_sane(w).is_some() {
+                        break;
+                    }
+                    if self.started {
+                        let block_type = u32_end(self.big_endian, w, 0);
+                        if matches!(block_type, BT_IDB | BT_EPB | BT_SPB)
+                            && ng_block_sane(w, self.big_endian).is_some()
+                        {
+                            break;
+                        }
+                    }
+                    self.src.consume(1);
+                    self.report.bytes_skipped += 1;
+                }
+                self.resyncing = false;
+                self.just_resynced = true;
+            }
+            let status = self.src.fill()?;
             let len = self.src.window().len();
             if len == 0 {
-                return Ok(None);
+                return Ok(match status {
+                    FillStatus::Full => Polled::End,
+                    FillStatus::Partial => Polled::Pending,
+                });
             }
             if len < 12 {
+                if status == FillStatus::Partial {
+                    return Ok(Polled::Pending);
+                }
                 self.report.truncated_tail = true;
                 self.report.bytes_skipped += len as u64;
                 self.src.consume(len);
-                return Ok(None);
+                return Ok(Polled::End);
             }
             // SHB first: its type is identifiable before endianness is known.
             if let Some((be, shb_len)) = ng_shb_sane(self.src.window()) {
@@ -540,36 +696,19 @@ impl<R: Read> LossyPcapNgStream<R> {
                         _ => self.src.consume(total_len), // unknown: skipped by length
                     }
                 }
+                None if status == FillStatus::Partial => {
+                    // The head may be a block whose tail has not arrived
+                    // yet (and a resync needs full-window lookahead): wait.
+                    return Ok(Polled::Pending);
+                }
                 None => {
-                    // Resync: scan for the next self-consistent known block.
+                    // Resync: scan for the next self-consistent known block
+                    // (the scan itself runs at the top of the outer loop).
                     self.report.resyncs += 1;
                     self.report.blocks_skipped += 1;
                     self.src.consume(1);
                     self.report.bytes_skipped += 1;
-                    loop {
-                        self.src.fill()?;
-                        let w = self.src.window();
-                        if w.len() < 12 {
-                            self.report.bytes_skipped += w.len() as u64;
-                            let n = w.len();
-                            self.src.consume(n);
-                            return Ok(None);
-                        }
-                        if ng_shb_sane(w).is_some() {
-                            break;
-                        }
-                        if self.started {
-                            let block_type = u32_end(self.big_endian, w, 0);
-                            if matches!(block_type, BT_IDB | BT_EPB | BT_SPB)
-                                && ng_block_sane(w, self.big_endian).is_some()
-                            {
-                                break;
-                            }
-                        }
-                        self.src.consume(1);
-                        self.report.bytes_skipped += 1;
-                    }
-                    self.just_resynced = true;
+                    self.resyncing = true;
                 }
             }
         };
@@ -580,7 +719,7 @@ impl<R: Read> LossyPcapNgStream<R> {
             NgBlockKind::Spb => parse_spb_ref(self.big_endian, body, &self.interfaces),
         }
         .expect("block decoded in the scan loop");
-        Ok(Some(pkt))
+        Ok(Polled::Packet(pkt))
     }
 }
 
@@ -741,6 +880,160 @@ mod tests {
         let owned = p.to_owned();
         assert_eq!(owned.data, p.data);
         assert_eq!(s.link(), LinkType::Radiotap);
+    }
+
+    /// A reader that serves bytes in small slices with a `WouldBlock` error
+    /// interleaved before every successful read, imitating a tailed file
+    /// that grows while being polled.
+    struct BlockyReads<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        max: usize,
+        block_next: bool,
+    }
+
+    impl Read for BlockyReads<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.block_next && self.pos < self.bytes.len() {
+                self.block_next = false;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.block_next = true;
+            let n = buf.len().min(self.max).min(self.bytes.len() - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn poll_classic(bytes: &[u8], max: usize) -> (Vec<PcapPacket>, IngestReport) {
+        let src = BlockyReads {
+            bytes,
+            pos: 0,
+            max,
+            block_next: false,
+        };
+        let mut s = LossyPcapStream::new(src).unwrap();
+        let mut out = Vec::new();
+        loop {
+            match s.poll_packet().unwrap() {
+                Polled::Packet(p) => out.push(p.to_owned()),
+                Polled::Pending => continue, // next poll sees more bytes
+                Polled::End => break,
+            }
+        }
+        (out, *s.report())
+    }
+
+    fn poll_ng(bytes: &[u8], max: usize) -> (Vec<crate::NgPacket>, IngestReport) {
+        let src = BlockyReads {
+            bytes,
+            pos: 0,
+            max,
+            block_next: true,
+        };
+        let mut s = LossyPcapNgStream::new(src);
+        let mut out = Vec::new();
+        loop {
+            match s.poll_packet().unwrap() {
+                Polled::Packet(p) => out.push(p.to_owned()),
+                Polled::Pending => continue,
+                Polled::End => break,
+            }
+        }
+        (out, *s.report())
+    }
+
+    #[test]
+    fn classic_polling_converges_to_batch_on_clean_files() {
+        let buf = classic_file(60);
+        let batch = read_pcap_lossy(&buf).unwrap();
+        for max in [7, 64, 4096] {
+            let (pkts, report) = poll_classic(&buf, max);
+            assert_eq!(pkts, batch.packets, "granularity {max}");
+            assert_eq!(report, batch.report, "granularity {max}");
+        }
+    }
+
+    #[test]
+    fn ng_polling_converges_to_batch_on_clean_files() {
+        let buf = ng_file(60);
+        let batch = read_pcapng_lossy(&buf);
+        for max in [7, 64, 4096] {
+            let (pkts, report) = poll_ng(&buf, max);
+            assert_eq!(pkts, batch.packets, "granularity {max}");
+            assert_eq!(report, batch.report, "granularity {max}");
+        }
+    }
+
+    #[test]
+    fn classic_polling_converges_to_batch_under_chaos() {
+        for seed in 0..25u64 {
+            let mut buf = classic_file(30);
+            let mut rng = ChaosRng::new(seed);
+            let cfg = ChaosConfig {
+                bit_flips_per_kb: 4.0,
+                truncate: 0.3,
+                garbage_insert: 0.5,
+                length_blast: 0.5,
+            };
+            corrupt_bytes(&mut buf, GLOBAL_HEADER_LEN, &cfg, &mut rng);
+            let batch = read_pcap_lossy(&buf).unwrap();
+            for max in [13, 256] {
+                let (pkts, report) = poll_classic(&buf, max);
+                assert_eq!(pkts, batch.packets, "seed {seed} granularity {max}");
+                assert_eq!(report, batch.report, "seed {seed} granularity {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn ng_polling_converges_to_batch_under_chaos() {
+        for seed in 0..25u64 {
+            let mut buf = ng_file(30);
+            let mut rng = ChaosRng::new(seed ^ 0x5A5A);
+            let cfg = ChaosConfig {
+                bit_flips_per_kb: 4.0,
+                truncate: 0.3,
+                garbage_insert: 0.5,
+                length_blast: 0.5,
+            };
+            corrupt_bytes(&mut buf, 0, &cfg, &mut rng);
+            let batch = read_pcapng_lossy(&buf);
+            for max in [13, 256] {
+                let (pkts, report) = poll_ng(&buf, max);
+                assert_eq!(pkts, batch.packets, "seed {seed} granularity {max}");
+                assert_eq!(report, batch.report, "seed {seed} granularity {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_packet_surfaces_pending_as_would_block() {
+        let buf = classic_file(3);
+        // A source that blocks forever after the header: next_packet must
+        // fail with WouldBlock, not spin or misreport end-of-stream.
+        struct HeaderThenBlock<'a>(&'a [u8], usize);
+        impl Read for HeaderThenBlock<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= GLOBAL_HEADER_LEN {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = out.len().min(GLOBAL_HEADER_LEN - self.1);
+                out[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        let mut s = LossyPcapStream::new(HeaderThenBlock(&buf, 0)).unwrap();
+        match s.next_packet() {
+            Err(PcapError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock),
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        assert!(
+            s.report().is_clean(),
+            "a pending poll must not change accounting"
+        );
     }
 
     #[test]

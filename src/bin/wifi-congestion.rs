@@ -19,9 +19,9 @@
 //! the materializing path for A/B comparison.
 
 use congestion::ap_stats::{infer_aps, rank_aps, top_k_share};
-use congestion::persec::SecondStats;
-use congestion::{analyze, estimate_unrecorded, CongestionClassifier, UtilizationBins};
-use ietf80211_congestion::ingest::analyze_capture_streams;
+use congestion::{analyze, estimate_unrecorded, UtilizationBins};
+use ietf80211_congestion::ingest::{analyze_capture_streams, render_analysis};
+use ietf80211_congestion::serve::{run_serve, ServeConfig};
 use ietf80211_congestion::trace::{read_capture, read_capture_lossy, write_capture};
 use ietf_workloads::{ietf_day, ietf_plenary, load_ramp, Scenario, SessionScale};
 use std::path::{Path, PathBuf};
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("histogram") => with_trace(&args, cmd_histogram),
         Some("unrecorded") => with_trace(&args, cmd_unrecorded),
         Some("aps") => with_trace(&args, cmd_aps),
@@ -63,6 +64,15 @@ USAGE:
                                             channel and merged (streaming
                                             by default, --batch to
                                             materialize)
+  wifi-congestion serve      <trace.pcap>... [--socket PATH] [--poll-ms N]
+                             [--skew-horizon-us N|none] [--stall-ms N|none]
+                             [--heartbeat-s N] [--max-duration-s N]
+                                            resident service: tail live /
+                                            rotating captures, merge online,
+                                            classify congestion per second;
+                                            status JSON over the unix socket
+                                            (`status`, `seconds`,
+                                            `shutdown` commands)
   wifi-congestion histogram  <trace.pcap>   utilization histogram (Fig 5c)
   wifi-congestion unrecorded <trace.pcap>   capture-loss estimate (Eq. 1)
   wifi-congestion aps        <trace.pcap>   AP activity ranking (Fig 4a)
@@ -122,8 +132,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     } else {
         let out =
             analyze_capture_streams(&paths).map_err(|e| format!("cannot read {:?}: {e}", paths))?;
-        for (p, report) in paths.iter().zip(&out.reports) {
-            report_damage(&p.display().to_string(), report);
+        for (p, source) in paths.iter().zip(&out.sources) {
+            report_damage(&p.display().to_string(), &source.report);
+            if let Some(e) = &source.error {
+                eprintln!("error: cannot read {}: {e} (source degraded)", p.display());
+            }
         }
         if paths.len() > 1 {
             eprintln!(
@@ -136,57 +149,110 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if stats.is_empty() {
         return Err("no parseable 802.11 records in the input".to_string());
     }
-    print_analysis(&stats, frames)
+    print!("{}", render_analysis(&stats, frames));
+    Ok(())
 }
 
-fn print_analysis(stats: &[SecondStats], frames: u64) -> Result<(), String> {
-    let bins = UtilizationBins::build(stats);
-    let classifier = CongestionClassifier::from_measurements(&bins);
-    println!("frames: {frames}");
-    println!(
-        "span: {:.1} s ({} analyzed seconds)",
-        (stats.last().unwrap().second - stats.first().unwrap().second + 1) as f64,
-        stats.len()
-    );
-    let mut high = 0u64;
-    let mut moderate = 0u64;
-    let mut idle = 0u64;
-    for s in stats {
-        match classifier.classify(s.utilization_pct()) {
-            congestion::CongestionLevel::High => high += 1,
-            congestion::CongestionLevel::Moderate => moderate += 1,
-            congestion::CongestionLevel::Uncongested => idle += 1,
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut socket: Option<PathBuf> = None;
+    let mut poll_ms: Option<u64> = None;
+    let mut skew: Option<Option<u64>> = None;
+    let mut stall: Option<Option<u64>> = None;
+    let mut heartbeat_s: Option<u64> = None;
+    let mut max_duration_s: Option<u64> = None;
+    let mut i = 0;
+    let int = |args: &[String], i: usize, flag: &str| -> Result<u64, String> {
+        args.get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} must be an integer"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--socket needs a path")?,
+                ));
+                i += 2;
+            }
+            "--poll-ms" => {
+                poll_ms = Some(int(args, i, "--poll-ms")?);
+                i += 2;
+            }
+            "--skew-horizon-us" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--skew-horizon-us needs µs or `none`")?;
+                skew = Some(if v == "none" {
+                    None
+                } else {
+                    Some(
+                        v.parse()
+                            .map_err(|_| "--skew-horizon-us must be an integer or `none`")?,
+                    )
+                });
+                i += 2;
+            }
+            "--stall-ms" => {
+                let v = args.get(i + 1).ok_or("--stall-ms needs ms or `none`")?;
+                stall = Some(if v == "none" {
+                    None
+                } else {
+                    Some(
+                        v.parse()
+                            .map_err(|_| "--stall-ms must be an integer or `none`")?,
+                    )
+                });
+                i += 2;
+            }
+            "--heartbeat-s" => {
+                heartbeat_s = Some(int(args, i, "--heartbeat-s")?);
+                i += 2;
+            }
+            "--max-duration-s" => {
+                max_duration_s = Some(int(args, i, "--max-duration-s")?);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            p => {
+                paths.push(PathBuf::from(p));
+                i += 1;
+            }
         }
     }
-    println!(
-        "congestion: {idle} uncongested s, {moderate} moderate s, {high} high s \
-         (thresholds {:.0}% / {:.0}%)",
-        classifier.low_pct, classifier.high_pct
-    );
-    println!("utilization mode: {:?}%", bins.mode());
-    let total_thr: f64 = stats.iter().map(|s| s.throughput_mbps()).sum();
-    let total_good: f64 = stats.iter().map(|s| s.goodput_mbps()).sum();
-    let n = stats.len().max(1) as f64;
-    println!(
-        "mean throughput {:.2} Mbps, mean goodput {:.2} Mbps",
-        total_thr / n,
-        total_good / n
-    );
-    println!("\nsec\tutil%\tthr\tgood\tdata/s\tretr/s");
-    for s in stats.iter().take(30) {
-        println!(
-            "{}\t{:.1}\t{:.2}\t{:.2}\t{}\t{}",
-            s.second,
-            s.utilization_pct(),
-            s.throughput_mbps(),
-            s.goodput_mbps(),
-            s.data,
-            s.retries,
+    if paths.is_empty() {
+        return Err("missing <trace.pcap> argument".to_string());
+    }
+    let mut cfg = ServeConfig::new(paths);
+    cfg.socket = socket;
+    if let Some(v) = poll_ms {
+        cfg.poll_ms = v;
+    }
+    if let Some(v) = skew {
+        cfg.skew_horizon_us = v;
+    }
+    if let Some(v) = stall {
+        cfg.stall_timeout_ms = v;
+    }
+    if let Some(v) = heartbeat_s {
+        cfg.heartbeat_s = v;
+    }
+    cfg.max_duration_s = max_duration_s;
+    let out = run_serve(&cfg).map_err(|e| format!("serve failed: {e}"))?;
+    for (p, source) in cfg.paths.iter().zip(&out.sources) {
+        report_damage(&p.display().to_string(), &source.report);
+        if let Some(e) = &source.error {
+            eprintln!("error: cannot read {}: {e} (source degraded)", p.display());
+        }
+    }
+    if cfg.paths.len() > 1 {
+        eprintln!(
+            "merged {} records; first-capture split: {:?}",
+            out.merged_records, out.contributed
         );
     }
-    if stats.len() > 30 {
-        println!("… ({} more seconds)", stats.len() - 30);
-    }
+    print!("{}", render_analysis(&out.per_second, out.merged_records));
     Ok(())
 }
 

@@ -14,11 +14,18 @@
 //! the stream whose head record is globally earliest — no producer waits on
 //! another producer, and the consumer never waits on a stream that is not
 //! being produced.
+//!
+//! Fault isolation: one bad capture — unreadable, wrong link type, or even
+//! a decoder panic — degrades into that source's [`SourceOutcome::error`]
+//! while its siblings analyze to completion. Nothing in this pipeline can
+//! take the process down with it, which is what lets the resident
+//! [`crate::serve`] mode reuse the same building blocks.
 
 use crate::trace::{CaptureError, CaptureStream};
 use congestion::merge::MergeStream;
 use congestion::persec::{SecondAccumulator, SecondStats};
-use std::path::PathBuf;
+use congestion::{CongestionClassifier, CongestionLevel, UtilizationBins};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use wifi_frames::record::FrameRecord;
 use wifi_pcap::IngestReport;
@@ -27,24 +34,138 @@ use wifi_sim::spsc::{batch_channel, BatchReceiver, BatchSender};
 
 /// Records per cross-thread batch: large enough that the channel mutex is
 /// cold (one lock per 256 records), small enough to stay cache-resident.
-const BATCH_LEN: usize = 256;
+pub(crate) const BATCH_LEN: usize = 256;
 
 /// Full batches in flight per sniffer before its decoder blocks — the
 /// backpressure bound (~2k records, a few hundred KiB per sniffer).
-const CHANNEL_BATCHES: usize = 8;
+pub(crate) const CHANNEL_BATCHES: usize = 8;
+
+/// Environment variable naming a substring of a capture file name whose
+/// decoder must panic before decoding — a deliberately crash-faulty sniffer
+/// for regression tests of panic isolation (the readers themselves are
+/// panic-free on arbitrary bytes, so a real decoder panic cannot be staged
+/// from file contents). Unset in normal operation.
+pub const PANIC_SOURCE_ENV: &str = "CONG_TEST_PANIC_SOURCE";
+
+pub(crate) fn panic_if_injected(path: &Path) {
+    if let Ok(pattern) = std::env::var(PANIC_SOURCE_ENV) {
+        let hit = !pattern.is_empty()
+            && path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().contains(&pattern));
+        if hit {
+            panic!("injected decoder panic for {}", path.display());
+        }
+    }
+}
+
+/// Renders a panic payload for [`CaptureError::Panicked`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What ingesting one source produced: the damage accounting for the bytes
+/// that were decoded *and delivered*, plus the hard error that stopped the
+/// source early, if any.
+#[derive(Debug)]
+pub struct SourceOutcome {
+    /// Skip accounting for the delivered records. Under early consumer
+    /// termination this is the snapshot at the last delivered batch
+    /// boundary, so the totals match what the consumer could observe.
+    pub report: IngestReport,
+    /// The hard error that ended this source, if it did not run to clean
+    /// end-of-stream.
+    pub error: Option<CaptureError>,
+}
+
+impl SourceOutcome {
+    /// True when the source decoded end-to-end without damage or error.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none() && self.report.is_clean()
+    }
+}
 
 /// The result of a streaming end-to-end analysis over one or more sniffer
 /// captures of the same channel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StreamAnalysis {
     /// Per-second link-layer statistics of the merged trace.
     pub per_second: Vec<SecondStats>,
-    /// Damage accounting per input file, in input order.
-    pub reports: Vec<IngestReport>,
+    /// Per-source accounting and error state, in input order.
+    pub sources: Vec<SourceOutcome>,
     /// Records in the merged, de-duplicated trace.
     pub merged_records: u64,
     /// Records each sniffer was the first to capture, in input order.
     pub contributed: Vec<u64>,
+}
+
+impl StreamAnalysis {
+    /// The source reports merged into one total — [`IngestReport`] is
+    /// incrementally mergeable, so rolling per-source snapshots (as the
+    /// serve status endpoint publishes) sum to exactly this.
+    pub fn total_report(&self) -> IngestReport {
+        let mut total = IngestReport::default();
+        for s in &self.sources {
+            total.merge(&s.report);
+        }
+        total
+    }
+}
+
+/// Decodes one capture into `tx`, delivering records in batches. Total:
+/// panics (including injected ones) and hard errors degrade into the
+/// returned [`SourceOutcome`] instead of crossing thread boundaries.
+fn decode_source(path: &Path, mut tx: BatchSender<FrameRecord>) -> SourceOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        panic_if_injected(path);
+        let mut stream = match CaptureStream::open(path) {
+            Ok(s) => s,
+            Err(e) => {
+                return SourceOutcome {
+                    report: IngestReport::default(),
+                    error: Some(e),
+                }
+            }
+        };
+        // Counters snapshotted only at delivered-batch boundaries
+        // (`BatchSender::push` can fail only when a batch ships), so an
+        // early consumer termination reports exactly the records the
+        // consumer could observe — never the ones discarded with the
+        // undeliverable batch.
+        let mut delivered = stream.report();
+        while let Some(record) = stream.next() {
+            if tx.push(record).is_err() {
+                return SourceOutcome {
+                    report: delivered,
+                    error: None,
+                };
+            }
+            if tx.is_empty() {
+                delivered = stream.report();
+            }
+        }
+        let (report, error) = stream.into_outcome();
+        match tx.flush() {
+            Ok(()) => SourceOutcome { report, error },
+            Err(_) => SourceOutcome {
+                report: delivered,
+                error,
+            },
+        }
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => SourceOutcome {
+            report: IngestReport::default(),
+            error: Some(CaptureError::Panicked(panic_message(payload))),
+        },
+    }
 }
 
 /// Streams `paths` (per-sniffer captures of one channel) through parallel
@@ -54,9 +175,11 @@ pub struct StreamAnalysis {
 /// [`crate::trace::read_capture_lossy`], merging with
 /// [`congestion::merge_traces`], and running [`congestion::analyze`] — but
 /// in O(window) memory and with the decode work spread across one thread
-/// per file. Hard errors (unreadable file, unrecognizable classic header,
-/// non-radiotap link type) fail the whole analysis, exactly as the batch
-/// path would.
+/// per file. A source that fails hard (unreadable file, unrecognizable
+/// classic header, non-radiotap link type, decoder panic) contributes what
+/// it decoded before failing and carries the error in its
+/// [`SourceOutcome`]; sibling sources and the merged analysis complete
+/// normally.
 pub fn analyze_capture_streams(paths: &[PathBuf]) -> Result<StreamAnalysis, CaptureError> {
     let mut senders = Vec::with_capacity(paths.len());
     let mut receivers: Vec<BatchReceiver<FrameRecord>> = Vec::with_capacity(paths.len());
@@ -68,26 +191,18 @@ pub fn analyze_capture_streams(paths: &[PathBuf]) -> Result<StreamAnalysis, Capt
     let items: Vec<(PathBuf, Mutex<Option<BatchSender<FrameRecord>>>)> =
         paths.iter().cloned().zip(senders).collect();
 
-    let (merged_records, contributed, per_second, reports) = std::thread::scope(|scope| {
+    let (merged_records, contributed, per_second, sources) = std::thread::scope(|scope| {
         // One decode thread per file; `run_parallel` itself blocks, so it
         // runs on a scoped helper thread while this thread consumes.
         let decoder = scope.spawn(|| {
             run_parallel(&items, items.len(), |item| {
                 let (path, slot) = item;
-                let mut tx = slot
+                let tx = slot
                     .lock()
-                    .expect("sender slot lock poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .take()
                     .expect("run_parallel hands each item to exactly one worker");
-                let mut stream = CaptureStream::open(path)?;
-                for record in &mut stream {
-                    if tx.push(record).is_err() {
-                        // Consumer gone: the analysis is being abandoned.
-                        break;
-                    }
-                }
-                drop(tx); // flush the partial tail batch before reporting
-                stream.finish()
+                decode_source(path, tx)
             })
         });
         let mut acc = SecondAccumulator::new();
@@ -97,22 +212,99 @@ pub fn analyze_capture_streams(paths: &[PathBuf]) -> Result<StreamAnalysis, Capt
             merged_records += 1;
             acc.push(record);
         }
-        let reports = decoder.join().expect("decoder thread panicked");
+        // Worker panics are caught inside `decode_source`; a join error here
+        // means the dispatch infrastructure itself died, which no single
+        // source should be able to cause — degrade every source rather than
+        // poison the caller.
+        let sources = decoder.join().unwrap_or_else(|payload| {
+            let msg = panic_message(payload);
+            items
+                .iter()
+                .map(|_| SourceOutcome {
+                    report: IngestReport::default(),
+                    error: Some(CaptureError::Panicked(msg.clone())),
+                })
+                .collect()
+        });
         (
             merged_records,
             merge.contributed().to_vec(),
             acc.finish(),
-            reports,
+            sources,
         )
     });
 
-    let reports = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(StreamAnalysis {
         per_second,
-        reports,
+        sources,
         merged_records,
         contributed,
     })
+}
+
+/// Renders the per-second analysis summary exactly as `wifi-congestion
+/// analyze` prints it. Shared by the batch CLI and the serve final report so
+/// the two outputs are byte-comparable.
+pub fn render_analysis(stats: &[SecondStats], frames: u64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if stats.is_empty() {
+        let _ = writeln!(out, "frames: {frames}");
+        let _ = writeln!(out, "span: 0.0 s (0 analyzed seconds)");
+        return out;
+    }
+    let bins = UtilizationBins::build(stats);
+    let classifier = CongestionClassifier::from_measurements(&bins);
+    let _ = writeln!(out, "frames: {frames}");
+    let _ = writeln!(
+        out,
+        "span: {:.1} s ({} analyzed seconds)",
+        (stats.last().unwrap().second - stats.first().unwrap().second + 1) as f64,
+        stats.len()
+    );
+    let mut high = 0u64;
+    let mut moderate = 0u64;
+    let mut idle = 0u64;
+    for s in stats {
+        match classifier.classify(s.utilization_pct()) {
+            CongestionLevel::High => high += 1,
+            CongestionLevel::Moderate => moderate += 1,
+            CongestionLevel::Uncongested => idle += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "congestion: {idle} uncongested s, {moderate} moderate s, {high} high s \
+         (thresholds {:.0}% / {:.0}%)",
+        classifier.low_pct, classifier.high_pct
+    );
+    let _ = writeln!(out, "utilization mode: {:?}%", bins.mode());
+    let total_thr: f64 = stats.iter().map(|s| s.throughput_mbps()).sum();
+    let total_good: f64 = stats.iter().map(|s| s.goodput_mbps()).sum();
+    let n = stats.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "mean throughput {:.2} Mbps, mean goodput {:.2} Mbps",
+        total_thr / n,
+        total_good / n
+    );
+    let _ = writeln!(out, "\nsec\tutil%\tthr\tgood\tdata/s\tretr/s");
+    for s in stats.iter().take(30) {
+        let _ = writeln!(
+            out,
+            "{}\t{:.1}\t{:.2}\t{:.2}\t{}\t{}",
+            s.second,
+            s.utilization_pct(),
+            s.throughput_mbps(),
+            s.goodput_mbps(),
+            s.data,
+            s.retries,
+        );
+    }
+    if stats.len() > 30 {
+        let _ = writeln!(out, "… ({} more seconds)", stats.len() - 30);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -188,8 +380,9 @@ mod tests {
 
         assert_eq!(streamed.merged_records as usize, merged.len());
         assert_eq!(streamed.per_second, expected);
-        assert_eq!(streamed.reports.len(), 3);
-        assert!(streamed.reports.iter().all(|r| r.is_clean()));
+        assert_eq!(streamed.sources.len(), 3);
+        assert!(streamed.sources.iter().all(|s| s.is_clean()));
+        assert!(streamed.total_report().is_clean());
         assert_eq!(
             streamed.contributed.iter().sum::<u64>(),
             streamed.merged_records
@@ -201,12 +394,106 @@ mod tests {
         let out = analyze_capture_streams(&[]).unwrap();
         assert!(out.per_second.is_empty());
         assert_eq!(out.merged_records, 0);
-        assert!(out.reports.is_empty());
+        assert!(out.sources.is_empty());
     }
 
     #[test]
-    fn missing_file_fails_the_analysis() {
-        let paths = vec![PathBuf::from("/nonexistent/sniffer.pcap")];
-        assert!(analyze_capture_streams(&paths).is_err());
+    fn missing_file_degrades_that_source_only() {
+        // One unreadable source among two: the analysis completes on the
+        // good one and reports the failure per-source instead of aborting.
+        let good: Vec<FrameRecord> = (0..500u64)
+            .map(|i| rec(i * 900, 1, (i % 4096) as u16))
+            .collect();
+        let mut paths = write_sniffers("missing", std::slice::from_ref(&good));
+        paths.push(PathBuf::from("/nonexistent/sniffer.pcap"));
+
+        let out = analyze_capture_streams(&paths).unwrap();
+        assert!(out.sources[0].error.is_none());
+        assert!(
+            matches!(out.sources[1].error, Some(CaptureError::Pcap(_))),
+            "missing file must surface as that source's error: {:?}",
+            out.sources[1].error
+        );
+        let expected = congestion::analyze(&congestion::merge_traces(&[&good[..]]));
+        assert_eq!(out.per_second, expected);
+        assert_eq!(out.contributed, vec![out.merged_records, 0]);
+    }
+
+    #[test]
+    fn panicking_decoder_fails_only_its_source() {
+        let full: Vec<FrameRecord> = (0..2000u64)
+            .map(|i| rec(i * 900, 1, (i % 4096) as u16))
+            .collect();
+        let sniffers = [full.clone(), full.clone(), full.clone()];
+        let dir = std::env::temp_dir().join("congestion_ingest_test_panic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<PathBuf> = sniffers
+            .iter()
+            .enumerate()
+            .map(|(i, records)| {
+                // Only the middle sniffer's name carries the injection marker.
+                let name = if i == 1 {
+                    "sniffer_1_panic_inject_marker.pcap".to_string()
+                } else {
+                    format!("sniffer_{i}.pcap")
+                };
+                let path = dir.join(name);
+                write_capture(&path, records).unwrap();
+                path
+            })
+            .collect();
+
+        std::env::set_var(PANIC_SOURCE_ENV, "panic_inject_marker");
+        let out = analyze_capture_streams(&paths).unwrap();
+        std::env::remove_var(PANIC_SOURCE_ENV);
+
+        assert!(
+            matches!(out.sources[1].error, Some(CaptureError::Panicked(_))),
+            "injected panic must surface as that source's error: {:?}",
+            out.sources[1].error
+        );
+        assert!(out.sources[0].is_clean());
+        assert!(out.sources[2].is_clean());
+        // The panicking source contributed nothing; the survivors carry the
+        // full analysis (their traces are identical, so the merge equals one
+        // of them).
+        assert_eq!(out.contributed[1], 0);
+        let expected = congestion::analyze(&congestion::merge_traces(&[&full[..]]));
+        assert_eq!(out.per_second, expected);
+        assert_eq!(out.merged_records as usize, full.len());
+    }
+
+    #[test]
+    fn early_consumer_termination_reports_only_delivered_records() {
+        // Drive decode_source by hand against a receiver that disconnects
+        // after one batch: the outcome's counters must match a delivered
+        // batch boundary, not the whole file.
+        let records: Vec<FrameRecord> = (0..2000u64)
+            .map(|i| rec(i * 900, 1, (i % 4096) as u16))
+            .collect();
+        let paths = write_sniffers("early_term", &[records]);
+        let (tx, mut rx) = batch_channel::<FrameRecord>(1, BATCH_LEN);
+        let worker = std::thread::spawn({
+            let path = paths[0].clone();
+            move || decode_source(&path, tx)
+        });
+        // Take exactly one batch, then drop the receiver.
+        let mut taken = 0usize;
+        for _ in rx.by_ref().take(BATCH_LEN) {
+            taken += 1;
+        }
+        drop(rx);
+        let outcome = worker.join().unwrap();
+        assert_eq!(taken, BATCH_LEN);
+        assert!(outcome.error.is_none());
+        let total = outcome.report.records_total();
+        assert!(
+            total % BATCH_LEN as u64 == 0 && total >= taken as u64,
+            "counters must sit on a delivered batch boundary, got {total}"
+        );
+        assert!(
+            total < 2000,
+            "counters must exclude records the consumer never saw"
+        );
     }
 }

@@ -39,6 +39,7 @@ pub use wifi_pcap;
 pub use wifi_sim;
 
 pub mod ingest;
+pub mod serve;
 pub mod trace;
 
 /// Convenient glob-import surface for examples and quick scripts.
@@ -51,7 +52,10 @@ pub mod prelude {
     pub use wifi_frames::{FrameKind, FrameRecord, MacAddr, Rate};
     pub use wifi_sim::{ClientConfig, SimConfig, Simulator};
 
-    pub use crate::ingest::{analyze_capture_streams, StreamAnalysis};
+    pub use crate::ingest::{
+        analyze_capture_streams, render_analysis, SourceOutcome, StreamAnalysis,
+    };
+    pub use crate::serve::{run_serve, ServeConfig};
     pub use crate::trace::{
         read_capture, read_capture_lossy, write_capture, CaptureStream, LossyCapture,
     };

@@ -15,7 +15,7 @@ use wifi_frames::wire;
 use wifi_pcap::pcapng::PcapNgReader;
 use wifi_pcap::{
     is_pcapng, IngestReport, LinkType, LossyPcapNgStream, LossyPcapStream, PcapError, PcapReader,
-    PcapWriter,
+    PcapWriter, Polled,
 };
 
 /// The snap length the study used.
@@ -30,6 +30,9 @@ pub enum CaptureError {
     Radiotap(radiotap::RadiotapError),
     /// The file's link type is not radiotap.
     WrongLinkType(LinkType),
+    /// The decoder driving this source panicked; the payload is the panic
+    /// message. Isolated to the source so sibling captures keep analyzing.
+    Panicked(String),
 }
 
 impl std::fmt::Display for CaptureError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for CaptureError {
             CaptureError::WrongLinkType(lt) => {
                 write!(f, "expected radiotap link type, found {lt:?}")
             }
+            CaptureError::Panicked(msg) => write!(f, "decoder panicked: {msg}"),
         }
     }
 }
@@ -127,6 +131,11 @@ fn peek_magic<R: Read>(mut reader: R) -> io::Result<(Vec<u8>, Replayed<R>)> {
             Ok(0) => break,
             Ok(_) => head.push(byte[0]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A live source that has not produced its magic yet: wait for
+            // it (the source turns into EOF if the feed stops for good).
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
             Err(e) => return Err(e),
         }
     }
@@ -314,50 +323,90 @@ impl<R: Read> CaptureStream<R> {
             None => Ok(report),
         }
     }
-}
 
-impl<R: Read> Iterator for CaptureStream<R> {
-    type Item = FrameRecord;
+    /// Consumes the stream into its accounting *and* whatever hard error
+    /// ended it, without collapsing the two — a multi-source analysis keeps
+    /// each source's partial accounting even when that source failed.
+    pub fn into_outcome(self) -> (IngestReport, Option<CaptureError>) {
+        let report = self.report();
+        (report, self.failed)
+    }
 
-    fn next(&mut self) -> Option<FrameRecord> {
+    /// Non-blocking pull: like the `Iterator` impl, but a live source with
+    /// no decodable bytes buffered yet reports [`CapturePoll::Pending`]
+    /// (with no state change) instead of erroring out.
+    pub fn poll_next(&mut self) -> CapturePoll {
         let CaptureStream {
             inner,
             frame_report,
             failed,
         } = self;
         if failed.is_some() {
-            return None;
+            return CapturePoll::End;
         }
         loop {
             match inner {
-                StreamInner::Classic(s) => match s.next_packet() {
-                    Ok(Some(pkt)) => {
+                StreamInner::Classic(s) => match s.poll_packet() {
+                    Ok(Polled::Packet(pkt)) => {
                         if let Some(r) = decode_packet(pkt.data, pkt.orig_len, frame_report) {
-                            return Some(r);
+                            return CapturePoll::Record(r);
                         }
                     }
-                    Ok(None) => return None,
+                    Ok(Polled::Pending) => return CapturePoll::Pending,
+                    Ok(Polled::End) => return CapturePoll::End,
                     Err(e) => {
                         *failed = Some(CaptureError::Pcap(e));
-                        return None;
+                        return CapturePoll::End;
                     }
                 },
-                StreamInner::Ng(s) => match s.next_packet() {
-                    Ok(Some(pkt)) => {
+                StreamInner::Ng(s) => match s.poll_packet() {
+                    Ok(Polled::Packet(pkt)) => {
                         if pkt.link != LinkType::Radiotap {
                             *failed = Some(CaptureError::WrongLinkType(pkt.link));
-                            return None;
+                            return CapturePoll::End;
                         }
                         if let Some(r) = decode_packet(pkt.data, pkt.orig_len, frame_report) {
-                            return Some(r);
+                            return CapturePoll::Record(r);
                         }
                     }
-                    Ok(None) => return None,
+                    Ok(Polled::Pending) => return CapturePoll::Pending,
+                    Ok(Polled::End) => return CapturePoll::End,
                     Err(e) => {
                         *failed = Some(CaptureError::Pcap(e));
-                        return None;
+                        return CapturePoll::End;
                     }
                 },
+            }
+        }
+    }
+}
+
+/// Outcome of a [`CaptureStream::poll_next`].
+#[derive(Debug)]
+pub enum CapturePoll {
+    /// The next decoded record.
+    Record(FrameRecord),
+    /// The live source would block; poll again when it may have grown.
+    Pending,
+    /// End of stream (check [`CaptureStream::finish`] /
+    /// [`CaptureStream::into_outcome`] for a hard error).
+    End,
+}
+
+impl<R: Read> Iterator for CaptureStream<R> {
+    type Item = FrameRecord;
+
+    fn next(&mut self) -> Option<FrameRecord> {
+        match self.poll_next() {
+            CapturePoll::Record(r) => Some(r),
+            CapturePoll::End => None,
+            CapturePoll::Pending => {
+                // Blocking iteration over a non-blocking source is a usage
+                // error; surface it as the hard error it is.
+                self.failed = Some(CaptureError::Pcap(PcapError::Io(
+                    io::ErrorKind::WouldBlock.into(),
+                )));
+                None
             }
         }
     }
